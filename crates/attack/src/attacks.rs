@@ -1,0 +1,381 @@
+//! FGSM, PGD and MIM crafting (§III.B of the paper).
+
+use calloc_nn::DifferentiableModel;
+use calloc_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::targeting::{select_targets, target_mask, Targeting};
+
+/// The three white-box crafting algorithms evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Fast gradient sign method (one step).
+    Fgsm,
+    /// Projected gradient descent (iterative).
+    Pgd,
+    /// Momentum iterative method (iterative, accumulated gradient).
+    Mim,
+}
+
+impl AttackKind {
+    /// All three attacks, in paper order.
+    pub const ALL: [AttackKind; 3] = [AttackKind::Fgsm, AttackKind::Pgd, AttackKind::Mim];
+
+    /// Display name used in figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Fgsm => "FGSM",
+            AttackKind::Pgd => "PGD",
+            AttackKind::Mim => "MIM",
+        }
+    }
+}
+
+/// Full specification of an attack instance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Crafting algorithm.
+    pub kind: AttackKind,
+    /// Perturbation budget ε in normalized RSS units (paper: 0.1–0.5).
+    pub epsilon: f64,
+    /// Percentage ø of APs targeted (paper: 1–100).
+    pub phi_percent: f64,
+    /// Iterations for PGD/MIM (ignored by FGSM).
+    pub steps: usize,
+    /// Per-step size α for PGD/MIM; a good default is `2.5·ε/steps`.
+    pub alpha: f64,
+    /// Momentum decay µ for MIM (typically 1.0).
+    pub momentum: f64,
+    /// How the targeted AP subset is chosen.
+    pub targeting: Targeting,
+    /// Seed for random targeting.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    /// A standard FGSM attack with the given ε and ø.
+    pub fn fgsm(epsilon: f64, phi_percent: f64) -> Self {
+        AttackConfig {
+            kind: AttackKind::Fgsm,
+            epsilon,
+            phi_percent,
+            steps: 1,
+            alpha: epsilon,
+            momentum: 0.0,
+            targeting: Targeting::Strongest,
+            seed: 0,
+        }
+    }
+
+    /// A standard 10-step PGD attack with the given ε and ø.
+    pub fn pgd(epsilon: f64, phi_percent: f64) -> Self {
+        AttackConfig {
+            kind: AttackKind::Pgd,
+            epsilon,
+            phi_percent,
+            steps: 10,
+            alpha: 2.5 * epsilon / 10.0,
+            momentum: 0.0,
+            targeting: Targeting::Strongest,
+            seed: 0,
+        }
+    }
+
+    /// A standard 10-step MIM attack (µ = 1.0) with the given ε and ø.
+    pub fn mim(epsilon: f64, phi_percent: f64) -> Self {
+        AttackConfig {
+            kind: AttackKind::Mim,
+            epsilon,
+            phi_percent,
+            steps: 10,
+            alpha: 2.5 * epsilon / 10.0,
+            momentum: 1.0,
+            targeting: Targeting::Strongest,
+            seed: 0,
+        }
+    }
+
+    /// Builds a config of the given kind with its standard parameters.
+    pub fn standard(kind: AttackKind, epsilon: f64, phi_percent: f64) -> Self {
+        match kind {
+            AttackKind::Fgsm => AttackConfig::fgsm(epsilon, phi_percent),
+            AttackKind::Pgd => AttackConfig::pgd(epsilon, phi_percent),
+            AttackKind::Mim => AttackConfig::mim(epsilon, phi_percent),
+        }
+    }
+
+    /// Returns a copy with a different targeting strategy.
+    pub fn with_targeting(mut self, targeting: Targeting) -> Self {
+        self.targeting = targeting;
+        self
+    }
+
+    /// Returns a copy with a different RNG seed (random targeting).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Crafts adversarial examples for `(x, y)` against `model`.
+///
+/// The returned matrix satisfies, element-wise on targeted AP columns,
+/// `|x_adv - x| ≤ ε`, and equals `x` exactly on non-targeted columns.
+/// All values stay inside the valid normalized RSS range `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()`, ε is negative, or the config's ø is out
+/// of range.
+///
+/// # Example
+///
+/// ```
+/// use calloc_attack::{craft, AttackConfig};
+/// use calloc_nn::{Dense, Layer, Sequential};
+/// use calloc_tensor::{Matrix, Rng};
+///
+/// let mut rng = Rng::new(1);
+/// let net = Sequential::new(vec![Layer::Dense(Dense::xavier(4, 2, &mut rng))]);
+/// let x = Matrix::from_fn(3, 4, |_, _| 0.5);
+/// let adv = craft(&net, &x, &[0, 1, 0], &AttackConfig::pgd(0.2, 50.0));
+/// assert_eq!(adv.shape(), x.shape());
+/// ```
+pub fn craft(
+    model: &dyn DifferentiableModel,
+    x: &Matrix,
+    y: &[usize],
+    config: &AttackConfig,
+) -> Matrix {
+    assert_eq!(y.len(), x.rows(), "label count mismatch");
+    assert!(config.epsilon >= 0.0, "negative epsilon {}", config.epsilon);
+    if config.epsilon == 0.0 || config.phi_percent == 0.0 {
+        return x.clone();
+    }
+    let targets = select_targets(x, config.phi_percent, config.targeting, config.seed);
+    craft_with_targets(model, x, y, config, &targets)
+}
+
+/// Crafts adversarial examples against a *fixed* set of targeted AP
+/// columns. [`craft`] selects targets from the batch itself; this variant
+/// lets callers (e.g. the spoofing MITM) pin the target set chosen from a
+/// different reference batch.
+///
+/// # Panics
+///
+/// Same conditions as [`craft`].
+pub fn craft_with_targets(
+    model: &dyn DifferentiableModel,
+    x: &Matrix,
+    y: &[usize],
+    config: &AttackConfig,
+    targets: &[usize],
+) -> Matrix {
+    assert_eq!(y.len(), x.rows(), "label count mismatch");
+    assert!(config.epsilon >= 0.0, "negative epsilon {}", config.epsilon);
+    if config.epsilon == 0.0 || targets.is_empty() {
+        return x.clone();
+    }
+    let mask = target_mask(x.rows(), x.cols(), targets);
+
+    match config.kind {
+        AttackKind::Fgsm => {
+            let (_, grad) = model.loss_and_input_grad(x, y);
+            let step = grad.map(f64::signum).hadamard(&mask).scale(config.epsilon);
+            x.add(&step).clamp(0.0, 1.0)
+        }
+        AttackKind::Pgd => iterate(model, x, y, config, &mask, false),
+        AttackKind::Mim => iterate(model, x, y, config, &mask, true),
+    }
+}
+
+/// Shared PGD/MIM loop; `use_momentum` selects MIM's accumulated gradient.
+fn iterate(
+    model: &dyn DifferentiableModel,
+    x0: &Matrix,
+    y: &[usize],
+    config: &AttackConfig,
+    mask: &Matrix,
+    use_momentum: bool,
+) -> Matrix {
+    let mut x = x0.clone();
+    let mut g_acc = Matrix::zeros(x0.rows(), x0.cols());
+    for _ in 0..config.steps.max(1) {
+        let (_, grad) = model.loss_and_input_grad(&x, y);
+        let direction = if use_momentum {
+            // MIM: g ← µ·g + grad / ||grad||₁ (per sample)
+            let mut normalized = grad.clone();
+            for r in 0..normalized.rows() {
+                let l1: f64 = normalized.row(r).iter().map(|v| v.abs()).sum();
+                if l1 > 0.0 {
+                    for v in normalized.row_mut(r) {
+                        *v /= l1;
+                    }
+                }
+            }
+            g_acc = g_acc.scale(config.momentum).add(&normalized);
+            g_acc.clone()
+        } else {
+            grad
+        };
+        let step = direction.map(f64::signum).hadamard(mask).scale(config.alpha);
+        x = x.add(&step);
+        // Project back into the ε-ball around x0 and the valid range.
+        x = x
+            .zip_map(x0, |xi, x0i| xi.clamp(x0i - config.epsilon, x0i + config.epsilon))
+            .clamp(0.0, 1.0);
+    }
+    // Non-targeted columns never receive a step, and the projections are
+    // identity on unchanged in-range values, so they are already
+    // bit-identical to the original.
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_nn::{Adam, Dense, Layer, Sequential, TrainConfig, Trainer};
+    use calloc_tensor::Rng;
+
+    /// A trained 3-class model on separable blobs plus its training data.
+    fn trained_model() -> (Sequential, Matrix, Vec<usize>) {
+        let mut rng = Rng::new(5);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let centers = [(0.2, 0.2), (0.8, 0.2), (0.5, 0.8)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                rows.push(vec![
+                    (cx + rng.normal(0.0, 0.05)).clamp(0.0, 1.0),
+                    (cy + rng.normal(0.0, 0.05)).clamp(0.0, 1.0),
+                    rng.uniform(0.0, 1.0), // uninformative AP
+                    rng.uniform(0.0, 1.0), // uninformative AP
+                ]);
+                ys.push(c);
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut net = Sequential::new(vec![
+            Layer::Dense(Dense::he(4, 16, &mut rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::xavier(16, 3, &mut rng)),
+        ]);
+        let mut trainer = Trainer::new(
+            Adam::new(0.02),
+            TrainConfig {
+                epochs: 60,
+                batch_size: 16,
+                ..Default::default()
+            },
+        );
+        trainer.fit(&mut net, &x, &ys, None);
+        (net, x, ys)
+    }
+
+    #[test]
+    fn fgsm_respects_epsilon_bound() {
+        let (net, x, y) = trained_model();
+        for eps in [0.05, 0.1, 0.3] {
+            let adv = craft(&net, &x, &y, &AttackConfig::fgsm(eps, 100.0));
+            let max_delta = adv.sub(&x).map(f64::abs).max();
+            assert!(max_delta <= eps + 1e-12, "eps {eps}: delta {max_delta}");
+        }
+    }
+
+    #[test]
+    fn pgd_and_mim_respect_epsilon_bound() {
+        let (net, x, y) = trained_model();
+        for config in [AttackConfig::pgd(0.2, 100.0), AttackConfig::mim(0.2, 100.0)] {
+            let adv = craft(&net, &x, &y, &config);
+            let max_delta = adv.sub(&x).map(f64::abs).max();
+            assert!(max_delta <= 0.2 + 1e-12, "{:?}: {max_delta}", config.kind);
+        }
+    }
+
+    #[test]
+    fn attacks_increase_loss() {
+        let (net, x, y) = trained_model();
+        let (clean_loss, _) = net.loss_and_input_grad(&x, &y);
+        for kind in AttackKind::ALL {
+            let adv = craft(&net, &x, &y, &AttackConfig::standard(kind, 0.3, 100.0));
+            let (adv_loss, _) = net.loss_and_input_grad(&adv, &y);
+            assert!(
+                adv_loss > clean_loss * 2.0,
+                "{}: clean {clean_loss}, adv {adv_loss}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn iterative_attacks_are_at_least_as_strong_as_fgsm() {
+        let (net, x, y) = trained_model();
+        let loss_of = |cfg: &AttackConfig| {
+            let adv = craft(&net, &x, &y, cfg);
+            net.loss_and_input_grad(&adv, &y).0
+        };
+        let fgsm = loss_of(&AttackConfig::fgsm(0.2, 100.0));
+        let pgd = loss_of(&AttackConfig::pgd(0.2, 100.0));
+        let mim = loss_of(&AttackConfig::mim(0.2, 100.0));
+        // PGD/MIM refine the same budget iteratively; allow 5% slack.
+        assert!(pgd >= fgsm * 0.95, "pgd {pgd} vs fgsm {fgsm}");
+        assert!(mim >= fgsm * 0.95, "mim {mim} vs fgsm {fgsm}");
+    }
+
+    #[test]
+    fn untargeted_columns_are_untouched() {
+        let (net, x, y) = trained_model();
+        for kind in AttackKind::ALL {
+            let config = AttackConfig::standard(kind, 0.3, 50.0); // 2 of 4 APs
+            let targets = select_targets(&x, 50.0, config.targeting, config.seed);
+            let adv = craft(&net, &x, &y, &config);
+            for c in 0..x.cols() {
+                if !targets.contains(&c) {
+                    assert_eq!(adv.col(c), x.col(c), "{}: col {c} changed", kind.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_values_stay_in_valid_range() {
+        let (net, x, y) = trained_model();
+        let adv = craft(&net, &x, &y, &AttackConfig::fgsm(0.5, 100.0));
+        assert!(adv.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn zero_epsilon_is_identity() {
+        let (net, x, y) = trained_model();
+        let adv = craft(&net, &x, &y, &AttackConfig::fgsm(0.0, 100.0));
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn zero_phi_is_identity() {
+        let (net, x, y) = trained_model();
+        let adv = craft(&net, &x, &y, &AttackConfig::pgd(0.3, 0.0));
+        assert_eq!(adv, x);
+    }
+
+    #[test]
+    fn crafting_is_deterministic() {
+        let (net, x, y) = trained_model();
+        let config = AttackConfig::mim(0.2, 60.0).with_targeting(Targeting::Random).with_seed(4);
+        let a = craft(&net, &x, &y, &config);
+        let b = craft(&net, &x, &y, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_epsilon_hurts_more() {
+        let (net, x, y) = trained_model();
+        let acc_of = |eps: f64| {
+            let adv = craft(&net, &x, &y, &AttackConfig::fgsm(eps, 100.0));
+            calloc_nn::metrics::accuracy(&net.predict(&adv), &y)
+        };
+        let weak = acc_of(0.05);
+        let strong = acc_of(0.5);
+        assert!(strong <= weak, "acc 0.5 ({strong}) > acc 0.05 ({weak})");
+    }
+}

@@ -1,0 +1,54 @@
+//! # calloc-attack
+//!
+//! White-box adversarial attacks on indoor-localization models, following
+//! §III of the CALLOC paper.
+//!
+//! The threat model is a **channel-side man-in-the-middle** with white-box
+//! access: the adversary knows the victim model's parameters and crafts
+//! perturbations of the RSS vector observed by the mobile device. Two knobs
+//! parameterize every attack, exactly as in the paper:
+//!
+//! * `ε` (epsilon) — the perturbation magnitude, in normalized RSS units
+//!   (the paper sweeps 0.1–0.5);
+//! * `ø` (phi) — the percentage of visible APs the adversary targets (the
+//!   paper sweeps 1–100%); non-targeted APs are never perturbed.
+//!
+//! Three crafting algorithms are provided:
+//!
+//! * [`AttackKind::Fgsm`] — single-step fast gradient sign method;
+//! * [`AttackKind::Pgd`] — iterative projected gradient descent;
+//! * [`AttackKind::Mim`] — momentum iterative method.
+//!
+//! All three operate on any [`DifferentiableModel`], the input-gradient
+//! contract exported by `calloc-nn`.
+//!
+//! # Example
+//!
+//! ```
+//! use calloc_attack::{craft, AttackConfig, AttackKind};
+//! use calloc_nn::{Dense, Layer, Sequential, DifferentiableModel};
+//! use calloc_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::new(0);
+//! let net = Sequential::new(vec![Layer::Dense(Dense::xavier(6, 3, &mut rng))]);
+//! let x = Matrix::from_fn(4, 6, |_, _| rng.uniform(0.2, 0.8));
+//! let y = vec![0, 1, 2, 0];
+//! let config = AttackConfig::fgsm(0.1, 100.0);
+//! let x_adv = craft(&net, &x, &y, &config);
+//! // Perturbation is ε-bounded.
+//! let max_delta = x_adv.sub(&x).map(f64::abs).max();
+//! assert!(max_delta <= 0.1 + 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+mod attacks;
+mod mitm;
+mod targeting;
+
+pub use attacks::{craft, craft_with_targets, AttackConfig, AttackKind};
+pub use mitm::{MitmAttack, MitmVariant};
+pub use targeting::{select_targets, Targeting};
+
+// Re-export the model contract so downstream crates need only this crate.
+pub use calloc_nn::DifferentiableModel;

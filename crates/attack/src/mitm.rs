@@ -1,0 +1,184 @@
+//! Man-in-the-middle attack semantics (§III.A of the paper).
+//!
+//! The crafting algorithms in [`crate::attacks`] compute *what* perturbation
+//! to apply; this module models *how* a channel-side MITM adversary injects
+//! it:
+//!
+//! * **Signal manipulation** — the genuine RSS of the targeted APs is
+//!   tampered with in flight: the adversarial delta is added to the real
+//!   observation (Fig. 2, A:1).
+//! * **Signal spoofing** — the adversary stands up counterfeit APs that
+//!   clone the MAC/channel of legitimate ones and broadcast fabricated
+//!   signals: the targeted APs' readings are *replaced* by values crafted
+//!   from a decoy location's fingerprint plus the adversarial perturbation
+//!   (Fig. 2, A:2).
+//!
+//! Both reduce to an ε/ø-parameterized perturbation of the observed
+//! fingerprint, which is why the paper (and this reproduction) evaluates
+//! them through FGSM/PGD/MIM crafting; spoofing is the more disruptive
+//! variant because the starting point is not the victim's true signal.
+
+use calloc_nn::DifferentiableModel;
+use calloc_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+use crate::attacks::{craft, craft_with_targets, AttackConfig};
+use crate::targeting::{select_targets, target_mask};
+
+/// Which MITM injection mechanism the adversary uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MitmVariant {
+    /// Perturb the genuine signal in flight (bounded by ε).
+    Manipulation,
+    /// Replace targeted APs' readings with counterfeit ones seeded from a
+    /// decoy fingerprint, then perturb (still ε-bounded around the decoy).
+    Spoofing,
+}
+
+/// A channel-side MITM attack: a crafting configuration plus an injection
+/// mechanism.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MitmAttack {
+    /// The perturbation crafting configuration (ε, ø, algorithm).
+    pub config: AttackConfig,
+    /// Injection mechanism.
+    pub variant: MitmVariant,
+    /// Seed for decoy selection in spoofing mode.
+    pub decoy_seed: u64,
+}
+
+impl MitmAttack {
+    /// A manipulation-style MITM with the given crafting config.
+    pub fn manipulation(config: AttackConfig) -> Self {
+        MitmAttack {
+            config,
+            variant: MitmVariant::Manipulation,
+            decoy_seed: 0,
+        }
+    }
+
+    /// A spoofing-style MITM with the given crafting config.
+    pub fn spoofing(config: AttackConfig, decoy_seed: u64) -> Self {
+        MitmAttack {
+            config,
+            variant: MitmVariant::Spoofing,
+            decoy_seed,
+        }
+    }
+
+    /// Applies the attack to a batch of observed fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != x.rows()`.
+    pub fn apply(&self, model: &dyn DifferentiableModel, x: &Matrix, y: &[usize]) -> Matrix {
+        match self.variant {
+            MitmVariant::Manipulation => craft(model, x, y, &self.config),
+            MitmVariant::Spoofing => {
+                assert_eq!(y.len(), x.rows(), "label count mismatch");
+                if x.rows() < 2 || self.config.phi_percent == 0.0 {
+                    return craft(model, x, y, &self.config);
+                }
+                // Counterfeit baseline: targeted AP columns are overwritten
+                // with the readings another victim row would see (a decoy
+                // location), emulating a fake AP broadcasting a legitimate-
+                // looking but wrong signature.
+                let targets = select_targets(
+                    x,
+                    self.config.phi_percent,
+                    self.config.targeting,
+                    self.config.seed,
+                );
+                let mask = target_mask(x.rows(), x.cols(), &targets);
+                let mut rng = Rng::new(self.decoy_seed);
+                let mut spoofed = x.clone();
+                for r in 0..x.rows() {
+                    // pick a decoy row other than r
+                    let mut d = rng.index(x.rows());
+                    if d == r {
+                        d = (d + 1) % x.rows();
+                    }
+                    for &c in &targets {
+                        spoofed.set(r, c, x.get(d, c));
+                    }
+                }
+                debug_assert!(spoofed
+                    .zip_map(&mask, |v, m| if m == 0.0 { v } else { 0.0 })
+                    .approx_eq(&x.zip_map(&mask, |v, m| if m == 0.0 { v } else { 0.0 }), 0.0));
+                // Perturb the counterfeit baseline on the same AP subset it
+                // was spoofed on.
+                craft_with_targets(model, &spoofed, y, &self.config, &targets)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::AttackKind;
+    use calloc_nn::{Dense, Layer, Sequential};
+    use calloc_tensor::Rng;
+
+    fn model_and_data() -> (Sequential, Matrix, Vec<usize>) {
+        let mut rng = Rng::new(3);
+        let net = Sequential::new(vec![
+            Layer::Dense(Dense::he(6, 12, &mut rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::xavier(12, 4, &mut rng)),
+        ]);
+        let x = Matrix::from_fn(8, 6, |_, _| rng.uniform(0.1, 0.9));
+        let y = vec![0, 1, 2, 3, 0, 1, 2, 3];
+        (net, x, y)
+    }
+
+    #[test]
+    fn manipulation_matches_plain_crafting() {
+        let (net, x, y) = model_and_data();
+        let config = AttackConfig::fgsm(0.2, 50.0);
+        let mitm = MitmAttack::manipulation(config.clone());
+        assert_eq!(mitm.apply(&net, &x, &y), craft(&net, &x, &y, &config));
+    }
+
+    #[test]
+    fn spoofing_changes_targeted_columns_beyond_epsilon() {
+        let (net, x, y) = model_and_data();
+        let config = AttackConfig::fgsm(0.05, 50.0);
+        let mitm = MitmAttack::spoofing(config.clone(), 11);
+        let adv = mitm.apply(&net, &x, &y);
+        // Spoofed readings come from decoy rows, so deltas can exceed ε.
+        let max_delta = adv.sub(&x).map(f64::abs).max();
+        assert!(max_delta > 0.05, "spoofing looks like manipulation: {max_delta}");
+    }
+
+    #[test]
+    fn spoofing_preserves_untargeted_columns() {
+        let (net, x, y) = model_and_data();
+        let config = AttackConfig::standard(AttackKind::Pgd, 0.1, 33.0);
+        let targets = select_targets(&x, 33.0, config.targeting, config.seed);
+        let mitm = MitmAttack::spoofing(config, 7);
+        let adv = mitm.apply(&net, &x, &y);
+        for c in 0..x.cols() {
+            if !targets.contains(&c) {
+                assert_eq!(adv.col(c), x.col(c), "untargeted col {c} changed");
+            }
+        }
+    }
+
+    #[test]
+    fn spoofing_is_deterministic() {
+        let (net, x, y) = model_and_data();
+        let mitm = MitmAttack::spoofing(AttackConfig::fgsm(0.1, 50.0), 5);
+        assert_eq!(mitm.apply(&net, &x, &y), mitm.apply(&net, &x, &y));
+    }
+
+    #[test]
+    fn spoofing_single_row_degrades_to_manipulation() {
+        let (net, x, y) = model_and_data();
+        let one = x.select_rows(&[0]);
+        let mitm = MitmAttack::spoofing(AttackConfig::fgsm(0.1, 50.0), 5);
+        let adv = mitm.apply(&net, &one, &y[..1]);
+        let max_delta = adv.sub(&one).map(f64::abs).max();
+        assert!(max_delta <= 0.1 + 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Adversarial AP target selection (the ø parameter).
+
+use calloc_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+/// How the adversary picks which APs to attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Targeting {
+    /// Attack the APs with the strongest mean signal in the observed batch
+    /// — the most informative ones. This is the paper's implicit choice
+    /// (a rational white-box adversary) and the default.
+    Strongest,
+    /// Attack a uniformly random subset (seeded).
+    Random,
+    /// Attack the weakest APs — a deliberately poor strategy, used as an
+    /// ablation of attacker knowledge.
+    Weakest,
+}
+
+/// Selects the indices of the APs to attack.
+///
+/// `phi_percent` is the paper's ø: the percentage (0–100) of APs targeted.
+/// The count is `round(ø/100 · num_aps)`, clamped to at least 1 whenever
+/// `phi_percent > 0`.
+///
+/// # Panics
+///
+/// Panics if `phi_percent` is outside `[0, 100]` or `x` has no columns.
+///
+/// # Example
+///
+/// ```
+/// use calloc_attack::{select_targets, Targeting};
+/// use calloc_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.9, 0.1, 0.5, 0.2]]);
+/// let t = select_targets(&x, 25.0, Targeting::Strongest, 0);
+/// assert_eq!(t, vec![0]); // the strongest AP
+/// ```
+pub fn select_targets(x: &Matrix, phi_percent: f64, targeting: Targeting, seed: u64) -> Vec<usize> {
+    assert!(
+        (0.0..=100.0).contains(&phi_percent),
+        "phi {phi_percent} out of [0, 100]"
+    );
+    assert!(x.cols() > 0, "fingerprints have no AP columns");
+    let n = x.cols();
+    if phi_percent == 0.0 {
+        return Vec::new();
+    }
+    let k = ((phi_percent / 100.0 * n as f64).round() as usize).clamp(1, n);
+
+    match targeting {
+        Targeting::Random => {
+            let mut rng = Rng::new(seed);
+            let mut idx = rng.sample_indices(n, k);
+            idx.sort_unstable();
+            idx
+        }
+        Targeting::Strongest | Targeting::Weakest => {
+            let means = x.sum_rows().scale(1.0 / x.rows().max(1) as f64);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| {
+                means.get(0, b)
+                    .partial_cmp(&means.get(0, a))
+                    .expect("finite means")
+            });
+            if targeting == Targeting::Weakest {
+                order.reverse();
+            }
+            let mut idx: Vec<usize> = order.into_iter().take(k).collect();
+            idx.sort_unstable();
+            idx
+        }
+    }
+}
+
+/// Builds a `rows`-by-`cols` 0/1 mask matrix that is 1 on the targeted AP
+/// columns and 0 elsewhere.
+pub(crate) fn target_mask(rows: usize, cols: usize, targets: &[usize]) -> Matrix {
+    let mut mask = Matrix::zeros(rows, cols);
+    for &c in targets {
+        for r in 0..rows {
+            mask.set(r, c, 1.0);
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.9, 0.1, 0.5, 0.3, 0.7],
+            vec![0.8, 0.2, 0.6, 0.2, 0.6],
+        ])
+    }
+
+    #[test]
+    fn strongest_picks_high_mean_columns() {
+        let t = select_targets(&batch(), 40.0, Targeting::Strongest, 0);
+        assert_eq!(t, vec![0, 4]);
+    }
+
+    #[test]
+    fn weakest_picks_low_mean_columns() {
+        let t = select_targets(&batch(), 40.0, Targeting::Weakest, 0);
+        assert_eq!(t, vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_phi_selects_nothing() {
+        assert!(select_targets(&batch(), 0.0, Targeting::Strongest, 0).is_empty());
+    }
+
+    #[test]
+    fn full_phi_selects_everything() {
+        let t = select_targets(&batch(), 100.0, Targeting::Random, 3);
+        assert_eq!(t, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn small_phi_selects_at_least_one() {
+        let t = select_targets(&batch(), 1.0, Targeting::Strongest, 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let a = select_targets(&batch(), 60.0, Targeting::Random, 9);
+        let b = select_targets(&batch(), 60.0, Targeting::Random, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mask_covers_exactly_targets() {
+        let mask = target_mask(2, 5, &[1, 3]);
+        assert_eq!(mask.col(1), vec![1.0, 1.0]);
+        assert_eq!(mask.col(3), vec![1.0, 1.0]);
+        assert_eq!(mask.sum(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 100]")]
+    fn rejects_bad_phi() {
+        select_targets(&batch(), 150.0, Targeting::Strongest, 0);
+    }
+}

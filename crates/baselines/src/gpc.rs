@@ -1,0 +1,274 @@
+//! Gaussian-process classification (the WiDeep/Fig. 1 "GPC" baseline).
+//!
+//! Exact GP classification needs an iterative Laplace/EP approximation; as
+//! documented in DESIGN.md we use the standard shortcut of **GP regression
+//! on one-hot labels** with an RBF kernel — a well-behaved classifier whose
+//! key property for this paper (extreme sensitivity to input noise) is
+//! identical. The predictive scores are differentiable in closed form,
+//! giving white-box attack gradients.
+
+use calloc_nn::{DifferentiableModel, Localizer};
+use calloc_tensor::{linalg, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the GPC baseline.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpcConfig {
+    /// RBF kernel length scale ℓ (in normalized RSS units).
+    pub length_scale: f64,
+    /// Observation noise σ² added to the kernel diagonal.
+    pub noise: f64,
+    /// Score sharpening applied before the softmax used for attack
+    /// gradients (GP regression scores live near [0, 1]).
+    pub sharpness: f64,
+}
+
+impl Default for GpcConfig {
+    fn default() -> Self {
+        GpcConfig {
+            length_scale: 0.5,
+            noise: 1e-2,
+            sharpness: 10.0,
+        }
+    }
+}
+
+/// RBF-kernel Gaussian-process localization.
+///
+/// # Example
+///
+/// ```
+/// use calloc_baselines::{GpcConfig, GpcLocalizer};
+/// use calloc_nn::Localizer;
+/// use calloc_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+/// let gpc = GpcLocalizer::fit(x.clone(), vec![0, 1], 2, GpcConfig::default())?;
+/// assert_eq!(gpc.predict_classes(&x), vec![0, 1]);
+/// # Ok::<(), calloc_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpcLocalizer {
+    x_train: Matrix,
+    /// `alpha = (K + σ²I)⁻¹ Y_onehot`, shape `n_train` x `num_classes`.
+    alpha: Matrix,
+    config: GpcConfig,
+    num_classes: usize,
+}
+
+impl GpcLocalizer {
+    /// Fits GP regression on one-hot labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`calloc_tensor::TensorError`] if the kernel matrix is not
+    /// positive definite (raise `config.noise`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch or an out-of-range label.
+    pub fn fit(
+        x_train: Matrix,
+        y_train: Vec<usize>,
+        num_classes: usize,
+        config: GpcConfig,
+    ) -> Result<Self, calloc_tensor::TensorError> {
+        assert_eq!(x_train.rows(), y_train.len(), "sample/label mismatch");
+        assert!(!y_train.is_empty(), "empty training set");
+        assert!(
+            y_train.iter().all(|&y| y < num_classes),
+            "label out of range"
+        );
+        let n = x_train.rows();
+        let mut kernel = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let k = rbf(x_train.row(i), x_train.row(j), config.length_scale);
+                kernel.set(i, j, k);
+                kernel.set(j, i, k);
+            }
+        }
+        let kernel = linalg::add_diagonal(&kernel, config.noise);
+        let mut onehot = Matrix::zeros(n, num_classes);
+        for (i, &y) in y_train.iter().enumerate() {
+            onehot.set(i, y, 1.0);
+        }
+        let alpha = linalg::solve_spd(&kernel, &onehot)?;
+        Ok(GpcLocalizer {
+            x_train,
+            alpha,
+            config,
+            num_classes,
+        })
+    }
+
+    /// Raw GP regression scores (`batch` x `num_classes`), before
+    /// sharpening.
+    pub fn scores(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.num_classes);
+        for r in 0..x.rows() {
+            for i in 0..self.x_train.rows() {
+                let k = rbf(x.row(r), self.x_train.row(i), self.config.length_scale);
+                for c in 0..self.num_classes {
+                    out.set(r, c, out.get(r, c) + k * self.alpha.get(i, c));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
+    let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+    (-sq / (2.0 * length_scale * length_scale)).exp()
+}
+
+impl DifferentiableModel for GpcLocalizer {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn logits(&self, x: &Matrix) -> Matrix {
+        self.scores(x).scale(self.config.sharpness)
+    }
+
+    fn loss_and_input_grad(&self, x: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+        assert_eq!(targets.len(), x.rows(), "label count mismatch");
+        let logits = self.logits(x);
+        let (loss, grad_logits) = calloc_nn::loss::cross_entropy(&logits, targets);
+
+        // d logits_c / dx = sharpness · Σ_i α_ic · dk_i/dx,
+        // dk_i/dx = k_i · (x_i − x) / ℓ²
+        let ls2 = self.config.length_scale * self.config.length_scale;
+        let mut grad_x = Matrix::zeros(x.rows(), x.cols());
+        for r in 0..x.rows() {
+            for i in 0..self.x_train.rows() {
+                let k = rbf(x.row(r), self.x_train.row(i), self.config.length_scale);
+                // weight = Σ_c grad_logits_rc · sharpness · α_ic
+                let mut w = 0.0;
+                for c in 0..self.num_classes {
+                    w += grad_logits.get(r, c) * self.alpha.get(i, c);
+                }
+                w *= self.config.sharpness * k / ls2;
+                for col in 0..x.cols() {
+                    let delta = self.x_train.get(i, col) - x.get(r, col);
+                    grad_x.set(r, col, grad_x.get(r, col) + w * delta);
+                }
+            }
+        }
+        (loss, grad_x)
+    }
+}
+
+impl Localizer for GpcLocalizer {
+    fn name(&self) -> &str {
+        "GPC"
+    }
+
+    fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.scores(x).argmax_rows()
+    }
+
+    fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_tensor::Rng;
+
+    fn blobs(noise: f64, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::new(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        let centers = [(0.2, 0.2), (0.8, 0.3), (0.5, 0.9)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..12 {
+                rows.push(vec![
+                    (cx + rng.normal(0.0, noise)).clamp(0.0, 1.0),
+                    (cy + rng.normal(0.0, noise)).clamp(0.0, 1.0),
+                ]);
+                ys.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn fits_and_classifies_blobs() {
+        let (x, y) = blobs(0.03, 1);
+        let gpc = GpcLocalizer::fit(x.clone(), y.clone(), 3, GpcConfig::default()).expect("fit");
+        let acc = calloc_nn::metrics::accuracy(&gpc.predict_classes(&x), &y);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_scores_interpolate_labels() {
+        let (x, y) = blobs(0.03, 2);
+        let gpc = GpcLocalizer::fit(x.clone(), y.clone(), 3, GpcConfig::default()).expect("fit");
+        let s = gpc.scores(&x);
+        // On training points the regression should be close to the one-hot.
+        for (r, &c) in y.iter().enumerate() {
+            assert!(s.get(r, c) > 0.5, "score at train point {r}: {}", s.get(r, c));
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_diff() {
+        let (x, y) = blobs(0.05, 3);
+        let gpc = GpcLocalizer::fit(x.clone(), y.clone(), 3, GpcConfig::default()).expect("fit");
+        let mut rng = Rng::new(4);
+        let q = Matrix::from_fn(2, 2, |_, _| rng.uniform(0.1, 0.9));
+        let targets = vec![1usize, 2];
+        let (_, grad) = gpc.loss_and_input_grad(&q, &targets);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..2 {
+                let mut qp = q.clone();
+                qp.set(r, c, q.get(r, c) + eps);
+                let mut qm = q.clone();
+                qm.set(r, c, q.get(r, c) - eps);
+                let fd = (gpc.loss_and_input_grad(&qp, &targets).0
+                    - gpc.loss_and_input_grad(&qm, &targets).0)
+                    / (2.0 * eps);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 1e-5,
+                    "grad[{r}][{c}] {} vs {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpc_is_noise_sensitive() {
+        // The paper's rationale for WiDeep's weakness: GPC accuracy
+        // collapses under feature noise much faster than it degrades on
+        // clean data.
+        let (x, y) = blobs(0.02, 5);
+        let gpc = GpcLocalizer::fit(x.clone(), y.clone(), 3, GpcConfig { length_scale: 0.1, ..Default::default() }).expect("fit");
+        let clean_acc = calloc_nn::metrics::accuracy(&gpc.predict_classes(&x), &y);
+        let mut rng = Rng::new(6);
+        let noisy = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+            (x.get(r, c) + rng.normal(0.0, 0.25)).clamp(0.0, 1.0)
+        });
+        let noisy_acc = calloc_nn::metrics::accuracy(&gpc.predict_classes(&noisy), &y);
+        assert!(
+            noisy_acc < clean_acc * 0.8,
+            "clean {clean_acc}, noisy {noisy_acc}"
+        );
+    }
+
+    #[test]
+    fn white_box_attack_reduces_accuracy() {
+        use calloc_attack::{craft, AttackConfig};
+        let (x, y) = blobs(0.04, 7);
+        let gpc = GpcLocalizer::fit(x.clone(), y.clone(), 3, GpcConfig::default()).expect("fit");
+        let clean = calloc_nn::metrics::accuracy(&gpc.predict_classes(&x), &y);
+        let adv = craft(&gpc, &x, &y, &AttackConfig::fgsm(0.3, 100.0));
+        let attacked = calloc_nn::metrics::accuracy(&gpc.predict_classes(&adv), &y);
+        assert!(attacked < clean, "attack ineffective: {clean} -> {attacked}");
+    }
+}

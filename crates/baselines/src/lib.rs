@@ -1,0 +1,49 @@
+//! # calloc-baselines
+//!
+//! Every comparison framework of the CALLOC paper, implemented from
+//! scratch:
+//!
+//! * **Fig. 1 baselines** — [`KnnLocalizer`] (k-nearest neighbours),
+//!   [`NaiveBayesLocalizer`], [`GpcLocalizer`] (Gaussian-process
+//!   classifier) and [`DnnLocalizer`] (MLP).
+//! * **Fig. 6/7 state-of-the-art frameworks** —
+//!   [`AdvLocLocalizer`] (DNN + adversarial training, Patil et al.),
+//!   [`SangriaLocalizer`] (stacked autoencoder + gradient-boosted trees,
+//!   Gufran et al.), [`AnvilLocalizer`] (multi-head attention network,
+//!   Tiku et al.) and [`WiDeepLocalizer`] (denoising autoencoder + GPC,
+//!   Abbas et al.).
+//!
+//! Supporting substrates built here because the originals depend on them:
+//! a full gradient-boosted decision-tree learner ([`gbdt`]) and a
+//! differentiable soft-KNN surrogate ([`SoftKnn`]) used to craft white-box
+//! attacks against the non-parametric KNN.
+//!
+//! All models implement [`calloc_nn::Localizer`]; the differentiable ones
+//! also implement [`calloc_nn::DifferentiableModel`] so the attack crate
+//! can craft white-box adversarial examples against them. SANGRIA's tree
+//! ensemble is non-differentiable and is attacked by transfer from a
+//! surrogate (see `calloc-eval`).
+
+#![deny(missing_docs)]
+
+mod advloc;
+mod anvil;
+mod dnn;
+pub mod gbdt;
+mod gpc;
+mod knn;
+mod naive_bayes;
+mod sangria;
+mod wideep;
+
+pub use advloc::{AdvLocConfig, AdvLocLocalizer};
+pub use anvil::{AnvilConfig, AnvilLocalizer};
+pub use dnn::{DnnConfig, DnnLocalizer};
+pub use gpc::{GpcConfig, GpcLocalizer};
+pub use knn::{KnnLocalizer, SoftKnn};
+pub use naive_bayes::NaiveBayesLocalizer;
+pub use sangria::{SangriaConfig, SangriaLocalizer};
+pub use wideep::{WiDeepConfig, WiDeepLocalizer};
+
+// Re-export the shared model contracts.
+pub use calloc_nn::{DifferentiableModel, Localizer};

@@ -1,0 +1,177 @@
+//! Gaussian Naive Bayes localization (classical baseline, §II).
+
+use calloc_nn::Localizer;
+use calloc_tensor::Matrix;
+
+/// Gaussian Naive Bayes over RSS features.
+///
+/// Each (class, AP) pair gets an independent Gaussian fitted on the
+/// training fingerprints; prediction is the maximum-posterior class with a
+/// uniform prior over RPs (the survey visits each RP equally often).
+///
+/// # Example
+///
+/// ```
+/// use calloc_baselines::NaiveBayesLocalizer;
+/// use calloc_nn::Localizer;
+/// use calloc_tensor::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.1], vec![0.12], vec![0.9], vec![0.88]]);
+/// let nb = NaiveBayesLocalizer::fit(&x, &[0, 0, 1, 1], 2);
+/// assert_eq!(nb.predict_classes(&Matrix::from_rows(&[vec![0.11]])), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NaiveBayesLocalizer {
+    /// Per-class feature means (`num_classes` x `num_aps`).
+    means: Matrix,
+    /// Per-class feature variances, floored for stability.
+    variances: Matrix,
+    /// Log prior per class.
+    log_priors: Vec<f64>,
+}
+
+/// Variance floor: RSS quantization means many (class, AP) cells have zero
+/// empirical variance.
+const VARIANCE_FLOOR: f64 = 1e-4;
+
+impl NaiveBayesLocalizer {
+    /// Fits per-class Gaussians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch, the set is empty, or a label is out of
+    /// range.
+    pub fn fit(x: &Matrix, y: &[usize], num_classes: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "sample/label mismatch");
+        assert!(!y.is_empty(), "empty training set");
+        assert!(y.iter().all(|&c| c < num_classes), "label out of range");
+
+        let d = x.cols();
+        let mut means = Matrix::zeros(num_classes, d);
+        let mut variances = Matrix::zeros(num_classes, d);
+        let mut counts = vec![0usize; num_classes];
+        for (r, &c) in y.iter().enumerate() {
+            counts[c] += 1;
+            for col in 0..d {
+                means.set(c, col, means.get(c, col) + x.get(r, col));
+            }
+        }
+        for c in 0..num_classes {
+            if counts[c] > 0 {
+                for col in 0..d {
+                    means.set(c, col, means.get(c, col) / counts[c] as f64);
+                }
+            }
+        }
+        for (r, &c) in y.iter().enumerate() {
+            for col in 0..d {
+                let diff = x.get(r, col) - means.get(c, col);
+                variances.set(c, col, variances.get(c, col) + diff * diff);
+            }
+        }
+        for c in 0..num_classes {
+            for col in 0..d {
+                let v = if counts[c] > 0 {
+                    variances.get(c, col) / counts[c] as f64
+                } else {
+                    1.0
+                };
+                variances.set(c, col, v.max(VARIANCE_FLOOR));
+            }
+        }
+        let n = y.len() as f64;
+        let log_priors = counts
+            .iter()
+            .map(|&k| {
+                if k == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (k as f64 / n).ln()
+                }
+            })
+            .collect();
+        NaiveBayesLocalizer {
+            means,
+            variances,
+            log_priors,
+        }
+    }
+
+    /// Log-posterior (up to a constant) of each class for each row.
+    pub fn log_posteriors(&self, x: &Matrix) -> Matrix {
+        let num_classes = self.means.rows();
+        let mut out = Matrix::zeros(x.rows(), num_classes);
+        for r in 0..x.rows() {
+            for c in 0..num_classes {
+                let mut lp = self.log_priors[c];
+                for col in 0..x.cols() {
+                    let m = self.means.get(c, col);
+                    let v = self.variances.get(c, col);
+                    let diff = x.get(r, col) - m;
+                    lp += -0.5 * ((2.0 * std::f64::consts::PI * v).ln() + diff * diff / v);
+                }
+                out.set(r, c, lp);
+            }
+        }
+        out
+    }
+}
+
+impl Localizer for NaiveBayesLocalizer {
+    fn name(&self) -> &str {
+        "NaiveBayes"
+    }
+
+    fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.log_posteriors(x).argmax_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_tensor::Rng;
+
+    #[test]
+    fn separable_classes_are_learned() {
+        let mut rng = Rng::new(1);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for c in 0..4usize {
+            for _ in 0..10 {
+                rows.push(vec![
+                    0.2 * c as f64 + rng.normal(0.0, 0.02),
+                    1.0 - 0.2 * c as f64 + rng.normal(0.0, 0.02),
+                ]);
+                ys.push(c);
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let nb = NaiveBayesLocalizer::fit(&x, &ys, 4);
+        let acc = calloc_nn::metrics::accuracy(&nb.predict_classes(&x), &ys);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn variance_floor_prevents_degeneracy() {
+        // All samples of class 0 identical → zero variance without floor.
+        let x = Matrix::from_rows(&[vec![0.5], vec![0.5], vec![0.9]]);
+        let nb = NaiveBayesLocalizer::fit(&x, &[0, 0, 1], 2);
+        let lp = nb.log_posteriors(&x);
+        assert!(!lp.has_non_finite());
+    }
+
+    #[test]
+    fn unseen_class_never_predicted() {
+        let x = Matrix::from_rows(&[vec![0.1], vec![0.9]]);
+        let nb = NaiveBayesLocalizer::fit(&x, &[0, 2], 3); // class 1 unseen
+        let preds = nb.predict_classes(&Matrix::from_rows(&[vec![0.5]]));
+        assert_ne!(preds[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        NaiveBayesLocalizer::fit(&Matrix::zeros(1, 1), &[3], 2);
+    }
+}

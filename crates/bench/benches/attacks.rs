@@ -1,0 +1,44 @@
+//! Microbenchmarks of adversarial-example crafting (FGSM one-step vs the
+//! 10-step PGD/MIM) against a DNN victim of paper-like size.
+
+use calloc_attack::{craft, AttackConfig};
+use calloc_baselines::{DnnConfig, DnnLocalizer};
+use calloc_nn::Localizer;
+use calloc_tensor::{Matrix, Rng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn victim() -> (DnnLocalizer, Matrix, Vec<usize>) {
+    let mut rng = Rng::new(1);
+    let n = 64;
+    let x = Matrix::from_fn(n, 80, |_, _| rng.uniform(0.0, 1.0));
+    let y: Vec<usize> = (0..n).map(|i| i % 16).collect();
+    let dnn = DnnLocalizer::fit(
+        &x,
+        &y,
+        16,
+        &DnnConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    );
+    (dnn, x, y)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (dnn, x, y) = victim();
+    let model = dnn.as_differentiable().expect("differentiable");
+    for (name, cfg) in [
+        ("fgsm_e0.3_phi100", AttackConfig::fgsm(0.3, 100.0)),
+        ("pgd10_e0.3_phi100", AttackConfig::pgd(0.3, 100.0)),
+        ("mim10_e0.3_phi100", AttackConfig::mim(0.3, 100.0)),
+        ("fgsm_e0.3_phi10", AttackConfig::fgsm(0.3, 10.0)),
+    ] {
+        c.bench_function(&format!("craft_{name}"), |b| {
+            b.iter(|| craft(black_box(model), black_box(&x), black_box(&y), black_box(&cfg)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Microbenchmarks of the scaled dot-product attention primitive at the
+//! paper's dimensions (128-d hyperspaces, 64-d projections, 64-RP memory).
+
+use calloc_nn::attention::{attention_backward, attention_forward};
+use calloc_tensor::{Matrix, Rng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_attention(c: &mut Criterion) {
+    let mut rng = Rng::new(0);
+    let q = Matrix::from_fn(32, 64, |_, _| rng.normal(0.0, 1.0));
+    let k = Matrix::from_fn(64, 64, |_, _| rng.normal(0.0, 1.0));
+    let v = Matrix::from_fn(64, 2, |_, _| rng.normal(0.0, 1.0));
+
+    c.bench_function("attention_forward_b32_m64_d64", |b| {
+        b.iter(|| attention_forward(black_box(&q), black_box(&k), black_box(&v)))
+    });
+
+    let (out, cache) = attention_forward(&q, &k, &v);
+    let g = Matrix::from_fn(out.rows(), out.cols(), |_, _| rng.normal(0.0, 1.0));
+    c.bench_function("attention_backward_b32_m64_d64", |b| {
+        b.iter(|| attention_backward(black_box(&cache), black_box(&g)))
+    });
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Inference-throughput benchmarks for every localization framework
+//! (relevant to the paper's mobile/IoT deployment claim).
+
+use calloc::{CallocConfig, CallocTrainer, Curriculum};
+use calloc_baselines::{DnnConfig, DnnLocalizer, GpcConfig, GpcLocalizer, KnnLocalizer};
+use calloc_nn::Localizer;
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let spec = BuildingSpec {
+        path_length_m: 16,
+        num_aps: 32,
+        ..BuildingId::B1.spec()
+    };
+    let building = Building::generate(spec, 1);
+    let s = Scenario::generate(&building, &CollectionConfig::small(), 3);
+    let train = &s.train;
+    let k = train.num_classes();
+    let test = &s.test_per_device[0].1;
+
+    let knn = KnnLocalizer::fit(train.x.clone(), train.labels.clone(), k, 3);
+    c.bench_function("predict_knn", |b| {
+        b.iter(|| black_box(knn.predict_classes(black_box(&test.x))))
+    });
+
+    let gpc = GpcLocalizer::fit(train.x.clone(), train.labels.clone(), k, GpcConfig::default())
+        .expect("gpc fit");
+    c.bench_function("predict_gpc", |b| {
+        b.iter(|| black_box(gpc.predict_classes(black_box(&test.x))))
+    });
+
+    let dnn = DnnLocalizer::fit(
+        &train.x,
+        &train.labels,
+        k,
+        &DnnConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    );
+    c.bench_function("predict_dnn", |b| {
+        b.iter(|| black_box(dnn.predict_classes(black_box(&test.x))))
+    });
+
+    let calloc = CallocTrainer::new(CallocConfig {
+        epochs_per_lesson: 2,
+        ..CallocConfig::fast()
+    })
+    .with_curriculum(Curriculum::linear(2, 0.1))
+    .fit(train)
+    .model;
+    c.bench_function("predict_calloc", |b| {
+        b.iter(|| black_box(calloc.predict_classes(black_box(&test.x))))
+    });
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

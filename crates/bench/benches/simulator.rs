@@ -1,0 +1,26 @@
+//! Benchmarks of the RF simulator: building generation and the paper's
+//! full fingerprint-collection protocol.
+
+use calloc_sim::{Building, BuildingId, CollectionConfig, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("generate_building_1", |b| {
+        b.iter(|| black_box(Building::generate(BuildingId::B1.spec(), black_box(0))))
+    });
+
+    let building = Building::generate(BuildingId::B3.spec(), 0);
+    c.bench_function("collect_paper_scenario_b3", |b| {
+        b.iter(|| {
+            black_box(Scenario::generate(
+                black_box(&building),
+                &CollectionConfig::paper(),
+                black_box(7),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

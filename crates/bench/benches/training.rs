@@ -1,0 +1,49 @@
+//! Benchmarks of training throughput: one CALLOC curriculum lesson and
+//! one DNN epoch on a small simulated building.
+
+use calloc::{CallocConfig, CallocTrainer, Curriculum};
+use calloc_baselines::{DnnConfig, DnnLocalizer};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scenario() -> Scenario {
+    let spec = BuildingSpec {
+        path_length_m: 16,
+        num_aps: 32,
+        ..BuildingId::B1.spec()
+    };
+    let building = Building::generate(spec, 1);
+    Scenario::generate(&building, &CollectionConfig::small(), 3)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let s = scenario();
+
+    c.bench_function("calloc_two_lesson_curriculum", |b| {
+        let trainer = CallocTrainer::new(CallocConfig {
+            epochs_per_lesson: 2,
+            ..CallocConfig::fast()
+        })
+        .with_curriculum(Curriculum::linear(2, 0.1));
+        b.iter(|| black_box(trainer.fit(black_box(&s.train))))
+    });
+
+    c.bench_function("dnn_short_training", |b| {
+        b.iter(|| {
+            black_box(DnnLocalizer::fit(
+                black_box(&s.train.x),
+                black_box(&s.train.labels),
+                s.train.num_classes(),
+                &DnnConfig {
+                    hidden: vec![32],
+                    epochs: 2,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Extension experiments beyond the paper (DESIGN.md §6):
+//!
+//! 1. **Attacker-knowledge ablation** — how much does the adversary's AP
+//!    targeting strategy (strongest / random / weakest) matter?
+//! 2. **Curriculum-schedule ablation** — linear ø ramp vs. a two-lesson
+//!    "shock" schedule vs. the adaptive controller disabled.
+//! 3. **Transfer-attack study** — adversarial examples crafted on a
+//!    surrogate DNN applied to CALLOC (the realistic black-box scenario
+//!    the paper leaves open).
+
+use calloc::{AdaptiveConfig, CallocTrainer, Curriculum, Localizer};
+use calloc_attack::{craft, AttackConfig, AttackKind, Targeting};
+use calloc_baselines::{DnnConfig, DnnLocalizer};
+use calloc_bench::{buildings, calibrate_epsilon, scenario_for, suite_profile, Profile};
+use calloc_eval::evaluate;
+use calloc_tensor::stats;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("ABLATIONS — extensions beyond the paper (profile: {})\n", profile.name());
+    let sp = suite_profile(profile);
+    let building = &buildings(profile)[0];
+    let scenario = scenario_for(building, 4242);
+    let eps = calibrate_epsilon(0.3);
+
+    let trainer = CallocTrainer::new(sp.calloc)
+        .with_curriculum(Curriculum::linear(sp.lessons.max(2), sp.train_epsilon));
+    let model = trainer.fit(&scenario.train).model;
+
+    // 1. Targeting ablation.
+    println!("1) attacker AP-targeting strategy (FGSM, paper ε=0.3, ø=50):");
+    for targeting in [Targeting::Strongest, Targeting::Random, Targeting::Weakest] {
+        let cfg = AttackConfig::fgsm(eps, 50.0).with_targeting(targeting);
+        let mut errs = Vec::new();
+        for (_, test) in &scenario.test_per_device {
+            errs.push(evaluate(&model, test, Some(&cfg), None).summary.mean);
+        }
+        println!("   {targeting:?}: mean error {:.2} m", stats::mean(&errs));
+    }
+    println!("   (a rational adversary targets the strongest APs)\n");
+
+    // 2. Curriculum schedule ablation.
+    println!("2) curriculum schedule (PGD, paper ε=0.3, ø=100):");
+    let schedules: Vec<(&str, CallocTrainer)> = vec![
+        ("linear (paper)", trainer.clone()),
+        (
+            "two-lesson shock",
+            trainer.clone().with_curriculum(Curriculum::linear(2, sp.train_epsilon)),
+        ),
+        (
+            "adaptive off",
+            trainer.clone().with_adaptive(AdaptiveConfig {
+                enabled: false,
+                ..Default::default()
+            }),
+        ),
+    ];
+    let attack = AttackConfig::standard(AttackKind::Pgd, eps, 100.0);
+    for (name, t) in schedules {
+        let m = t.fit(&scenario.train).model;
+        let mut clean = Vec::new();
+        let mut attacked = Vec::new();
+        for (_, test) in &scenario.test_per_device {
+            clean.push(evaluate(&m, test, None, None).summary.mean);
+            attacked.push(evaluate(&m, test, Some(&attack), None).summary.mean);
+        }
+        println!(
+            "   {name:<18} clean {:.2} m  attacked {:.2} m",
+            stats::mean(&clean),
+            stats::mean(&attacked)
+        );
+    }
+    println!();
+
+    // 3. Black-box transfer onto CALLOC.
+    println!("3) black-box transfer (FGSM crafted on a surrogate DNN, ø=100):");
+    let surrogate = DnnLocalizer::fit(
+        &scenario.train.x,
+        &scenario.train.labels,
+        scenario.train.num_classes(),
+        &DnnConfig {
+            epochs: sp.baseline_epochs,
+            ..Default::default()
+        },
+    );
+    for paper_eps in [0.1, 0.3, 0.5] {
+        let cfg = AttackConfig::fgsm(calibrate_epsilon(paper_eps), 100.0);
+        let sur = surrogate.network();
+        let mut white = Vec::new();
+        let mut transfer = Vec::new();
+        for (_, test) in &scenario.test_per_device {
+            let adv_w = craft(&model, &test.x, &test.labels, &cfg);
+            white.push(stats::mean(&test.errors_meters(&model.predict_classes(&adv_w))));
+            let adv_t = craft(sur, &test.x, &test.labels, &cfg);
+            transfer.push(stats::mean(&test.errors_meters(&model.predict_classes(&adv_t))));
+        }
+        println!(
+            "   ε={paper_eps}: white-box {:.2} m   transfer {:.2} m",
+            stats::mean(&white),
+            stats::mean(&transfer)
+        );
+    }
+    println!("   (transfer attacks are weaker than white-box — CALLOC's white-box");
+    println!("    robustness therefore upper-bounds the realistic black-box threat)");
+}

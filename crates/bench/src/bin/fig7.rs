@@ -1,0 +1,64 @@
+//! Regenerates Fig. 7: the effect of the number of attacked APs (ø) on
+//! localization error under FGSM (ε = 0.1), one series per framework,
+//! averaged over buildings and devices.
+//!
+//! Paper trends: CALLOC stays nearly flat as ø grows; AdvLoc tracks it but
+//! rises from ø ≈ 60; ANVIL/SANGRIA/WiDeep sit higher across the range.
+
+use calloc_attack::{AttackConfig, AttackKind};
+use calloc_bench::{buildings, phi_grid_fig7, scenario_for, suite_profile, Profile};
+use calloc_eval::{evaluate, Suite};
+use calloc_tensor::stats;
+use std::collections::BTreeMap;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("FIG 7 — error vs attacked APs ø, FGSM ε=0.1 (profile: {})\n", profile.name());
+    let sp = suite_profile(profile);
+    let phis = phi_grid_fig7(profile);
+
+    // series[framework][phi index] = collected mean errors
+    let mut series: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
+    for (i, b) in buildings(profile).iter().enumerate() {
+        let scenario = scenario_for(b, 2000 + i as u64);
+        let suite = Suite::train(&scenario, &sp);
+        eprintln!("trained suite on {}", b.spec().id.name());
+        for member in &suite.members {
+            let entry = series
+                .entry(member.name.clone())
+                .or_insert_with(|| vec![Vec::new(); phis.len()]);
+            for (_, test) in &scenario.test_per_device {
+                for (pi, &phi) in phis.iter().enumerate() {
+                    let cfg = AttackConfig::standard(AttackKind::Fgsm, calloc_bench::calibrate_epsilon(0.1), phi);
+                    let eval = evaluate(
+                        member.model.as_ref(),
+                        test,
+                        Some(&cfg),
+                        Some(suite.surrogate()),
+                    );
+                    entry[pi].push(eval.summary.mean);
+                }
+            }
+        }
+    }
+
+    print!("{:<9}", "phi");
+    for &phi in &phis {
+        print!("{phi:>8.0}");
+    }
+    println!();
+    println!("{}", "-".repeat(9 + 8 * phis.len()));
+    let order = ["CALLOC", "AdvLoc", "SANGRIA", "ANVIL", "WiDeep"];
+    for name in order {
+        let Some(per_phi) = series.get(name) else {
+            continue;
+        };
+        print!("{name:<9}");
+        for errs in per_phi {
+            print!("{:>8.2}", stats::mean(errs));
+        }
+        println!();
+    }
+    println!("\n(mean localization error in meters; rows should preserve the paper's ordering,");
+    println!(" with CALLOC flattest across ø)");
+}

@@ -1,0 +1,35 @@
+//! Reports the CALLOC model's trainable-parameter count and size for the
+//! paper's §V.A setting (the paper reports 65,239 parameters / 254.84 kB).
+
+use calloc::{CallocConfig, CallocModel};
+use calloc_tensor::{Matrix, Rng};
+
+fn main() {
+    // The paper's parameter breakdown implies 165 effective AP inputs
+    // (42,496 = 2 × (165·128 + 128)) and a 29-class final layer.
+    let num_aps = 165;
+    let num_classes = 29;
+    let mut rng = Rng::new(0);
+    let memory = Matrix::zeros(num_classes, num_aps);
+    let rps: Vec<(f64, f64)> = (0..num_classes).map(|i| (i as f64, 0.0)).collect();
+    let model = CallocModel::new(memory, &rps, CallocConfig::default(), &mut rng);
+
+    println!("CALLOC model size (paper §V.A dimensions: {num_aps} APs, {num_classes} RP classes)");
+    println!("  trainable parameters : {}", model.parameter_count());
+    println!("  f32 model size       : {:.2} kB", model.size_kb_f32());
+    println!("  paper reference      : 65,239 parameters / 254.84 kB");
+    println!();
+    println!("Per-building sizes (Table II dimensions):");
+    for id in calloc_sim::BuildingId::ALL {
+        let spec = id.spec();
+        let memory = Matrix::zeros(spec.path_length_m, spec.num_aps);
+        let rps: Vec<(f64, f64)> = (0..spec.path_length_m).map(|i| (i as f64, 0.0)).collect();
+        let m = CallocModel::new(memory, &rps, CallocConfig::default(), &mut rng);
+        println!(
+            "  {:<12} {:>8} params  {:>9.2} kB",
+            id.name(),
+            m.parameter_count(),
+            m.size_kb_f32()
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Table I: the heterogeneous smartphone suite, together with
+//! the simulated transfer-function parameters that stand in for each
+//! chipset (see DESIGN.md §1).
+
+use calloc_sim::DeviceProfile;
+
+fn main() {
+    println!("TABLE I: SMARTPHONE DETAILS (paper columns + simulation profile)");
+    println!(
+        "{:<12} {:<12} {:<8} {:>9} {:>7} {:>9} {:>8} {:>10}",
+        "Manufacturer", "Model", "Acronym", "Gain[dB]", "Scale", "Noise[dB]", "Q[dB]", "Floor[dBm]"
+    );
+    for d in DeviceProfile::paper_devices() {
+        println!(
+            "{:<12} {:<12} {:<8} {:>9.1} {:>7.2} {:>9.1} {:>8.1} {:>10.1}",
+            d.manufacturer,
+            d.model,
+            d.acronym,
+            d.gain_offset_db,
+            d.scale,
+            d.noise_std_db,
+            d.quantization_db,
+            d.sensitivity_floor_dbm
+        );
+    }
+    println!("\nOP3 is the reference (training) device, as in the paper.");
+}

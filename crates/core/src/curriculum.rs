@@ -1,0 +1,195 @@
+//! The 10-lesson curriculum and its adaptive controller (§IV.A and §IV.D).
+
+use serde::{Deserialize, Serialize};
+
+/// One curriculum lesson: how much of the training data is adversarial and
+/// how aggressively APs are targeted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lesson {
+    /// 1-based lesson number.
+    pub index: usize,
+    /// Percentage ø of APs attacked in this lesson's adversarial samples.
+    pub phi_percent: f64,
+    /// FGSM ε used to craft this lesson's adversarial samples (the paper
+    /// keeps this fixed at 0.1 for all lessons).
+    pub epsilon: f64,
+    /// Fraction of the lesson batch kept as original (attack-free) data;
+    /// the rest is adversarial.
+    pub clean_fraction: f64,
+}
+
+/// An ordered sequence of lessons.
+///
+/// # Example
+///
+/// ```
+/// use calloc::Curriculum;
+///
+/// let c = Curriculum::paper();
+/// assert_eq!(c.lessons().len(), 10);
+/// assert_eq!(c.lessons()[0].phi_percent, 0.0);   // baseline lesson
+/// assert_eq!(c.lessons()[9].phi_percent, 100.0); // toughest lesson
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curriculum {
+    lessons: Vec<Lesson>,
+}
+
+impl Curriculum {
+    /// The paper's 10-lesson schedule: lesson 1 is 0% attacked APs / 100%
+    /// original data; lesson 2 starts at ø = 10; ø then rises linearly to
+    /// 100 at lesson 10. ε is fixed at 0.1 and the clean fraction decays
+    /// from 1.0 to 0.7 (tuned so adversarial exposure does not erode clean
+    /// accuracy; see DESIGN.md §4).
+    pub fn paper() -> Self {
+        Curriculum::linear(10, 0.1)
+    }
+
+    /// A linear schedule with `n` lessons and fixed ε.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn linear(n: usize, epsilon: f64) -> Self {
+        assert!(n >= 2, "a curriculum needs at least 2 lessons");
+        let lessons = (1..=n)
+            .map(|i| {
+                let phi = if i == 1 {
+                    0.0
+                } else {
+                    // lesson 2 → 10, lesson n → 100
+                    10.0 + 90.0 * (i - 2) as f64 / (n - 2).max(1) as f64
+                };
+                Lesson {
+                    index: i,
+                    phi_percent: phi,
+                    epsilon,
+                    clean_fraction: 1.0 - 0.3 * (i - 1) as f64 / (n - 1) as f64,
+                }
+            })
+            .collect();
+        Curriculum { lessons }
+    }
+
+    /// Builds a curriculum from explicit lessons (used for ablations such
+    /// as the no-curriculum variant and custom schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lessons` is empty.
+    pub fn from_lessons(lessons: Vec<Lesson>) -> Self {
+        assert!(!lessons.is_empty(), "a curriculum needs at least one lesson");
+        Curriculum { lessons }
+    }
+
+    /// Borrow the lessons.
+    pub fn lessons(&self) -> &[Lesson] {
+        &self.lessons
+    }
+
+    /// Number of lessons.
+    pub fn len(&self) -> usize {
+        self.lessons.len()
+    }
+
+    /// Whether there are no lessons.
+    pub fn is_empty(&self) -> bool {
+        self.lessons.is_empty()
+    }
+}
+
+/// Adaptive-controller parameters (§IV.D).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// ø reduction (percentage points) applied on divergence — the paper
+    /// reduces "by steps of two".
+    pub phi_step_down: f64,
+    /// Maximum retries per lesson before advancing anyway.
+    pub max_retries: usize,
+    /// Loss increase (relative) that counts as divergence.
+    pub divergence_tolerance: f64,
+    /// Whether the controller is active at all (`false` reproduces the
+    /// static-curriculum ablation).
+    pub enabled: bool,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            phi_step_down: 2.0,
+            max_retries: 3,
+            divergence_tolerance: 0.02,
+            enabled: true,
+        }
+    }
+}
+
+/// What happened while training one lesson.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LessonReport {
+    /// The lesson as scheduled.
+    pub lesson: Lesson,
+    /// The ø actually used after adaptive reductions.
+    pub effective_phi: f64,
+    /// How many times the controller reverted and retried.
+    pub retries: usize,
+    /// Monitored loss at the end of each attempt.
+    pub attempt_losses: Vec<f64>,
+    /// Best monitored loss after the lesson.
+    pub best_loss: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_curriculum_shape() {
+        let c = Curriculum::paper();
+        assert_eq!(c.len(), 10);
+        let l = c.lessons();
+        assert_eq!(l[0].phi_percent, 0.0);
+        assert_eq!(l[0].clean_fraction, 1.0);
+        assert!((l[1].phi_percent - 10.0).abs() < 1e-9);
+        assert_eq!(l[9].phi_percent, 100.0);
+        assert!((l[9].clean_fraction - 0.7).abs() < 1e-9);
+        // ε fixed at 0.1 throughout (paper §V.A)
+        assert!(l.iter().all(|lesson| lesson.epsilon == 0.1));
+    }
+
+    #[test]
+    fn phi_is_monotonically_increasing() {
+        let c = Curriculum::paper();
+        for w in c.lessons().windows(2) {
+            assert!(w[1].phi_percent >= w[0].phi_percent);
+        }
+    }
+
+    #[test]
+    fn clean_fraction_is_monotonically_decreasing() {
+        let c = Curriculum::paper();
+        for w in c.lessons().windows(2) {
+            assert!(w[1].clean_fraction <= w[0].clean_fraction);
+        }
+    }
+
+    #[test]
+    fn linear_respects_lesson_count() {
+        for n in [2, 5, 20] {
+            assert_eq!(Curriculum::linear(n, 0.1).len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_curriculum() {
+        Curriculum::linear(1, 0.1);
+    }
+
+    #[test]
+    fn adaptive_defaults_match_paper() {
+        let a = AdaptiveConfig::default();
+        assert_eq!(a.phi_step_down, 2.0); // "reducing ø by steps of two"
+        assert!(a.enabled);
+    }
+}

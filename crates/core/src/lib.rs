@@ -1,0 +1,58 @@
+//! # calloc
+//!
+//! CALLOC: **C**urriculum **A**dversarial **L**earning for secure and
+//! robust indoor **LOC**alization — a from-scratch Rust implementation of
+//! the DATE 2024 paper by Gufran & Pasricha.
+//!
+//! CALLOC combines two ideas to make RSS-fingerprint localization robust to
+//! adversarial attacks, environmental noise and device heterogeneity:
+//!
+//! 1. **An adaptive curriculum** (§IV.A/§IV.D): training proceeds through
+//!    10 lessons of increasing difficulty. Lesson 1 is clean data; each
+//!    later lesson raises the fraction ø of adversarially perturbed APs
+//!    (FGSM, fixed ε = 0.1). A controller watches the loss: on divergence
+//!    it reverts the model to its best weights, reduces the lesson's ø by
+//!    two percentage points and retries before advancing.
+//! 2. **A hyperspace-attention model** (§IV.B/§IV.C): two embedding
+//!    networks map the (possibly attacked) input and the clean reference
+//!    data into low-dimensional hyperspaces `H^C` and `H^O`; a scaled
+//!    dot-product attention layer with `Q = H^C`, `K = H^O` and
+//!    `V = reference-point locations` performs a differentiable soft
+//!    fingerprint lookup whose output feeds the final classifier. The `H^O`
+//!    branch carries dropout (0.2) and Gaussian-noise (0.32) layers to bake
+//!    in environmental/device variation resilience.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use calloc::{CallocConfig, CallocTrainer};
+//! use calloc_nn::Localizer;
+//! use calloc_sim::{Building, BuildingId, CollectionConfig, Scenario};
+//!
+//! // Simulate a small survey of paper Building 3.
+//! let building = Building::generate(BuildingId::B3.spec(), 1);
+//! let scenario = Scenario::generate(&building, &CollectionConfig::small(), 42);
+//!
+//! // Train CALLOC with a reduced schedule (fast enough for a doctest).
+//! let config = CallocConfig::fast();
+//! let outcome = CallocTrainer::new(config).fit(&scenario.train);
+//! let model = outcome.model;
+//!
+//! // Localize the heterogeneous-device test fingerprints.
+//! let test = &scenario.test_per_device[0].1;
+//! let predictions = model.predict_classes(&test.x);
+//! assert_eq!(predictions.len(), test.len());
+//! ```
+
+#![deny(missing_docs)]
+
+mod curriculum;
+mod model;
+mod trainer;
+
+pub use curriculum::{AdaptiveConfig, Curriculum, Lesson, LessonReport};
+pub use model::{CallocConfig, CallocModel};
+pub use trainer::{CallocTrainer, TrainOutcome};
+
+// Re-export the contracts users need alongside the model.
+pub use calloc_nn::{DifferentiableModel, Localizer};

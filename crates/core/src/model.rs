@@ -1,0 +1,580 @@
+//! The CALLOC hyperspace-attention network (§IV.B–C of the paper).
+
+use calloc_nn::attention::{attention_backward, attention_forward};
+use calloc_nn::{loss, Cache, Dense, DifferentiableModel, Layer, LayerGrad, Localizer, Mode, Sequential};
+use calloc_sim::Dataset;
+use calloc_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters (§V.A of the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CallocConfig {
+    /// Hyperspace width of both embedding networks (paper: 128 neurons).
+    pub embedding_dim: usize,
+    /// Attention projection width for Q/K.
+    pub attention_dim: usize,
+    /// Dropout rate on the `H^O` branch (paper: 0.2).
+    pub dropout: f64,
+    /// Gaussian noise std on the `H^O` branch (paper: 0.32).
+    pub gaussian_noise: f64,
+    /// Weight λ of the hyperspace-alignment MSE loss next to the location
+    /// cross-entropy.
+    pub mse_weight: f64,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Epochs per curriculum lesson.
+    pub epochs_per_lesson: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Seed for initialization, shuffling and stochastic layers.
+    pub seed: u64,
+}
+
+impl Default for CallocConfig {
+    fn default() -> Self {
+        CallocConfig {
+            embedding_dim: 128,
+            attention_dim: 64,
+            dropout: 0.2,
+            gaussian_noise: 0.32,
+            mse_weight: 0.5,
+            learning_rate: 5e-3,
+            epochs_per_lesson: 15,
+            batch_size: 32,
+            seed: 0,
+        }
+    }
+}
+
+impl CallocConfig {
+    /// A reduced configuration for tests and doctests: smaller hyperspaces
+    /// and fewer epochs. Semantics are unchanged.
+    pub fn fast() -> Self {
+        CallocConfig {
+            embedding_dim: 32,
+            attention_dim: 16,
+            epochs_per_lesson: 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// The trained CALLOC model.
+///
+/// Holds the two embedding networks, the attention projections, the final
+/// classifier, and the *reference memory*: one prototype fingerprint per RP
+/// (the mean of that RP's offline fingerprints) together with the RP
+/// locations that act as the attention values `V`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CallocModel {
+    config: CallocConfig,
+    /// Curriculum-branch embedding: `Dense → ReLU` (produces `H^C`).
+    embed_c: Sequential,
+    /// Original-branch embedding: `Dense → ReLU → Dropout → GaussianNoise`
+    /// (produces `H^O`).
+    embed_o: Sequential,
+    /// Query projection applied to `H^C`.
+    wq: Dense,
+    /// Key projection applied to `H^O` of the reference memory.
+    wk: Dense,
+    /// Final fully connected classifier over the attention-retrieved
+    /// context (the weighted combination of clean memory embeddings).
+    fc: Dense,
+    /// Prototype fingerprint per RP (`num_rps` × `num_aps`).
+    memory_x: Matrix,
+    /// RP locations, normalized to `[0, 1]²` (`num_rps` × 2).
+    memory_v: Matrix,
+    /// Scale used to normalize RP coordinates (for reporting).
+    location_scale: f64,
+    num_classes: usize,
+}
+
+/// Everything the training step needs from a forward pass.
+pub(crate) struct ForwardCaches {
+    pub h_c: Matrix,
+    caches_c: Vec<Cache>,
+    h_o_mem: Matrix,
+    caches_o_mem: Vec<Cache>,
+    attn: calloc_nn::attention::AttentionCache,
+    context: Matrix,
+    pub logits: Matrix,
+}
+
+/// Parameter gradients of one training step.
+pub(crate) struct ModelGrads {
+    pub input: Matrix,
+    grads_c: Vec<LayerGrad>,
+    grads_o: Vec<LayerGrad>,
+    wq: (Matrix, Matrix),
+    wk: (Matrix, Matrix),
+    fc: (Matrix, Matrix),
+}
+
+impl CallocModel {
+    /// Creates an untrained model for a building with `num_aps` visible APs
+    /// and the given RP prototypes.
+    ///
+    /// `memory_x` must hold one clean prototype fingerprint per RP (row
+    /// order = class label order) and `rp_positions` the matching
+    /// coordinates in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `memory_x.rows() != rp_positions.len()` or either is
+    /// empty.
+    pub fn new(
+        memory_x: Matrix,
+        rp_positions: &[(f64, f64)],
+        config: CallocConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(
+            memory_x.rows(),
+            rp_positions.len(),
+            "memory rows must match RP count"
+        );
+        assert!(!rp_positions.is_empty(), "empty reference memory");
+        let num_aps = memory_x.cols();
+        let num_classes = rp_positions.len();
+        let d = config.embedding_dim;
+
+        let location_scale = rp_positions
+            .iter()
+            .flat_map(|&(x, y)| [x, y])
+            .fold(1.0f64, f64::max);
+        let memory_v = Matrix::from_fn(num_classes, 2, |r, c| {
+            let (x, y) = rp_positions[r];
+            (if c == 0 { x } else { y }) / location_scale
+        });
+
+        CallocModel {
+            embed_c: Sequential::new(vec![
+                Layer::Dense(Dense::he(num_aps, d, rng)),
+                Layer::Relu,
+            ]),
+            embed_o: Sequential::new(vec![
+                Layer::Dense(Dense::he(num_aps, d, rng)),
+                Layer::Relu,
+                Layer::Dropout {
+                    rate: config.dropout,
+                },
+                Layer::GaussianNoise {
+                    std: config.gaussian_noise,
+                },
+            ]),
+            wq: Dense::xavier(d, config.attention_dim, rng),
+            wk: Dense::xavier(d, config.attention_dim, rng),
+            fc: Dense::xavier(d, num_classes, rng),
+            memory_x,
+            memory_v,
+            location_scale,
+            num_classes,
+            config,
+        }
+    }
+
+    /// Builds the reference memory from an offline dataset: the prototype
+    /// of each RP class is the mean of its fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some RP class has no fingerprints.
+    pub fn prototypes_from(dataset: &Dataset) -> Matrix {
+        let k = dataset.num_classes();
+        let mut proto = Matrix::zeros(k, dataset.num_aps());
+        let mut counts = vec![0usize; k];
+        for (r, &label) in dataset.labels.iter().enumerate() {
+            counts[label] += 1;
+            for c in 0..dataset.num_aps() {
+                proto.set(label, c, proto.get(label, c) + dataset.x.get(r, c));
+            }
+        }
+        for class in 0..k {
+            assert!(counts[class] > 0, "RP class {class} has no fingerprints");
+            for c in 0..dataset.num_aps() {
+                proto.set(class, c, proto.get(class, c) / counts[class] as f64);
+            }
+        }
+        proto
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &CallocConfig {
+        &self.config
+    }
+
+    /// Fingerprint dimensionality.
+    pub fn num_aps(&self) -> usize {
+        self.memory_x.cols()
+    }
+
+    /// Total trainable parameters: both embeddings, the attention
+    /// projections and the final classifier (the paper reports 65,239 for
+    /// its building dimensions).
+    pub fn parameter_count(&self) -> usize {
+        self.embed_c.parameter_count()
+            + self.embed_o.parameter_count()
+            + self.wq.parameter_count()
+            + self.wk.parameter_count()
+            + self.fc.parameter_count()
+    }
+
+    /// Model size in kB assuming f32 storage (paper: 254.84 kB).
+    pub fn size_kb_f32(&self) -> f64 {
+        self.parameter_count() as f64 * 4.0 / 1000.0
+    }
+
+    /// Full forward pass. `mode` controls the stochastic layers of the
+    /// `H^O` branch; the reference memory is always embedded in eval mode
+    /// so that the keys stay stable.
+    ///
+    /// The attention performs a *soft fingerprint lookup*: the (possibly
+    /// attacked) query `H^C` is matched against the clean memory keys
+    /// `H^O`, and the retrieved context is a convex combination of clean
+    /// memory embeddings — the values are anchored to the RP map, which is
+    /// what bounds the damage a bounded input perturbation can do.
+    pub(crate) fn forward(&self, x: &Matrix, mode: Mode, rng: &mut Rng) -> ForwardCaches {
+        let (h_c, caches_c) = self.embed_c.forward(x, mode, rng);
+        let (h_o_mem, caches_o_mem) = self.embed_o.forward(&self.memory_x, Mode::Eval, rng);
+        let q_proj = self.wq.forward(&h_c);
+        let k_proj = self.wk.forward(&h_o_mem);
+        let (retrieved, attn) = attention_forward(&q_proj, &k_proj, &h_o_mem);
+        // Residual fusion: the classifier sees the retrieved clean context
+        // plus the query hyperspace itself. The retrieval anchors the
+        // prediction to the clean memory; the residual keeps training
+        // well-conditioned.
+        let context = retrieved.add(&h_c);
+        let logits = self.fc.forward(&context);
+        ForwardCaches {
+            h_c,
+            caches_c,
+            h_o_mem,
+            caches_o_mem,
+            attn,
+            context,
+            logits,
+        }
+    }
+
+    /// Embeds a batch through the `H^O` branch (used for the alignment
+    /// loss during training).
+    pub(crate) fn embed_original(
+        &self,
+        x: &Matrix,
+        mode: Mode,
+        rng: &mut Rng,
+    ) -> (Matrix, Vec<Cache>) {
+        self.embed_o.forward(x, mode, rng)
+    }
+
+    /// Backward pass for the classification path. `grad_logits` is
+    /// `dL/dlogits`; `extra_grad_hc` (e.g. from the alignment MSE) is added
+    /// to the gradient flowing into `H^C`. Returns all parameter gradients
+    /// plus the input gradient.
+    pub(crate) fn backward(
+        &self,
+        c: &ForwardCaches,
+        grad_logits: &Matrix,
+        extra_grad_hc: Option<&Matrix>,
+    ) -> ModelGrads {
+        let (g_context, g_fc_w, g_fc_b) = self.fc.backward(&c.context, grad_logits);
+
+        // The memory embeddings appear twice: as keys (through Wk) and as
+        // values; both gradient paths flow into the H^O branch. The
+        // residual adds a direct path from the classifier into H^C.
+        let (g_q_proj, g_k_proj, g_v) = attention_backward(&c.attn, &g_context);
+        let (g_hc_from_q, g_wq_w, g_wq_b) = self.wq.backward(&c.h_c, &g_q_proj);
+        let (g_ho_from_k, g_wk_w, g_wk_b) = self.wk.backward(&c.h_o_mem, &g_k_proj);
+        let g_ho_mem = g_ho_from_k.add(&g_v);
+
+        let mut g_hc = g_hc_from_q.add(&g_context);
+        if let Some(extra) = extra_grad_hc {
+            g_hc = g_hc.add(extra);
+        }
+        let (g_input, grads_c) = self.embed_c.backward(&c.caches_c, &g_hc);
+        let (_, grads_o) = self.embed_o.backward(&c.caches_o_mem, &g_ho_mem);
+
+        ModelGrads {
+            input: g_input,
+            grads_c,
+            grads_o,
+            wq: (g_wq_w, g_wq_b),
+            wk: (g_wk_w, g_wk_b),
+            fc: (g_fc_w, g_fc_b),
+        }
+    }
+
+    /// Gradient of the `H^O` branch for a pair batch (alignment loss).
+    pub(crate) fn backward_original(
+        &self,
+        caches: &[Cache],
+        grad_h_o: &Matrix,
+    ) -> Vec<LayerGrad> {
+        let (_, grads) = self.embed_o.backward(caches, grad_h_o);
+        grads
+    }
+
+    /// Attention weights over the reference RPs for a batch — which parts
+    /// of the fingerprint map the model consulted (rows sum to 1).
+    pub fn attention_map(&self, x: &Matrix) -> Matrix {
+        let mut rng = Rng::new(0);
+        let fwd = self.forward(x, Mode::Eval, &mut rng);
+        fwd.attn.weights().clone()
+    }
+
+    /// Soft location estimate in meters from the attention output alone
+    /// (before the classifier) — useful for diagnostics.
+    pub fn soft_locations(&self, x: &Matrix) -> Vec<(f64, f64)> {
+        let mut rng = Rng::new(0);
+        let fwd = self.forward(x, Mode::Eval, &mut rng);
+        let w = fwd.attn.weights();
+        let soft = w.matmul(&self.memory_v).scale(self.location_scale);
+        (0..soft.rows()).map(|r| (soft.get(r, 0), soft.get(r, 1))).collect()
+    }
+
+    pub(crate) fn parts_mut(
+        &mut self,
+    ) -> (
+        &mut Sequential,
+        &mut Sequential,
+        &mut Dense,
+        &mut Dense,
+        &mut Dense,
+    ) {
+        (
+            &mut self.embed_c,
+            &mut self.embed_o,
+            &mut self.wq,
+            &mut self.wk,
+            &mut self.fc,
+        )
+    }
+}
+
+impl ModelGrads {
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        Matrix,
+        Vec<LayerGrad>,
+        Vec<LayerGrad>,
+        (Matrix, Matrix),
+        (Matrix, Matrix),
+        (Matrix, Matrix),
+    ) {
+        (self.input, self.grads_c, self.grads_o, self.wq, self.wk, self.fc)
+    }
+
+    pub(crate) fn grads_o_mut(&mut self) -> &mut Vec<LayerGrad> {
+        &mut self.grads_o
+    }
+}
+
+#[doc(hidden)]
+impl CallocModel {
+    /// Debug access for gradient checking (hidden from docs; used by the
+    /// gradient-check example and tests).
+    pub fn debug_param_grads(&self, x: &Matrix, y: &[usize]) -> (Matrix, Matrix, Matrix, Matrix) {
+        let mut rng = Rng::new(0);
+        let fwd = self.forward(x, Mode::Eval, &mut rng);
+        let (_, grad_logits) = loss::cross_entropy(&fwd.logits, y);
+        let grads = self.backward(&fwd, &grad_logits, None);
+        let first_dense = |grads: &[LayerGrad]| -> Matrix {
+            for g in grads {
+                if let LayerGrad::Dense { w, .. } = g {
+                    return w.clone();
+                }
+            }
+            panic!("no dense grad");
+        };
+        (
+            grads.fc.0.clone(),
+            grads.wq.0.clone(),
+            first_dense(&grads.grads_c),
+            first_dense(&grads.grads_o),
+        )
+    }
+
+    /// Debug access to the final classifier.
+    pub fn debug_fc_mut(&mut self) -> &mut Dense {
+        &mut self.fc
+    }
+
+    /// Debug access to the query projection.
+    pub fn debug_wq_mut(&mut self) -> &mut Dense {
+        &mut self.wq
+    }
+
+    /// Debug access to the first dense layer of the `H^C` branch.
+    pub fn debug_embed_c_first_mut(&mut self) -> &mut Dense {
+        match &mut self.embed_c.layers_mut()[0] {
+            Layer::Dense(d) => d,
+            _ => unreachable!("embed_c starts with a dense layer"),
+        }
+    }
+
+    /// Debug access to the first dense layer of the `H^O` branch.
+    pub fn debug_embed_o_first_mut(&mut self) -> &mut Dense {
+        match &mut self.embed_o.layers_mut()[0] {
+            Layer::Dense(d) => d,
+            _ => unreachable!("embed_o starts with a dense layer"),
+        }
+    }
+}
+
+impl DifferentiableModel for CallocModel {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn logits(&self, x: &Matrix) -> Matrix {
+        let mut rng = Rng::new(0);
+        self.forward(x, Mode::Eval, &mut rng).logits
+    }
+
+    fn loss_and_input_grad(&self, x: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+        let mut rng = Rng::new(0);
+        let fwd = self.forward(x, Mode::Eval, &mut rng);
+        let (loss_value, grad_logits) = loss::cross_entropy(&fwd.logits, targets);
+        let grads = self.backward(&fwd, &grad_logits, None);
+        (loss_value, grads.input)
+    }
+}
+
+impl Localizer for CallocModel {
+    fn name(&self) -> &str {
+        "CALLOC"
+    }
+
+    fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        self.logits(x).argmax_rows()
+    }
+
+    fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model(seed: u64) -> CallocModel {
+        let mut rng = Rng::new(seed);
+        let memory = Matrix::from_fn(5, 6, |_, _| rng.uniform(0.0, 1.0));
+        let rps: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        CallocModel::new(memory, &rps, CallocConfig::fast(), &mut rng)
+    }
+
+    #[test]
+    fn logits_shape_is_batch_by_classes() {
+        let model = toy_model(1);
+        let x = Matrix::zeros(3, 6);
+        assert_eq!(model.logits(&x).shape(), (3, 5));
+    }
+
+    #[test]
+    fn parameter_count_formula() {
+        let model = toy_model(2);
+        let d = model.config().embedding_dim;
+        let a = model.config().attention_dim;
+        let expected = 2 * (6 * d + d) + 2 * (d * a + a) + d * 5 + 5;
+        assert_eq!(model.parameter_count(), expected);
+    }
+
+    #[test]
+    fn paper_scale_parameter_count_is_close() {
+        // With the paper's dimensions (165 visible APs after filtering,
+        // 128-d hyperspaces) the count should land in the right regime
+        // (the paper reports 65,239).
+        let mut rng = Rng::new(3);
+        let memory = Matrix::zeros(29, 165);
+        let rps: Vec<(f64, f64)> = (0..29).map(|i| (i as f64, 0.0)).collect();
+        let model = CallocModel::new(memory, &rps, CallocConfig::default(), &mut rng);
+        let count = model.parameter_count();
+        assert!(
+            (55_000..75_000).contains(&count),
+            "parameter count {count} far from the paper's 65,239"
+        );
+    }
+
+    #[test]
+    fn prototypes_are_class_means() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.4, 0.4],
+        ]);
+        let ds = Dataset::new(x, vec![0, 0, 1], vec![(0.0, 0.0), (1.0, 0.0)]);
+        let proto = CallocModel::prototypes_from(&ds);
+        assert_eq!(proto.row(0), &[0.5, 0.5]);
+        assert_eq!(proto.row(1), &[0.4, 0.4]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_diff() {
+        let model = toy_model(4);
+        let mut rng = Rng::new(5);
+        let x = Matrix::from_fn(2, 6, |_, _| rng.uniform(0.1, 0.9));
+        let targets = vec![1usize, 3];
+        let (_, grad) = model.loss_and_input_grad(&x, &targets);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..6 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let fd = (model.loss_and_input_grad(&xp, &targets).0
+                    - model.loss_and_input_grad(&xm, &targets).0)
+                    / (2.0 * eps);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 1e-5,
+                    "grad[{r}][{c}] {} vs {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attention_map_rows_are_distributions() {
+        let model = toy_model(6);
+        let x = Matrix::from_fn(4, 6, |r, c| ((r + c) as f64 * 0.1) % 1.0);
+        let w = model.attention_map(&x);
+        assert_eq!(w.shape(), (4, 5));
+        for r in 0..4 {
+            let s: f64 = w.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn soft_locations_are_inside_rp_hull() {
+        let model = toy_model(7);
+        let x = Matrix::from_fn(3, 6, |_, c| c as f64 * 0.15);
+        for (lx, ly) in model.soft_locations(&x) {
+            assert!((0.0..=4.0).contains(&lx));
+            assert!((0.0..=8.0).contains(&ly));
+        }
+    }
+
+    #[test]
+    fn eval_is_deterministic_despite_stochastic_layers() {
+        let model = toy_model(8);
+        let x = Matrix::from_fn(2, 6, |_, c| c as f64 * 0.1);
+        assert_eq!(model.logits(&x), model.logits(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "memory rows must match")]
+    fn rejects_mismatched_memory() {
+        let mut rng = Rng::new(9);
+        CallocModel::new(
+            Matrix::zeros(3, 4),
+            &[(0.0, 0.0)],
+            CallocConfig::fast(),
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,246 @@
+//! Plain-text reporting: result tables, CSV, markdown and ASCII heatmaps.
+
+use std::fmt::Write as _;
+
+/// One experiment cell: a (framework, condition) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Framework name (e.g. "CALLOC").
+    pub framework: String,
+    /// Building name (e.g. "Building 1"), or empty if aggregated.
+    pub building: String,
+    /// Device acronym, or empty if aggregated.
+    pub device: String,
+    /// Attack name ("FGSM"/"PGD"/"MIM"), or "none".
+    pub attack: String,
+    /// Attack strength ε.
+    pub epsilon: f64,
+    /// Targeted-AP percentage ø.
+    pub phi: f64,
+    /// Mean localization error in meters.
+    pub mean_error_m: f64,
+    /// Worst-case localization error in meters.
+    pub max_error_m: f64,
+}
+
+/// A flat collection of experiment results with export helpers.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    rows: Vec<ResultRow>,
+}
+
+impl ResultTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ResultTable::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: ResultRow) {
+        self.rows.push(row);
+    }
+
+    /// Borrow all rows.
+    pub fn rows(&self) -> &[ResultRow] {
+        &self.rows
+    }
+
+    /// Rows of one framework.
+    pub fn for_framework(&self, name: &str) -> Vec<&ResultRow> {
+        self.rows.iter().filter(|r| r.framework == name).collect()
+    }
+
+    /// Mean of `mean_error_m` over the rows matching `pred`; `None` when no
+    /// row matches.
+    pub fn mean_where(&self, pred: impl Fn(&ResultRow) -> bool) -> Option<f64> {
+        let matched: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.mean_error_m)
+            .collect();
+        if matched.is_empty() {
+            None
+        } else {
+            Some(calloc_tensor::stats::mean(&matched))
+        }
+    }
+
+    /// Maximum of `max_error_m` over the rows matching `pred`.
+    pub fn max_where(&self, pred: impl Fn(&ResultRow) -> bool) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.max_error_m)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Serializes the table to CSV (with header).
+    pub fn to_csv(&self) -> String {
+        csv_table(&self.rows)
+    }
+}
+
+/// Serializes rows to CSV (with header).
+pub fn csv_table(rows: &[ResultRow]) -> String {
+    let mut out = String::from(
+        "framework,building,device,attack,epsilon,phi,mean_error_m,max_error_m\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.4},{:.4}",
+            r.framework, r.building, r.device, r.attack, r.epsilon, r.phi, r.mean_error_m,
+            r.max_error_m
+        );
+    }
+    out
+}
+
+/// Renders a labelled matrix as a markdown table (values to 2 decimals).
+///
+/// # Panics
+///
+/// Panics if `values` is not `row_labels.len()` x `col_labels.len()`.
+pub fn markdown_table(
+    corner: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    assert_eq!(values.len(), row_labels.len(), "row count mismatch");
+    let mut out = String::new();
+    let _ = write!(out, "| {corner} |");
+    for c in col_labels {
+        let _ = write!(out, " {c} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in col_labels {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (r, label) in row_labels.iter().enumerate() {
+        assert_eq!(values[r].len(), col_labels.len(), "col count mismatch");
+        let _ = write!(out, "| {label} |");
+        for v in &values[r] {
+            let _ = write!(out, " {v:.2} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a labelled matrix as an ASCII heatmap: each cell shows the value
+/// (2 decimals) plus a shade character (` .:-=+*#%@` from low to high,
+/// scaled over the matrix range).
+///
+/// # Panics
+///
+/// Panics if `values` is not `row_labels.len()` x `col_labels.len()`.
+pub fn ascii_heatmap(
+    title: &str,
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    assert_eq!(values.len(), row_labels.len(), "row count mismatch");
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let flat: Vec<f64> = values.iter().flatten().cloned().collect();
+    let lo = flat.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = flat.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let shade = |v: f64| -> char {
+        let t = ((v - lo) / span * (SHADES.len() - 1) as f64).round() as usize;
+        SHADES[t.min(SHADES.len() - 1)] as char
+    };
+
+    let row_w = row_labels.iter().map(String::len).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (range {lo:.2} – {hi:.2} m)");
+    let _ = write!(out, "{:row_w$} ", "");
+    for c in col_labels {
+        let _ = write!(out, "{c:>9}");
+    }
+    let _ = writeln!(out);
+    for (r, label) in row_labels.iter().enumerate() {
+        assert_eq!(values[r].len(), col_labels.len(), "col count mismatch");
+        let _ = write!(out, "{label:>row_w$} ");
+        for &v in &values[r] {
+            let _ = write!(out, " {v:>6.2} {}", shade(v));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(framework: &str, mean: f64, max: f64) -> ResultRow {
+        ResultRow {
+            framework: framework.into(),
+            building: "Building 1".into(),
+            device: "OP3".into(),
+            attack: "FGSM".into(),
+            epsilon: 0.1,
+            phi: 50.0,
+            mean_error_m: mean,
+            max_error_m: max,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = csv_table(&[row("CALLOC", 1.5, 4.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("framework,"));
+        assert!(lines[1].starts_with("CALLOC,Building 1,OP3,FGSM,0.1,50,1.5"));
+    }
+
+    #[test]
+    fn table_aggregations() {
+        let mut t = ResultTable::new();
+        t.push(row("CALLOC", 1.0, 2.0));
+        t.push(row("CALLOC", 3.0, 8.0));
+        t.push(row("WiDeep", 6.0, 12.0));
+        assert_eq!(t.mean_where(|r| r.framework == "CALLOC"), Some(2.0));
+        assert_eq!(t.max_where(|r| r.framework == "CALLOC"), Some(8.0));
+        assert_eq!(t.mean_where(|r| r.framework == "ANVIL"), None);
+        assert_eq!(t.for_framework("WiDeep").len(), 1);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            "b\\d",
+            &["r1".into(), "r2".into()],
+            &["c1".into(), "c2".into(), "c3".into()],
+            &[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("1.00"));
+        assert!(lines[3].contains("6.00"));
+    }
+
+    #[test]
+    fn heatmap_contains_values_and_shades() {
+        let hm = ascii_heatmap(
+            "test",
+            &["a".into(), "b".into()],
+            &["x".into(), "y".into()],
+            &[vec![0.0, 1.0], vec![2.0, 10.0]],
+        );
+        assert!(hm.contains("10.00"));
+        assert!(hm.contains('@')); // the max cell gets the darkest shade
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn heatmap_rejects_bad_shape() {
+        ascii_heatmap("t", &["a".into()], &["x".into()], &[]);
+    }
+}

@@ -1,0 +1,305 @@
+//! Trains the full framework suite of the paper's evaluation on a scenario.
+
+use calloc::{CallocConfig, CallocTrainer, Curriculum};
+use calloc_baselines::{
+    AdvLocConfig, AdvLocLocalizer, AnvilConfig, AnvilLocalizer, DnnConfig, DnnLocalizer,
+    GpcConfig, GpcLocalizer, KnnLocalizer, SangriaConfig, SangriaLocalizer, WiDeepConfig,
+    WiDeepLocalizer,
+};
+use calloc_baselines::gbdt::GbdtConfig;
+use calloc_nn::{DifferentiableModel, Localizer, Sequential};
+use calloc_sim::Scenario;
+
+/// One trained framework in the suite.
+pub struct SuiteMember {
+    /// Framework name as used in the paper's figures.
+    pub name: String,
+    /// The trained model.
+    pub model: Box<dyn Localizer>,
+}
+
+/// The trained suite: the paper's comparison frameworks plus a surrogate
+/// DNN used to transfer-attack non-differentiable members (SANGRIA).
+pub struct Suite {
+    /// Trained frameworks, in figure order.
+    pub members: Vec<SuiteMember>,
+    /// Surrogate gradient source for transfer attacks.
+    pub surrogate: Sequential,
+}
+
+/// Which frameworks to train and at what fidelity.
+#[derive(Debug, Clone)]
+pub struct SuiteProfile {
+    /// CALLOC configuration.
+    pub calloc: CallocConfig,
+    /// Number of curriculum lessons (paper: 10).
+    pub lessons: usize,
+    /// Include the no-curriculum CALLOC ablation ("NC").
+    pub include_nc: bool,
+    /// Include the Fig. 6/7 state-of-the-art frameworks.
+    pub include_sota: bool,
+    /// Include the Fig. 1 classical baselines (KNN, GPC, DNN).
+    pub include_classical: bool,
+    /// Epoch budget for the DNN-family baselines.
+    pub baseline_epochs: usize,
+    /// FGSM ε used for adversarial *training* (CALLOC curriculum and
+    /// AdvLoc), in normalized units. The paper trains at ε = 0.1; see
+    /// `calloc-bench`'s `EPSILON_UNIT` for the unit calibration.
+    pub train_epsilon: f64,
+    /// Seed shared by all trainings.
+    pub seed: u64,
+}
+
+impl SuiteProfile {
+    /// Paper-fidelity profile: full-size models, 10 lessons.
+    pub fn paper() -> Self {
+        SuiteProfile {
+            calloc: CallocConfig::default(),
+            lessons: 10,
+            include_nc: false,
+            include_sota: true,
+            include_classical: false,
+            baseline_epochs: 80,
+            train_epsilon: 0.025,
+            seed: 0,
+        }
+    }
+
+    /// Quick profile for tests and smoke runs: reduced widths and epochs.
+    pub fn quick() -> Self {
+        SuiteProfile {
+            calloc: CallocConfig {
+                epochs_per_lesson: 8,
+                ..CallocConfig::fast()
+            },
+            lessons: 5,
+            include_nc: false,
+            include_sota: true,
+            include_classical: false,
+            baseline_epochs: 30,
+            train_epsilon: 0.025,
+            seed: 0,
+        }
+    }
+}
+
+impl Suite {
+    /// Trains every requested framework on the scenario's offline data.
+    pub fn train(scenario: &Scenario, profile: &SuiteProfile) -> Suite {
+        let train = &scenario.train;
+        let x = &train.x;
+        let y = &train.labels;
+        let k = train.num_classes();
+        let mut members: Vec<SuiteMember> = Vec::new();
+
+        let calloc_trainer = CallocTrainer::new(profile.calloc)
+            .with_curriculum(Curriculum::linear(profile.lessons.max(2), profile.train_epsilon));
+        let calloc_model = calloc_trainer.fit(train).model;
+        members.push(SuiteMember {
+            name: "CALLOC".into(),
+            model: Box::new(calloc_model),
+        });
+        if profile.include_nc {
+            let nc = calloc_trainer.fit_no_curriculum(train).model;
+            members.push(SuiteMember {
+                name: "NC".into(),
+                model: Box::new(nc),
+            });
+        }
+
+        if profile.include_sota {
+            let advloc = AdvLocLocalizer::fit(
+                x,
+                y,
+                k,
+                &AdvLocConfig {
+                    dnn: DnnConfig {
+                        epochs: profile.baseline_epochs,
+                        seed: profile.seed,
+                        ..Default::default()
+                    },
+                    epsilon: profile.train_epsilon,
+                    ..Default::default()
+                },
+            );
+            members.push(SuiteMember {
+                name: "AdvLoc".into(),
+                model: Box::new(advloc),
+            });
+
+            let sangria = SangriaLocalizer::fit(
+                x,
+                y,
+                k,
+                &SangriaConfig {
+                    pretrain_epochs: profile.baseline_epochs / 2,
+                    gbdt: GbdtConfig {
+                        rounds: 30,
+                        ..Default::default()
+                    },
+                    seed: profile.seed,
+                    ..Default::default()
+                },
+            );
+            members.push(SuiteMember {
+                name: "SANGRIA".into(),
+                model: Box::new(sangria),
+            });
+
+            let anvil = AnvilLocalizer::fit(
+                x,
+                y,
+                k,
+                &AnvilConfig {
+                    epochs: profile.baseline_epochs,
+                    learning_rate: 5e-3,
+                    seed: profile.seed,
+                    ..Default::default()
+                },
+            );
+            members.push(SuiteMember {
+                name: "ANVIL".into(),
+                model: Box::new(anvil),
+            });
+
+            let wideep = WiDeepLocalizer::fit(
+                x,
+                y,
+                k,
+                &WiDeepConfig {
+                    pretrain_epochs: profile.baseline_epochs / 2,
+                    seed: profile.seed,
+                    ..Default::default()
+                },
+            )
+            .expect("WiDeep GPC kernel must be positive definite");
+            members.push(SuiteMember {
+                name: "WiDeep".into(),
+                model: Box::new(wideep),
+            });
+        }
+
+        if profile.include_classical {
+            let knn = KnnLocalizer::fit(x.clone(), y.clone(), k, 3);
+            members.push(SuiteMember {
+                name: "KNN".into(),
+                model: Box::new(knn),
+            });
+            let gpc = GpcLocalizer::fit(x.clone(), y.clone(), k, GpcConfig::default())
+                .expect("GPC kernel must be positive definite");
+            members.push(SuiteMember {
+                name: "GPC".into(),
+                model: Box::new(gpc),
+            });
+            let dnn = DnnLocalizer::fit(
+                x,
+                y,
+                k,
+                &DnnConfig {
+                    epochs: profile.baseline_epochs,
+                    seed: profile.seed,
+                    ..Default::default()
+                },
+            );
+            members.push(SuiteMember {
+                name: "DNN".into(),
+                model: Box::new(dnn),
+            });
+        }
+
+        // Independent surrogate for transfer attacks against
+        // non-differentiable members.
+        let surrogate = DnnLocalizer::fit(
+            x,
+            y,
+            k,
+            &DnnConfig {
+                hidden: vec![64],
+                epochs: profile.baseline_epochs,
+                seed: profile.seed ^ 0xDEAD,
+                ..Default::default()
+            },
+        );
+        Suite {
+            members,
+            surrogate: surrogate.network().clone(),
+        }
+    }
+
+    /// Looks up a trained member by name.
+    pub fn member(&self, name: &str) -> Option<&SuiteMember> {
+        self.members.iter().find(|m| m.name == name)
+    }
+
+    /// The surrogate as a gradient source.
+    pub fn surrogate(&self) -> &dyn DifferentiableModel {
+        &self.surrogate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::evaluate;
+    use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+
+    fn tiny_scenario() -> Scenario {
+        let spec = BuildingSpec {
+            path_length_m: 12,
+            num_aps: 16,
+            ..BuildingId::B4.spec()
+        };
+        let building = Building::generate(spec, 4);
+        Scenario::generate(&building, &CollectionConfig::small(), 9)
+    }
+
+    fn tiny_profile() -> SuiteProfile {
+        SuiteProfile {
+            calloc: CallocConfig {
+                epochs_per_lesson: 4,
+                ..CallocConfig::fast()
+            },
+            lessons: 3,
+            include_nc: true,
+            include_sota: true,
+            include_classical: true,
+            baseline_epochs: 10,
+            train_epsilon: 0.025,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn trains_all_requested_members() {
+        let scenario = tiny_scenario();
+        let suite = Suite::train(&scenario, &tiny_profile());
+        let names: Vec<&str> = suite.members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["CALLOC", "NC", "AdvLoc", "SANGRIA", "ANVIL", "WiDeep", "KNN", "GPC", "DNN"]
+        );
+    }
+
+    #[test]
+    fn every_member_evaluates_on_test_data() {
+        let scenario = tiny_scenario();
+        let suite = Suite::train(&scenario, &tiny_profile());
+        let test = &scenario.test_per_device[0].1;
+        for member in &suite.members {
+            let eval = evaluate(member.model.as_ref(), test, None, None);
+            assert_eq!(eval.errors_m.len(), test.len(), "{}", member.name);
+            assert!(eval.summary.mean.is_finite(), "{}", member.name);
+        }
+    }
+
+    #[test]
+    fn member_lookup_works() {
+        let scenario = tiny_scenario();
+        let mut profile = tiny_profile();
+        profile.include_classical = false;
+        profile.include_nc = false;
+        let suite = Suite::train(&scenario, &profile);
+        assert!(suite.member("CALLOC").is_some());
+        assert!(suite.member("KNN").is_none());
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight initialization schemes.
+
+use calloc_tensor::{Matrix, Rng};
+
+/// Xavier/Glorot uniform initialization for a `fan_in`-by-`fan_out` weight
+/// matrix. Appropriate for sigmoid/tanh/linear layers and the attention
+/// projections.
+///
+/// # Example
+///
+/// ```
+/// use calloc_nn::xavier_init;
+/// use calloc_tensor::Rng;
+///
+/// let w = xavier_init(64, 32, &mut Rng::new(1));
+/// assert_eq!(w.shape(), (64, 32));
+/// let limit = (6.0f64 / (64.0 + 32.0)).sqrt();
+/// assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+/// ```
+pub fn xavier_init(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.uniform(-limit, limit))
+}
+
+/// He/Kaiming normal initialization, appropriate for ReLU layers.
+///
+/// # Example
+///
+/// ```
+/// use calloc_nn::he_init;
+/// use calloc_tensor::Rng;
+///
+/// let w = he_init(100, 50, &mut Rng::new(2));
+/// assert_eq!(w.shape(), (100, 50));
+/// ```
+pub fn he_init(fan_in: usize, fan_out: usize, rng: &mut Rng) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.normal(0.0, std))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = Rng::new(0);
+        let w = xavier_init(10, 20, &mut rng);
+        let limit = (6.0f64 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn he_std_is_plausible() {
+        let mut rng = Rng::new(1);
+        let w = he_init(400, 100, &mut rng);
+        let std = calloc_tensor::stats::std_dev(w.as_slice());
+        let expect = (2.0f64 / 400.0).sqrt();
+        assert!((std - expect).abs() / expect < 0.1, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = xavier_init(5, 5, &mut Rng::new(7));
+        let b = xavier_init(5, 5, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,56 @@
+//! # calloc-nn
+//!
+//! A from-scratch neural-network training stack, sized for the small
+//! fingerprinting models of the CALLOC paper (tens of thousands of
+//! parameters) and for white-box adversarial attack research.
+//!
+//! Design notes:
+//!
+//! * **Functional forward/backward.** Layers are pure parameter holders;
+//!   [`Sequential::forward`] returns the activations *and* a cache, and
+//!   [`Sequential::backward`] consumes that cache to produce gradients both
+//!   for the parameters and for the **input** — the latter is what FGSM /
+//!   PGD / MIM attacks need. Nothing requires `&mut self`, so a trained
+//!   model can be attacked and evaluated through a shared reference.
+//! * **Enum layers, no trait objects.** The architecture space of the paper
+//!   (MLPs, autoencoders, attention blocks) is covered by a closed set of
+//!   layers; an enum keeps serialization and cloning trivial.
+//! * **Gradient checking.** Every layer's backward pass is validated against
+//!   central finite differences in the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use calloc_nn::{Dense, Layer, Sequential, Mode, loss};
+//! use calloc_tensor::{Matrix, Rng};
+//!
+//! let mut rng = Rng::new(0);
+//! let net = Sequential::new(vec![
+//!     Layer::Dense(Dense::xavier(4, 16, &mut rng)),
+//!     Layer::Relu,
+//!     Layer::Dense(Dense::xavier(16, 3, &mut rng)),
+//! ]);
+//! let x = Matrix::from_fn(2, 4, |_, _| rng.normal(0.0, 1.0));
+//! let (logits, _cache) = net.forward(&x, Mode::Eval, &mut rng);
+//! assert_eq!(logits.shape(), (2, 3));
+//! let (loss_value, _grad) = loss::cross_entropy(&logits, &[0, 2]);
+//! assert!(loss_value > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod init;
+mod layer;
+mod model;
+mod optim;
+mod train;
+
+pub mod attention;
+pub mod loss;
+pub mod metrics;
+
+pub use init::{he_init, xavier_init};
+pub use layer::{Cache, Dense, Layer, LayerGrad, Mode};
+pub use model::{DifferentiableModel, Localizer, Sequential};
+pub use optim::{Adam, Optimizer, ParamAdam, Sgd};
+pub use train::{EarlyStopping, TrainConfig, TrainReport, Trainer};

@@ -1,0 +1,198 @@
+//! Loss functions with analytic gradients.
+
+use calloc_tensor::Matrix;
+
+/// Softmax cross-entropy over integer class targets.
+///
+/// Returns the mean loss over the batch and `dL/dlogits` (already divided by
+/// the batch size, so it can be fed straight into backward).
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or a target index is out of
+/// range.
+///
+/// # Example
+///
+/// ```
+/// use calloc_nn::loss::cross_entropy;
+/// use calloc_tensor::Matrix;
+///
+/// // Perfectly confident, correct prediction → loss near zero.
+/// let logits = Matrix::from_rows(&[vec![20.0, 0.0]]);
+/// let (l, _) = cross_entropy(&logits, &[0]);
+/// assert!(l < 1e-6);
+/// ```
+pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> (f64, Matrix) {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "targets length {} vs batch size {}",
+        targets.len(),
+        logits.rows()
+    );
+    let n = logits.rows() as f64;
+    let log_probs = logits.log_softmax_rows();
+    let mut loss = 0.0;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(
+            t < logits.cols(),
+            "target {t} out of range for {} classes",
+            logits.cols()
+        );
+        loss -= log_probs.get(r, t);
+    }
+    loss /= n;
+
+    // dL/dlogits = (softmax - onehot) / n
+    let mut grad = log_probs.map(f64::exp);
+    for (r, &t) in targets.iter().enumerate() {
+        grad.set(r, t, grad.get(r, t) - 1.0);
+    }
+    (loss, grad.scale(1.0 / n))
+}
+
+/// Mean squared error between a prediction and a target matrix.
+///
+/// Returns the mean-over-all-elements loss and `dL/dpred`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+///
+/// # Example
+///
+/// ```
+/// use calloc_nn::loss::mse;
+/// use calloc_tensor::Matrix;
+///
+/// let pred = Matrix::row_vector(&[1.0, 2.0]);
+/// let target = Matrix::row_vector(&[1.0, 4.0]);
+/// let (l, g) = mse(&pred, &target);
+/// assert!((l - 2.0).abs() < 1e-12); // ((0)^2 + (2)^2) / 2
+/// assert_eq!(g.get(0, 0), 0.0);
+/// ```
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(
+        pred.shape(),
+        target.shape(),
+        "mse shape mismatch {:?} vs {:?}",
+        pred.shape(),
+        target.shape()
+    );
+    let n = pred.len().max(1) as f64;
+    let diff = pred.sub(target);
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Negative log-likelihood of already-log-softmaxed probabilities. Used by
+/// models that keep log-probabilities around (e.g. the GPC baseline).
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or a target is out of range.
+pub fn nll_from_log_probs(log_probs: &Matrix, targets: &[usize]) -> f64 {
+    assert_eq!(targets.len(), log_probs.rows());
+    let mut loss = 0.0;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < log_probs.cols());
+        loss -= log_probs.get(r, t);
+    }
+    loss / targets.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_tensor::Rng;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        // Uniform logits over k classes → loss = ln(k).
+        let logits = Matrix::zeros(4, 8);
+        let (l, _) = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((l - (8.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_diff() {
+        let mut rng = Rng::new(1);
+        let logits = Matrix::from_fn(3, 5, |_, _| rng.normal(0.0, 2.0));
+        let targets = vec![2usize, 0, 4];
+        let (_, grad) = cross_entropy(&logits, &targets);
+        let eps = 1e-6;
+        for r in 0..3 {
+            for c in 0..5 {
+                let mut lp = logits.clone();
+                lp.set(r, c, logits.get(r, c) + eps);
+                let mut lm = logits.clone();
+                lm.set(r, c, logits.get(r, c) - eps);
+                let (fp, _) = cross_entropy(&lp, &targets);
+                let (fm, _) = cross_entropy(&lm, &targets);
+                let fd = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grad.get(r, c) - fd).abs() < 1e-6,
+                    "grad[{r}][{c}] {} vs {fd}",
+                    grad.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let mut rng = Rng::new(2);
+        let logits = Matrix::from_fn(6, 10, |_, _| rng.normal(0.0, 1.0));
+        let targets: Vec<usize> = (0..6).collect();
+        let (_, grad) = cross_entropy(&logits, &targets);
+        for r in 0..6 {
+            let s: f64 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_diff() {
+        let mut rng = Rng::new(3);
+        let pred = Matrix::from_fn(2, 4, |_, _| rng.normal(0.0, 1.0));
+        let target = Matrix::from_fn(2, 4, |_, _| rng.normal(0.0, 1.0));
+        let (_, grad) = mse(&pred, &target);
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..4 {
+                let mut pp = pred.clone();
+                pp.set(r, c, pred.get(r, c) + eps);
+                let mut pm = pred.clone();
+                pm.set(r, c, pred.get(r, c) - eps);
+                let fd = (mse(&pp, &target).0 - mse(&pm, &target).0) / (2.0 * eps);
+                assert!((grad.get(r, c) - fd).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn mse_of_identical_is_zero() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0, 3.0]]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn nll_matches_cross_entropy() {
+        let mut rng = Rng::new(4);
+        let logits = Matrix::from_fn(3, 4, |_, _| rng.normal(0.0, 1.0));
+        let targets = vec![1usize, 3, 0];
+        let (ce, _) = cross_entropy(&logits, &targets);
+        let nll = nll_from_log_probs(&logits.log_softmax_rows(), &targets);
+        assert!((ce - nll).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_target_out_of_range_panics() {
+        cross_entropy(&Matrix::zeros(1, 3), &[3]);
+    }
+}

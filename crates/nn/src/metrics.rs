@@ -1,0 +1,82 @@
+//! Classification metrics.
+
+/// Fraction of predictions equal to the targets.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use calloc_nn::metrics::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix with `num_classes` rows (true class) and columns
+/// (predicted class).
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or any label is out of range.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    targets: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), targets.len());
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (&p, &t) in predictions.iter().zip(targets) {
+        assert!(p < num_classes && t < num_classes, "label out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_perfect_and_zero() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2);
+        assert_eq!(m[0][0], 2); // true 0 predicted 0
+        assert_eq!(m[0][1], 1); // true 0 predicted 1
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn confusion_matrix_rejects_bad_label() {
+        confusion_matrix(&[2], &[0], 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! Gradient-descent optimizers.
+
+use calloc_tensor::Matrix;
+
+use crate::layer::{Layer, LayerGrad};
+use crate::model::Sequential;
+
+/// An optimizer updates a [`Sequential`] network in place from per-layer
+/// gradients (the output of [`Sequential::backward`]).
+///
+/// State (momentum buffers, Adam moments) is keyed by layer index, so an
+/// optimizer instance must be used with a single network whose layer
+/// structure does not change between steps.
+pub trait Optimizer {
+    /// Applies one update step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` does not match the layer count.
+    fn step(&mut self, net: &mut Sequential, grads: &[LayerGrad]);
+
+    /// Resets internal state (e.g. when restarting training on new data).
+    fn reset(&mut self);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+    pub momentum: f64,
+    velocity: Vec<Option<(Matrix, Matrix)>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        Sgd {
+            learning_rate,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential, grads: &[LayerGrad]) {
+        let layers = net.layers_mut();
+        assert_eq!(grads.len(), layers.len(), "gradient/layer count mismatch");
+        if self.velocity.len() != layers.len() {
+            self.velocity = vec![None; layers.len()];
+        }
+        for (i, (layer, grad)) in layers.iter_mut().zip(grads).enumerate() {
+            let (Layer::Dense(d), LayerGrad::Dense { w: gw, b: gb }) = (layer, grad) else {
+                continue;
+            };
+            if self.momentum > 0.0 {
+                let (vw, vb) = self.velocity[i].get_or_insert_with(|| {
+                    (
+                        Matrix::zeros(gw.rows(), gw.cols()),
+                        Matrix::zeros(gb.rows(), gb.cols()),
+                    )
+                });
+                *vw = vw.scale(self.momentum).sub(&gw.scale(self.learning_rate));
+                *vb = vb.scale(self.momentum).sub(&gb.scale(self.learning_rate));
+                d.w = d.w.add(vw);
+                d.b = d.b.add(vb);
+            } else {
+                d.w.axpy(-self.learning_rate, gw);
+                d.b.axpy(-self.learning_rate, gb);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper default 1e-3).
+    pub learning_rate: f64,
+    /// First-moment decay (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay (default 0.999).
+    pub beta2: f64,
+    /// Numerical stabilizer (default 1e-8).
+    pub epsilon: f64,
+    t: u64,
+    moments: Vec<Option<AdamState>>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamState {
+    mw: Matrix,
+    vw: Matrix,
+    mb: Matrix,
+    vb: Matrix,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and standard betas.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Sequential, grads: &[LayerGrad]) {
+        let layers = net.layers_mut();
+        assert_eq!(grads.len(), layers.len(), "gradient/layer count mismatch");
+        if self.moments.len() != layers.len() {
+            self.moments = vec![None; layers.len()];
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+
+        for (i, (layer, grad)) in layers.iter_mut().zip(grads).enumerate() {
+            let (Layer::Dense(d), LayerGrad::Dense { w: gw, b: gb }) = (layer, grad) else {
+                continue;
+            };
+            let st = self.moments[i].get_or_insert_with(|| AdamState {
+                mw: Matrix::zeros(gw.rows(), gw.cols()),
+                vw: Matrix::zeros(gw.rows(), gw.cols()),
+                mb: Matrix::zeros(gb.rows(), gb.cols()),
+                vb: Matrix::zeros(gb.rows(), gb.cols()),
+            });
+
+            st.mw = st.mw.scale(self.beta1).add(&gw.scale(1.0 - self.beta1));
+            st.vw = st
+                .vw
+                .scale(self.beta2)
+                .add(&gw.map(|g| g * g).scale(1.0 - self.beta2));
+            st.mb = st.mb.scale(self.beta1).add(&gb.scale(1.0 - self.beta1));
+            st.vb = st
+                .vb
+                .scale(self.beta2)
+                .add(&gb.map(|g| g * g).scale(1.0 - self.beta2));
+
+            let lr = self.learning_rate;
+            let eps = self.epsilon;
+            let upd_w = st
+                .mw
+                .zip_map(&st.vw, |m, v| lr * (m / bc1) / ((v / bc2).sqrt() + eps));
+            let upd_b = st
+                .mb
+                .zip_map(&st.vb, |m, v| lr * (m / bc1) / ((v / bc2).sqrt() + eps));
+            d.w = d.w.sub(&upd_w);
+            d.b = d.b.sub(&upd_b);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.moments.clear();
+    }
+}
+
+/// Stand-alone Adam state for a single parameter matrix.
+///
+/// Custom architectures that are not [`Sequential`] stacks (the CALLOC
+/// hyperspace-attention model, the ANVIL multi-head attention baseline)
+/// update their parameter matrices individually with this helper.
+///
+/// # Example
+///
+/// ```
+/// use calloc_nn::ParamAdam;
+/// use calloc_tensor::Matrix;
+///
+/// let mut w = Matrix::filled(1, 1, 1.0);
+/// let mut adam = ParamAdam::new(1, 1);
+/// for _ in 0..100 {
+///     let grad = w.scale(2.0); // minimize w²
+///     adam.update(&mut w, &grad, 0.05);
+/// }
+/// assert!(w.get(0, 0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParamAdam {
+    m: Matrix,
+    v: Matrix,
+    t: u64,
+    /// First-moment decay (default 0.9).
+    pub beta1: f64,
+    /// Second-moment decay (default 0.999).
+    pub beta2: f64,
+    /// Numerical stabilizer (default 1e-8).
+    pub epsilon: f64,
+}
+
+impl ParamAdam {
+    /// Creates zeroed Adam state for a `rows`-by-`cols` parameter.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        ParamAdam {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// Applies one Adam update of `param` using `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes do not match the state.
+    pub fn update(&mut self, param: &mut Matrix, grad: &Matrix, learning_rate: f64) {
+        assert_eq!(param.shape(), self.m.shape(), "param shape mismatch");
+        assert_eq!(grad.shape(), self.m.shape(), "grad shape mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        self.m = self.m.scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
+        self.v = self
+            .v
+            .scale(self.beta2)
+            .add(&grad.map(|g| g * g).scale(1.0 - self.beta2));
+        let eps = self.epsilon;
+        let update = self
+            .m
+            .zip_map(&self.v, |m, v| learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps));
+        *param = param.sub(&update);
+    }
+
+    /// Resets the state to step zero.
+    pub fn reset(&mut self) {
+        self.t = 0;
+        self.m = Matrix::zeros(self.m.rows(), self.m.cols());
+        self.v = Matrix::zeros(self.v.rows(), self.v.cols());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Mode};
+    use crate::loss;
+    use calloc_tensor::Rng;
+
+    /// Train y = 2x on a 1-layer linear net; loss must shrink dramatically.
+    fn converges(opt: &mut dyn Optimizer, steps: usize) -> (f64, f64) {
+        let mut rng = Rng::new(42);
+        let mut net = Sequential::new(vec![Layer::Dense(Dense::xavier(1, 1, &mut rng))]);
+        let x = Matrix::from_fn(16, 1, |r, _| r as f64 / 8.0 - 1.0);
+        let target = x.scale(2.0);
+        let initial = {
+            let (y, _) = net.forward(&x, Mode::Eval, &mut rng);
+            loss::mse(&y, &target).0
+        };
+        let mut last = initial;
+        for _ in 0..steps {
+            let (y, caches) = net.forward(&x, Mode::Train, &mut rng);
+            let (l, grad) = loss::mse(&y, &target);
+            last = l;
+            let (_, grads) = net.backward(&caches, &grad);
+            opt.step(&mut net, &grads);
+        }
+        (initial, last)
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_regression() {
+        let (initial, last) = converges(&mut Sgd::new(0.1, 0.0), 200);
+        assert!(last < initial * 1e-3, "initial {initial}, last {last}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let (initial, last) = converges(&mut Sgd::new(0.05, 0.9), 200);
+        assert!(last < initial * 1e-3, "initial {initial}, last {last}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_regression() {
+        let (initial, last) = converges(&mut Adam::new(0.05), 300);
+        assert!(last < initial * 1e-3, "initial {initial}, last {last}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adam = Adam::new(0.01);
+        let _ = converges(&mut adam, 10);
+        adam.reset();
+        assert_eq!(adam.t, 0);
+        assert!(adam.moments.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn step_rejects_wrong_grad_count() {
+        let mut rng = Rng::new(0);
+        let mut net = Sequential::new(vec![Layer::Dense(Dense::xavier(2, 2, &mut rng))]);
+        Sgd::new(0.1, 0.0).step(&mut net, &[]);
+    }
+}

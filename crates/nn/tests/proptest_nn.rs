@@ -1,0 +1,122 @@
+//! Property-based tests of the neural-network stack: gradient linearity,
+//! softmax/loss invariants and attention algebra over random inputs.
+
+use calloc_nn::attention::attention_forward;
+use calloc_nn::{loss, Dense, Layer, Mode, Sequential};
+use calloc_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize, lo: f64, hi: f64) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(lo..hi, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    /// Dense layers are affine: f(x+y) - f(y) == f(x) - f(0).
+    #[test]
+    fn dense_is_affine(seed in 0u64..500, x in matrix(2, 4, -3.0, 3.0), y in matrix(2, 4, -3.0, 3.0)) {
+        let mut rng = Rng::new(seed);
+        let d = Dense::xavier(4, 3, &mut rng);
+        let zero = Matrix::zeros(2, 4);
+        let lhs = d.forward(&x.add(&y)).sub(&d.forward(&y));
+        let rhs = d.forward(&x).sub(&d.forward(&zero));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_is_idempotent(x in matrix(3, 5, -10.0, 10.0)) {
+        let relu = Layer::Relu;
+        let mut rng = Rng::new(0);
+        let (once, _) = relu.forward(&x, Mode::Eval, &mut rng);
+        let (twice, _) = relu.forward(&once, Mode::Eval, &mut rng);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.min() >= 0.0);
+    }
+
+    /// Cross-entropy is non-negative and shift-invariant in the logits.
+    #[test]
+    fn cross_entropy_invariants(logits in matrix(4, 6, -5.0, 5.0), shift in -10.0..10.0f64) {
+        let targets = vec![0usize, 2, 4, 5];
+        let (l, _) = loss::cross_entropy(&logits, &targets);
+        prop_assert!(l >= 0.0);
+        let (l2, _) = loss::cross_entropy(&logits.map(|v| v + shift), &targets);
+        prop_assert!((l - l2).abs() < 1e-9);
+    }
+
+    /// The cross-entropy gradient of the true class is always negative
+    /// (pushing its logit up) and each row's gradient sums to zero.
+    #[test]
+    fn cross_entropy_gradient_structure(logits in matrix(3, 4, -4.0, 4.0)) {
+        let targets = vec![1usize, 0, 3];
+        let (_, g) = loss::cross_entropy(&logits, &targets);
+        for (r, &t) in targets.iter().enumerate() {
+            prop_assert!(g.get(r, t) <= 0.0);
+            let s: f64 = g.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-12);
+        }
+    }
+
+    /// MSE is symmetric and zero iff inputs are equal.
+    #[test]
+    fn mse_symmetry(a in matrix(2, 5, -3.0, 3.0), b in matrix(2, 5, -3.0, 3.0)) {
+        let (lab, _) = loss::mse(&a, &b);
+        let (lba, _) = loss::mse(&b, &a);
+        prop_assert!((lab - lba).abs() < 1e-12);
+        prop_assert!(lab >= 0.0);
+        let (zero, _) = loss::mse(&a, &a);
+        prop_assert_eq!(zero, 0.0);
+    }
+
+    /// Attention output stays inside the convex hull of the values
+    /// (component-wise bounds).
+    #[test]
+    fn attention_output_in_value_hull(seed in 0u64..500) {
+        let mut rng = Rng::new(seed);
+        let q = Matrix::from_fn(3, 4, |_, _| rng.normal(0.0, 1.0));
+        let k = Matrix::from_fn(6, 4, |_, _| rng.normal(0.0, 1.0));
+        let v = Matrix::from_fn(6, 2, |_, _| rng.uniform(-5.0, 5.0));
+        let (out, _) = attention_forward(&q, &k, &v);
+        for c in 0..v.cols() {
+            let col = v.col(c);
+            let lo = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for r in 0..out.rows() {
+                prop_assert!(out.get(r, c) >= lo - 1e-9 && out.get(r, c) <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// A Sequential's eval-mode forward is a pure function (no hidden
+    /// state): repeated calls agree.
+    #[test]
+    fn sequential_eval_is_pure(seed in 0u64..500, x in matrix(2, 6, 0.0, 1.0)) {
+        let mut rng = Rng::new(seed);
+        let net = Sequential::new(vec![
+            Layer::Dense(Dense::he(6, 8, &mut rng)),
+            Layer::Relu,
+            Layer::Dropout { rate: 0.5 },
+            Layer::GaussianNoise { std: 0.3 },
+            Layer::Dense(Dense::xavier(8, 3, &mut rng)),
+        ]);
+        prop_assert_eq!(net.infer(&x), net.infer(&x));
+    }
+
+    /// Input gradients scale linearly with the loss: scaling grad_out by c
+    /// scales every parameter gradient by c (backward is linear).
+    #[test]
+    fn backward_is_linear_in_upstream_gradient(seed in 0u64..300, c in 0.1..5.0f64) {
+        let mut rng = Rng::new(seed);
+        let net = Sequential::new(vec![
+            Layer::Dense(Dense::he(4, 6, &mut rng)),
+            Layer::Relu,
+            Layer::Dense(Dense::xavier(6, 2, &mut rng)),
+        ]);
+        let x = Matrix::from_fn(3, 4, |_, _| rng.normal(0.0, 1.0));
+        let (y, caches) = net.forward(&x, Mode::Eval, &mut rng);
+        let g = Matrix::from_fn(y.rows(), y.cols(), |_, _| rng.normal(0.0, 1.0));
+        let (gx1, _) = net.backward(&caches, &g);
+        let (gx2, _) = net.backward(&caches, &g.scale(c));
+        prop_assert!(gx2.approx_eq(&gx1.scale(c), 1e-9));
+    }
+}

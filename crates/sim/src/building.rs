@@ -1,0 +1,413 @@
+//! Building floorplans (Table II of the paper).
+
+use calloc_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+/// Construction materials that shape a building's radio environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Material {
+    /// Light wooden partitions: low wall loss.
+    Wood,
+    /// Concrete walls: medium wall loss.
+    Concrete,
+    /// Metallic equipment / structures: strong attenuation and multipath.
+    Metal,
+    /// Open areas: fewer walls, longer sight lines, more people movement.
+    WideSpaces,
+}
+
+/// The five paper buildings of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BuildingId {
+    /// Building 1 — 156 APs, 64 m path, wood and concrete.
+    B1,
+    /// Building 2 — 125 APs, 62 m path, heavy metallic equipment.
+    B2,
+    /// Building 3 — 78 APs, 88 m path, wood/concrete/metal.
+    B3,
+    /// Building 4 — 112 APs, 68 m path, wood/concrete/metal.
+    B4,
+    /// Building 5 — 218 APs, 60 m path, wide spaces, wood and metal.
+    B5,
+}
+
+impl BuildingId {
+    /// All five paper buildings, in order.
+    pub const ALL: [BuildingId; 5] = [
+        BuildingId::B1,
+        BuildingId::B2,
+        BuildingId::B3,
+        BuildingId::B4,
+        BuildingId::B5,
+    ];
+
+    /// Human-readable name matching Table II.
+    pub fn name(self) -> &'static str {
+        match self {
+            BuildingId::B1 => "Building 1",
+            BuildingId::B2 => "Building 2",
+            BuildingId::B3 => "Building 3",
+            BuildingId::B4 => "Building 4",
+            BuildingId::B5 => "Building 5",
+        }
+    }
+
+    /// The Table II specification of this building.
+    ///
+    /// Radio parameters (path-loss exponent, wall density, noise) are
+    /// derived from the material characteristics column: metallic
+    /// environments attenuate harder and scatter more; wide spaces have a
+    /// lower exponent but more dynamic (people/equipment) noise. Buildings
+    /// 1 and 5 are given the largest dynamic noise, mirroring the paper's
+    /// observation that they show the highest errors.
+    pub fn spec(self) -> BuildingSpec {
+        match self {
+            BuildingId::B1 => BuildingSpec {
+                id: self,
+                num_aps: 156,
+                path_length_m: 64,
+                materials: vec![Material::Wood, Material::Concrete],
+                path_loss_exponent: 3.0,
+                wall_density_per_m: 0.10,
+                wall_loss_db: 2.5,
+                shadowing_std_db: 3.5,
+                shadowing_corr_m: 7.0,
+                dynamic_noise_std_db: 2.8,
+                extent_m: (44.0, 26.0),
+                seed: 101,
+            },
+            BuildingId::B2 => BuildingSpec {
+                id: self,
+                num_aps: 125,
+                path_length_m: 62,
+                materials: vec![Material::Metal],
+                path_loss_exponent: 3.3,
+                wall_density_per_m: 0.12,
+                wall_loss_db: 3.5,
+                shadowing_std_db: 4.0,
+                shadowing_corr_m: 7.0,
+                dynamic_noise_std_db: 2.0,
+                extent_m: (40.0, 24.0),
+                seed: 102,
+            },
+            BuildingId::B3 => BuildingSpec {
+                id: self,
+                num_aps: 78,
+                path_length_m: 88,
+                materials: vec![Material::Wood, Material::Concrete, Material::Metal],
+                path_loss_exponent: 3.1,
+                wall_density_per_m: 0.11,
+                wall_loss_db: 3.0,
+                shadowing_std_db: 3.5,
+                shadowing_corr_m: 7.0,
+                dynamic_noise_std_db: 1.8,
+                extent_m: (56.0, 30.0),
+                seed: 103,
+            },
+            BuildingId::B4 => BuildingSpec {
+                id: self,
+                num_aps: 112,
+                path_length_m: 68,
+                materials: vec![Material::Wood, Material::Concrete, Material::Metal],
+                path_loss_exponent: 3.1,
+                wall_density_per_m: 0.11,
+                wall_loss_db: 3.0,
+                shadowing_std_db: 3.5,
+                shadowing_corr_m: 7.0,
+                dynamic_noise_std_db: 1.8,
+                extent_m: (46.0, 28.0),
+                seed: 104,
+            },
+            BuildingId::B5 => BuildingSpec {
+                id: self,
+                num_aps: 218,
+                path_length_m: 60,
+                materials: vec![Material::WideSpaces, Material::Wood, Material::Metal],
+                path_loss_exponent: 2.6,
+                wall_density_per_m: 0.06,
+                wall_loss_db: 2.0,
+                shadowing_std_db: 3.0,
+                shadowing_corr_m: 7.0,
+                dynamic_noise_std_db: 3.0,
+                extent_m: (50.0, 32.0),
+                seed: 105,
+            },
+        }
+    }
+}
+
+/// Parametric description of a building (the generator input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildingSpec {
+    /// Which paper building this is.
+    pub id: BuildingId,
+    /// Number of visible Wi-Fi access points (Table II).
+    pub num_aps: usize,
+    /// Walkable path length in meters; RPs are laid out at 1 m granularity,
+    /// so this is also the number of location classes.
+    pub path_length_m: usize,
+    /// Dominant construction materials (Table II "Characteristics").
+    pub materials: Vec<Material>,
+    /// Log-distance path-loss exponent `n`.
+    pub path_loss_exponent: f64,
+    /// Expected wall crossings per meter of propagation distance.
+    pub wall_density_per_m: f64,
+    /// Attenuation per crossed wall, in dB.
+    pub wall_loss_db: f64,
+    /// Standard deviation of static log-normal shadowing, in dB.
+    pub shadowing_std_db: f64,
+    /// Spatial decorrelation distance of shadowing along the survey path,
+    /// in meters (indoor measurements report 5–10 m). Adjacent RPs share
+    /// most of their shadowing, which is what makes them genuinely hard to
+    /// tell apart.
+    pub shadowing_corr_m: f64,
+    /// Standard deviation of time-varying environmental noise, in dB.
+    pub dynamic_noise_std_db: f64,
+    /// Bounding box of the floorplan in meters (width, height).
+    pub extent_m: (f64, f64),
+    /// Seed controlling AP placement and the static radio realization.
+    pub seed: u64,
+}
+
+/// A concrete building: AP positions, the RP path and the *static* radio
+/// realization (wall-crossing counts and shadowing per RP/AP pair).
+///
+/// The static realization is sampled once at construction so that repeated
+/// fingerprint collections see the same environment and only time-varying
+/// noise differs — exactly like a real site survey.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Building {
+    spec: BuildingSpec,
+    ap_positions: Vec<(f64, f64)>,
+    rp_positions: Vec<(f64, f64)>,
+    wall_counts: Matrix,
+    shadowing_db: Matrix,
+}
+
+impl Building {
+    /// Generates a building from its spec. `salt` perturbs the layout seed,
+    /// letting tests create independent realizations of the same spec.
+    pub fn generate(spec: BuildingSpec, salt: u64) -> Self {
+        let mut rng = Rng::new(spec.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (w, h) = spec.extent_m;
+
+        let ap_positions: Vec<(f64, f64)> = (0..spec.num_aps)
+            .map(|_| (rng.uniform(0.0, w), rng.uniform(0.0, h)))
+            .collect();
+
+        let rp_positions = serpentine_path(w, h, spec.path_length_m);
+
+        let n_rp = rp_positions.len();
+        let n_ap = ap_positions.len();
+        let mut wall_counts = Matrix::zeros(n_rp, n_ap);
+        let mut shadowing_db = Matrix::zeros(n_rp, n_ap);
+        // Per-AP wall-fraction offset: adjacent RPs see almost the same
+        // propagation distance, so they must see almost the same wall
+        // count. A per-link i.i.d. jitter would hand every RP an
+        // artificial unique signature and make localization trivially
+        // easy; a per-AP offset keeps the rounding boundary consistent
+        // along the path.
+        let wall_offset: Vec<f64> = (0..n_ap).map(|_| rng.uniform(-0.5, 0.5)).collect();
+        // Shadowing is spatially correlated along the walking path:
+        // an AR(1) process per AP with the spec's decorrelation distance
+        // (RPs are 1 m apart, so the per-step correlation is
+        // exp(-1 / corr_m)).
+        let rho = (-1.0 / spec.shadowing_corr_m.max(0.1)).exp();
+        let innovation = spec.shadowing_std_db * (1.0 - rho * rho).sqrt();
+        for a in 0..n_ap {
+            let ap = ap_positions[a];
+            let mut shade = rng.normal(0.0, spec.shadowing_std_db);
+            for (r, &rp) in rp_positions.iter().enumerate() {
+                let d = dist(rp, ap);
+                let expected = d * spec.wall_density_per_m;
+                wall_counts.set(r, a, (expected + wall_offset[a]).max(0.0).round());
+                if r > 0 {
+                    shade = rho * shade + rng.normal(0.0, innovation);
+                }
+                shadowing_db.set(r, a, shade);
+            }
+        }
+
+        Building {
+            spec,
+            ap_positions,
+            rp_positions,
+            wall_counts,
+            shadowing_db,
+        }
+    }
+
+    /// The generator spec.
+    pub fn spec(&self) -> &BuildingSpec {
+        &self.spec
+    }
+
+    /// Number of reference points (= location classes).
+    pub fn num_rps(&self) -> usize {
+        self.rp_positions.len()
+    }
+
+    /// Number of visible APs (= fingerprint dimensionality).
+    pub fn num_aps(&self) -> usize {
+        self.ap_positions.len()
+    }
+
+    /// AP positions in meters.
+    pub fn ap_positions(&self) -> &[(f64, f64)] {
+        &self.ap_positions
+    }
+
+    /// RP positions in meters, indexed by class label.
+    pub fn rp_positions(&self) -> &[(f64, f64)] {
+        &self.rp_positions
+    }
+
+    /// Static wall-crossing count between RP `rp` and AP `ap`.
+    pub fn wall_count(&self, rp: usize, ap: usize) -> f64 {
+        self.wall_counts.get(rp, ap)
+    }
+
+    /// Static shadowing between RP `rp` and AP `ap`, in dB.
+    pub fn shadowing_db(&self, rp: usize, ap: usize) -> f64 {
+        self.shadowing_db.get(rp, ap)
+    }
+
+    /// Euclidean distance in meters between two RPs (used to convert a
+    /// misclassification into a localization error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn rp_distance(&self, a: usize, b: usize) -> f64 {
+        dist(self.rp_positions[a], self.rp_positions[b])
+    }
+}
+
+/// Lays out `length_m + 1`-ish RPs at 1 m steps along a serpentine corridor
+/// path inside a `w`-by-`h` box, mimicking a walking survey. Returns exactly
+/// `length_m` points.
+fn serpentine_path(w: f64, h: f64, length_m: usize) -> Vec<(f64, f64)> {
+    let margin = 2.0;
+    let usable_w = (w - 2.0 * margin).max(1.0);
+    let row_gap = 4.0;
+    let mut points = Vec::with_capacity(length_m);
+    let mut x = margin;
+    let mut y = margin;
+    let mut dir = 1.0;
+    while points.len() < length_m {
+        points.push((x, y.min(h - margin)));
+        let next_x = x + dir;
+        if next_x > margin + usable_w || next_x < margin {
+            // turn: move up a row and reverse direction
+            y += row_gap;
+            dir = -dir;
+        } else {
+            x = next_x;
+        }
+    }
+    points
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table_ii() {
+        assert_eq!(BuildingId::B1.spec().num_aps, 156);
+        assert_eq!(BuildingId::B2.spec().num_aps, 125);
+        assert_eq!(BuildingId::B3.spec().num_aps, 78);
+        assert_eq!(BuildingId::B4.spec().num_aps, 112);
+        assert_eq!(BuildingId::B5.spec().num_aps, 218);
+        assert_eq!(BuildingId::B1.spec().path_length_m, 64);
+        assert_eq!(BuildingId::B2.spec().path_length_m, 62);
+        assert_eq!(BuildingId::B3.spec().path_length_m, 88);
+        assert_eq!(BuildingId::B4.spec().path_length_m, 68);
+        assert_eq!(BuildingId::B5.spec().path_length_m, 60);
+    }
+
+    #[test]
+    fn generate_counts_match_spec() {
+        for id in BuildingId::ALL {
+            let b = Building::generate(id.spec(), 0);
+            assert_eq!(b.num_aps(), id.spec().num_aps, "{id:?}");
+            assert_eq!(b.num_rps(), id.spec().path_length_m, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn rps_are_one_meter_apart_along_path() {
+        let b = Building::generate(BuildingId::B1.spec(), 0);
+        let rps = b.rp_positions();
+        let mut adjacent_close = 0;
+        for w in rps.windows(2) {
+            let d = dist(w[0], w[1]);
+            // consecutive path points are 1 m apart except at row turns
+            if (d - 1.0).abs() < 1e-9 {
+                adjacent_close += 1;
+            } else {
+                assert!(d <= 6.0, "gap {d} too large");
+            }
+        }
+        assert!(adjacent_close as f64 > rps.len() as f64 * 0.8);
+    }
+
+    #[test]
+    fn points_stay_inside_extent() {
+        for id in BuildingId::ALL {
+            let b = Building::generate(id.spec(), 3);
+            let (w, h) = b.spec().extent_m;
+            for &(x, y) in b.rp_positions() {
+                assert!(x >= 0.0 && x <= w && y >= 0.0 && y <= h);
+            }
+            for &(x, y) in b.ap_positions() {
+                assert!(x >= 0.0 && x <= w && y >= 0.0 && y <= h);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_building() {
+        let a = Building::generate(BuildingId::B2.spec(), 5);
+        let b = Building::generate(BuildingId::B2.spec(), 5);
+        assert_eq!(a.ap_positions(), b.ap_positions());
+        assert_eq!(a.shadowing_db(3, 7), b.shadowing_db(3, 7));
+    }
+
+    #[test]
+    fn different_salt_different_layout() {
+        let a = Building::generate(BuildingId::B2.spec(), 1);
+        let b = Building::generate(BuildingId::B2.spec(), 2);
+        assert_ne!(a.ap_positions(), b.ap_positions());
+    }
+
+    #[test]
+    fn wall_counts_grow_with_distance_on_average() {
+        let b = Building::generate(BuildingId::B1.spec(), 0);
+        let mut near = Vec::new();
+        let mut far = Vec::new();
+        for r in 0..b.num_rps() {
+            for a in 0..b.num_aps() {
+                let d = dist(b.rp_positions()[r], b.ap_positions()[a]);
+                if d < 10.0 {
+                    near.push(b.wall_count(r, a));
+                } else if d > 30.0 {
+                    far.push(b.wall_count(r, a));
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(mean(&far) > mean(&near));
+    }
+
+    #[test]
+    fn rp_distance_is_symmetric_and_zero_on_diagonal() {
+        let b = Building::generate(BuildingId::B3.spec(), 0);
+        assert_eq!(b.rp_distance(5, 5), 0.0);
+        assert!((b.rp_distance(2, 9) - b.rp_distance(9, 2)).abs() < 1e-12);
+    }
+}

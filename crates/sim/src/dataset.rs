@@ -1,0 +1,240 @@
+//! Fingerprint dataset containers.
+
+use calloc_tensor::{Matrix, Rng};
+use serde::{Deserialize, Serialize};
+
+/// A labelled set of normalized RSS fingerprints.
+///
+/// * `x` — one fingerprint per row, `num_aps` columns, values in `[0, 1]`
+///   (see [`crate::normalize_rss`]).
+/// * `labels` — the RP class of each row.
+/// * `rp_positions` — RP coordinates in meters, indexed by class label;
+///   used to convert a misclassification into a localization error.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Normalized fingerprints (rows) by APs (columns).
+    pub x: Matrix,
+    /// RP class label per row.
+    pub labels: Vec<usize>,
+    /// RP coordinates in meters, indexed by class label.
+    pub rp_positions: Vec<(f64, f64)>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating row/label agreement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != labels.len()` or a label has no coordinate.
+    pub fn new(x: Matrix, labels: Vec<usize>, rp_positions: Vec<(f64, f64)>) -> Self {
+        assert_eq!(x.rows(), labels.len(), "row/label count mismatch");
+        if let Some(&max) = labels.iter().max() {
+            assert!(
+                max < rp_positions.len(),
+                "label {max} has no RP coordinate (only {} RPs)",
+                rp_positions.len()
+            );
+        }
+        Dataset {
+            x,
+            labels,
+            rp_positions,
+        }
+    }
+
+    /// Number of fingerprints.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fingerprint dimensionality (number of APs).
+    pub fn num_aps(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of RP classes (coordinates known to the dataset).
+    pub fn num_classes(&self) -> usize {
+        self.rp_positions.len()
+    }
+
+    /// Localization error in meters for a single prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn error_meters(&self, predicted: usize, actual: usize) -> f64 {
+        let p = self.rp_positions[predicted];
+        let a = self.rp_positions[actual];
+        ((p.0 - a.0).powi(2) + (p.1 - a.1).powi(2)).sqrt()
+    }
+
+    /// Localization errors in meters for a batch of predictions against
+    /// this dataset's labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions.len() != self.len()`.
+    pub fn errors_meters(&self, predictions: &[usize]) -> Vec<f64> {
+        assert_eq!(predictions.len(), self.len(), "prediction count mismatch");
+        predictions
+            .iter()
+            .zip(&self.labels)
+            .map(|(&p, &a)| self.error_meters(p, a))
+            .collect()
+    }
+
+    /// Returns a new dataset with rows shuffled (labels follow).
+    pub fn shuffled(&self, rng: &mut Rng) -> Dataset {
+        let perm = rng.permutation(self.len());
+        let x = self.x.select_rows(&perm);
+        let labels = perm.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            x,
+            labels,
+            rp_positions: self.rp_positions.clone(),
+        }
+    }
+
+    /// Selects a subset of rows by index into a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            rp_positions: self.rp_positions.clone(),
+        }
+    }
+
+    /// Concatenates two datasets over the same building (same AP count and
+    /// RP map).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AP counts or RP maps differ.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.num_aps(), other.num_aps(), "AP count mismatch");
+        assert_eq!(
+            self.rp_positions, other.rp_positions,
+            "datasets come from different buildings"
+        );
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset {
+            x: self.x.vstack(&other.x),
+            labels,
+            rp_positions: self.rp_positions.clone(),
+        }
+    }
+
+    /// Splits into `(first, second)` where `first` receives `fraction` of
+    /// the rows (rounded down, at least 1 when possible), sampled without
+    /// replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1)`.
+    pub fn split(&self, fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction {fraction} must be in (0, 1)"
+        );
+        let perm = rng.permutation(self.len());
+        let k = ((self.len() as f64 * fraction) as usize)
+            .max(1)
+            .min(self.len().saturating_sub(1));
+        (self.subset(&perm[..k]), self.subset(&perm[k..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[
+            vec![0.1, 0.2],
+            vec![0.3, 0.4],
+            vec![0.5, 0.6],
+            vec![0.7, 0.8],
+        ]);
+        Dataset::new(
+            x,
+            vec![0, 1, 0, 1],
+            vec![(0.0, 0.0), (3.0, 4.0)],
+        )
+    }
+
+    #[test]
+    fn error_meters_is_euclidean() {
+        let d = toy();
+        assert_eq!(d.error_meters(0, 1), 5.0);
+        assert_eq!(d.error_meters(1, 1), 0.0);
+    }
+
+    #[test]
+    fn errors_meters_batch() {
+        let d = toy();
+        let errs = d.errors_meters(&[0, 1, 1, 0]);
+        assert_eq!(errs, vec![0.0, 0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn shuffled_preserves_pairs() {
+        let d = toy();
+        let mut rng = Rng::new(1);
+        let s = d.shuffled(&mut rng);
+        assert_eq!(s.len(), d.len());
+        // every (row, label) pair of s must exist in d
+        for i in 0..s.len() {
+            let found = (0..d.len()).any(|j| {
+                d.labels[j] == s.labels[i] && d.x.row(j) == s.x.row(i)
+            });
+            assert!(found);
+        }
+    }
+
+    #[test]
+    fn subset_selects() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(s.x.row(0), &[0.5, 0.6]);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = d.concat(&d);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.labels[4..], d.labels[..]);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let mut rng = Rng::new(2);
+        let (a, b) = d.split(0.5, &mut rng);
+        assert_eq!(a.len() + b.len(), d.len());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn new_rejects_label_count_mismatch() {
+        Dataset::new(Matrix::zeros(3, 2), vec![0, 1], vec![(0.0, 0.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no RP coordinate")]
+    fn new_rejects_out_of_range_label() {
+        Dataset::new(Matrix::zeros(1, 2), vec![5], vec![(0.0, 0.0)]);
+    }
+}

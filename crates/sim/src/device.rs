@@ -1,0 +1,228 @@
+//! Heterogeneous smartphone profiles (Table I of the paper).
+//!
+//! Two devices at the same location capture dissimilar fingerprints because
+//! of chipset and firmware differences. We model a device as a transfer
+//! function on the true RSS field:
+//!
+//! ```text
+//! observed = quantize(gain + scale * rss + N(0, noise_std), step)
+//! ```
+//!
+//! clipped to the device's sensitivity floor. The OnePlus 3 (`OP3`) is the
+//! reference device used for training data, so its profile is (nearly) the
+//! identity.
+
+use calloc_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::propagation::RSS_FLOOR_DBM;
+
+/// A smartphone model's RSS capture characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Manufacturer (Table I).
+    pub manufacturer: String,
+    /// Model (Table I).
+    pub model: String,
+    /// Short acronym used in figures (BLU, HTC, S7, LG, MOTO, OP3).
+    pub acronym: String,
+    /// Constant RSS offset in dB introduced by the chipset front-end.
+    pub gain_offset_db: f64,
+    /// Multiplicative distortion of the RSS scale (1.0 = faithful).
+    pub scale: f64,
+    /// Extra measurement noise of the firmware filtering stack, in dB.
+    pub noise_std_db: f64,
+    /// Reporting quantization step in dB (many chipsets report 1–2 dB
+    /// steps).
+    pub quantization_db: f64,
+    /// Weakest RSS the chipset can detect; weaker signals read as the
+    /// global floor.
+    pub sensitivity_floor_dbm: f64,
+}
+
+impl DeviceProfile {
+    /// The six Table I smartphones, in table order
+    /// (BLU, HTC, S7, LG, MOTO, OP3).
+    pub fn paper_devices() -> Vec<DeviceProfile> {
+        vec![
+            DeviceProfile {
+                manufacturer: "BLU".to_string(),
+                model: "Vivo 8".to_string(),
+                acronym: "BLU".to_string(),
+                gain_offset_db: -4.0,
+                scale: 1.06,
+                noise_std_db: 1.8,
+                quantization_db: 2.0,
+                sensitivity_floor_dbm: -92.0,
+            },
+            DeviceProfile {
+                manufacturer: "HTC".to_string(),
+                model: "U11".to_string(),
+                acronym: "HTC".to_string(),
+                gain_offset_db: 2.5,
+                scale: 0.97,
+                noise_std_db: 1.2,
+                quantization_db: 1.0,
+                sensitivity_floor_dbm: -95.0,
+            },
+            DeviceProfile {
+                manufacturer: "Samsung".to_string(),
+                model: "Galaxy S7".to_string(),
+                acronym: "S7".to_string(),
+                gain_offset_db: 1.5,
+                scale: 1.02,
+                noise_std_db: 1.0,
+                quantization_db: 1.0,
+                sensitivity_floor_dbm: -96.0,
+            },
+            DeviceProfile {
+                manufacturer: "LG".to_string(),
+                model: "V20".to_string(),
+                acronym: "LG".to_string(),
+                gain_offset_db: -2.0,
+                scale: 0.95,
+                noise_std_db: 1.5,
+                quantization_db: 1.0,
+                sensitivity_floor_dbm: -94.0,
+            },
+            DeviceProfile {
+                manufacturer: "Motorola".to_string(),
+                model: "Z2".to_string(),
+                acronym: "MOTO".to_string(),
+                gain_offset_db: -5.5,
+                scale: 1.08,
+                noise_std_db: 2.2,
+                quantization_db: 2.0,
+                sensitivity_floor_dbm: -91.0,
+            },
+            DeviceProfile::reference(),
+        ]
+    }
+
+    /// The OnePlus 3 — the reference training device (identity transfer up
+    /// to 1 dB quantization and a small noise term).
+    pub fn reference() -> DeviceProfile {
+        DeviceProfile {
+            manufacturer: "Oneplus".to_string(),
+            model: "3".to_string(),
+            acronym: "OP3".to_string(),
+            gain_offset_db: 0.0,
+            scale: 1.0,
+            noise_std_db: 0.8,
+            quantization_db: 1.0,
+            sensitivity_floor_dbm: -97.0,
+        }
+    }
+
+    /// Width (dB) of the detection ramp above the sensitivity floor:
+    /// a signal `DETECTION_RAMP_DB` above the floor is always reported,
+    /// one at the floor is never reported, with linear probability in
+    /// between. Weak APs therefore *flicker* across scans — the dominant
+    /// non-Gaussian noise source in real Wi-Fi fingerprints (and the
+    /// reason the paper augments training with random dropouts).
+    pub const DETECTION_RAMP_DB: f64 = 15.0;
+
+    /// Applies the device transfer function to a true RSS value (dBm),
+    /// returning the observed value (dBm, in `[RSS_FLOOR_DBM, 0]`). An
+    /// undetected AP reads as `RSS_FLOOR_DBM`.
+    pub fn observe(&self, true_rss_dbm: f64, rng: &mut Rng) -> f64 {
+        if true_rss_dbm <= RSS_FLOOR_DBM {
+            return RSS_FLOOR_DBM;
+        }
+        // Scale distortion is applied around the floor so that stronger
+        // signals are distorted more, as observed across real chipsets.
+        let rel = true_rss_dbm - RSS_FLOOR_DBM;
+        let mut v = RSS_FLOOR_DBM + rel * self.scale + self.gain_offset_db;
+        v += rng.normal(0.0, self.noise_std_db);
+        // Stochastic detection: scanning misses weak beacons.
+        let p_detect =
+            ((v - self.sensitivity_floor_dbm) / Self::DETECTION_RAMP_DB).clamp(0.0, 1.0);
+        if !rng.bernoulli(p_detect) {
+            return RSS_FLOOR_DBM;
+        }
+        let q = self.quantization_db.max(f64::EPSILON);
+        ((v / q).round() * q).clamp(RSS_FLOOR_DBM, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_has_six_devices() {
+        let d = DeviceProfile::paper_devices();
+        assert_eq!(d.len(), 6);
+        let acr: Vec<&str> = d.iter().map(|p| p.acronym.as_str()).collect();
+        assert_eq!(acr, vec!["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]);
+    }
+
+    #[test]
+    fn reference_device_is_nearly_identity() {
+        let op3 = DeviceProfile::reference();
+        let mut rng = Rng::new(1);
+        let mut errs = Vec::new();
+        for _ in 0..500 {
+            // Stay above the detection ramp so dropouts don't dominate.
+            let truth = rng.uniform(-75.0, -40.0);
+            errs.push((op3.observe(truth, &mut rng) - truth).abs());
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 1.5, "mean |err| {mean_err}");
+    }
+
+    #[test]
+    fn heterogeneous_device_biases_rss() {
+        let moto = &DeviceProfile::paper_devices()[4];
+        let mut rng = Rng::new(2);
+        let truth = -60.0;
+        let mean_obs: f64 =
+            (0..500).map(|_| moto.observe(truth, &mut rng)).sum::<f64>() / 500.0;
+        // MOTO has gain -5.5 and scale 1.08 → observed clearly below truth.
+        assert!(mean_obs < truth - 2.0, "mean obs {mean_obs}");
+    }
+
+    #[test]
+    fn floor_is_preserved() {
+        let mut rng = Rng::new(3);
+        for d in DeviceProfile::paper_devices() {
+            assert_eq!(d.observe(RSS_FLOOR_DBM, &mut rng), RSS_FLOOR_DBM);
+            assert_eq!(d.observe(-150.0, &mut rng), RSS_FLOOR_DBM);
+        }
+    }
+
+    #[test]
+    fn weak_signals_cut_by_sensitivity() {
+        let blu = &DeviceProfile::paper_devices()[0]; // floor -92 dBm
+        let mut rng = Rng::new(4);
+        let hits = (0..200)
+            .filter(|_| blu.observe(-96.0, &mut rng) > RSS_FLOOR_DBM)
+            .count();
+        // -96 dBm is below BLU's sensitivity most of the time.
+        assert!(hits < 60, "{hits} detections of a sub-floor signal");
+    }
+
+    #[test]
+    fn observation_is_quantized() {
+        let blu = &DeviceProfile::paper_devices()[0]; // 2 dB steps
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            let v = blu.observe(-55.0, &mut rng);
+            if v > RSS_FLOOR_DBM {
+                let rem = (v / 2.0).fract().abs();
+                assert!(rem < 1e-9, "value {v} not on 2 dB grid");
+            }
+        }
+    }
+
+    #[test]
+    fn output_range_is_valid() {
+        let mut rng = Rng::new(6);
+        for d in DeviceProfile::paper_devices() {
+            for _ in 0..200 {
+                let v = d.observe(rng.uniform(-120.0, 10.0), &mut rng);
+                assert!((RSS_FLOOR_DBM..=0.0).contains(&v));
+            }
+        }
+    }
+}

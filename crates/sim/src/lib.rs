@@ -1,0 +1,44 @@
+//! # calloc-sim
+//!
+//! Wi-Fi RSS indoor-localization data simulator: the substrate that stands
+//! in for the measured smartphone dataset of the CALLOC paper (Tables I and
+//! II), which is not publicly available.
+//!
+//! The simulator produces RSS fingerprints with the statistical structure
+//! that drives the paper's results:
+//!
+//! * a **log-distance path-loss** radio model with per-building path-loss
+//!   exponent, wall attenuation and static log-normal shadowing;
+//! * **dynamic environmental noise** per measurement (people, equipment),
+//!   scaled per building to mimic Table II's material characteristics;
+//! * **device heterogeneity** (Table I): each smartphone applies its own
+//!   gain offset, scale distortion, quantization and noise to the true RSS
+//!   field, with the OnePlus 3 (OP3) as the reference capture device;
+//! * the paper's collection protocol: reference points at 1 m granularity
+//!   along a path, 5 training fingerprints per RP captured with OP3 and 1
+//!   test fingerprint per RP per device.
+//!
+//! # Example
+//!
+//! ```
+//! use calloc_sim::{Building, BuildingId, Scenario, CollectionConfig};
+//!
+//! let building = Building::generate(BuildingId::B1.spec(), 7);
+//! let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 7);
+//! assert_eq!(scenario.train.num_classes(), building.num_rps());
+//! assert_eq!(scenario.test_per_device.len(), 6);
+//! ```
+
+#![deny(missing_docs)]
+
+mod building;
+mod dataset;
+mod device;
+mod propagation;
+mod scenario;
+
+pub use building::{Building, BuildingId, BuildingSpec, Material};
+pub use dataset::Dataset;
+pub use device::DeviceProfile;
+pub use propagation::{normalize_rss, PropagationModel, RSS_FLOOR_DBM, RSS_MAX_DBM};
+pub use scenario::{CollectionConfig, Scenario};

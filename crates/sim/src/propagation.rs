@@ -1,0 +1,202 @@
+//! Log-distance radio propagation model.
+
+use calloc_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::building::Building;
+
+/// Weakest representable RSS: an undetected AP reads as this value.
+pub const RSS_FLOOR_DBM: f64 = -100.0;
+
+/// Strongest representable RSS.
+pub const RSS_MAX_DBM: f64 = 0.0;
+
+/// Maps a dBm RSS value into the normalized `[0, 1]` feature range used by
+/// every model in the reproduction (`-100 dBm → 0.0`, `0 dBm → 1.0`).
+///
+/// # Example
+///
+/// ```
+/// use calloc_sim::normalize_rss;
+///
+/// assert_eq!(normalize_rss(-100.0), 0.0);
+/// assert_eq!(normalize_rss(-50.0), 0.5);
+/// assert_eq!(normalize_rss(0.0), 1.0);
+/// ```
+pub fn normalize_rss(rss_dbm: f64) -> f64 {
+    ((rss_dbm - RSS_FLOOR_DBM) / (RSS_MAX_DBM - RSS_FLOOR_DBM)).clamp(0.0, 1.0)
+}
+
+/// Log-distance path-loss radio model with wall attenuation and shadowing.
+///
+/// `RSS(d) = tx_power - pl_ref - 10·n·log10(max(d, d0)) - walls·wall_loss
+///  - shadowing - N(0, dynamic_noise)`
+///
+/// The static terms (walls, shadowing) live in [`Building`]; this struct
+/// holds the transmit-side constants and evaluates measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationModel {
+    /// AP transmit power in dBm.
+    pub tx_power_dbm: f64,
+    /// Reference path loss at `d0 = 1 m`, in dB.
+    pub ref_loss_db: f64,
+}
+
+impl Default for PropagationModel {
+    fn default() -> Self {
+        // Typical 2.4 GHz indoor values: 20 dBm EIRP, ~40 dB loss at 1 m.
+        PropagationModel {
+            tx_power_dbm: 20.0,
+            ref_loss_db: 40.0,
+        }
+    }
+}
+
+impl PropagationModel {
+    /// Mean (noise-free, device-free) RSS in dBm from AP `ap` at RP `rp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range for the building.
+    pub fn mean_rss_dbm(&self, building: &Building, rp: usize, ap: usize) -> f64 {
+        let (px, py) = building.rp_positions()[rp];
+        let (ax, ay) = building.ap_positions()[ap];
+        let d = ((px - ax).powi(2) + (py - ay).powi(2)).sqrt().max(1.0);
+        let spec = building.spec();
+        let path_loss = self.ref_loss_db + 10.0 * spec.path_loss_exponent * d.log10();
+        let wall_loss = building.wall_count(rp, ap) * spec.wall_loss_db;
+        let rss = self.tx_power_dbm - path_loss - wall_loss - building.shadowing_db(rp, ap);
+        rss.clamp(RSS_FLOOR_DBM, RSS_MAX_DBM)
+    }
+
+    /// One *true-field* measurement: the mean RSS plus time-varying
+    /// environmental noise (people, equipment movement). Device effects are
+    /// applied afterwards by [`crate::DeviceProfile::observe`].
+    pub fn measure_dbm(&self, building: &Building, rp: usize, ap: usize, rng: &mut Rng) -> f64 {
+        let mean = self.mean_rss_dbm(building, rp, ap);
+        if mean <= RSS_FLOOR_DBM {
+            return RSS_FLOOR_DBM;
+        }
+        (mean + rng.normal(0.0, building.spec().dynamic_noise_std_db))
+            .clamp(RSS_FLOOR_DBM, RSS_MAX_DBM)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::BuildingId;
+
+    fn building() -> Building {
+        Building::generate(BuildingId::B1.spec(), 0)
+    }
+
+    #[test]
+    fn rss_is_within_range() {
+        let b = building();
+        let pm = PropagationModel::default();
+        for rp in (0..b.num_rps()).step_by(7) {
+            for ap in (0..b.num_aps()).step_by(13) {
+                let v = pm.mean_rss_dbm(&b, rp, ap);
+                assert!((RSS_FLOOR_DBM..=RSS_MAX_DBM).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn rss_decays_with_distance() {
+        let b = building();
+        let pm = PropagationModel::default();
+        // For each AP, compare its nearest RP to its farthest RP.
+        let mut decays = 0;
+        let mut total = 0;
+        for ap in 0..b.num_aps() {
+            let (ax, ay) = b.ap_positions()[ap];
+            let (mut near, mut far) = (0usize, 0usize);
+            let (mut dn, mut df) = (f64::INFINITY, 0.0f64);
+            for (rp, &(x, y)) in b.rp_positions().iter().enumerate() {
+                let d = ((x - ax).powi(2) + (y - ay).powi(2)).sqrt();
+                if d < dn {
+                    dn = d;
+                    near = rp;
+                }
+                if d > df {
+                    df = d;
+                    far = rp;
+                }
+            }
+            total += 1;
+            if pm.mean_rss_dbm(&b, near, ap) > pm.mean_rss_dbm(&b, far, ap) {
+                decays += 1;
+            }
+        }
+        // Shadowing can invert a few, but the vast majority must decay.
+        assert!(decays as f64 > total as f64 * 0.9, "{decays}/{total}");
+    }
+
+    #[test]
+    fn typical_signal_levels_are_plausible() {
+        // Indoor Wi-Fi should mostly land between -95 and -35 dBm with a
+        // reasonable detected fraction.
+        let b = building();
+        let pm = PropagationModel::default();
+        let mut detected = 0;
+        let mut total = 0;
+        for rp in 0..b.num_rps() {
+            for ap in 0..b.num_aps() {
+                let v = pm.mean_rss_dbm(&b, rp, ap);
+                total += 1;
+                if v > RSS_FLOOR_DBM {
+                    detected += 1;
+                    assert!(v < -10.0, "implausibly strong {v} dBm");
+                }
+            }
+        }
+        let frac = detected as f64 / total as f64;
+        assert!(frac > 0.5, "only {frac:.2} of links detected");
+    }
+
+    #[test]
+    fn measurement_noise_has_configured_spread() {
+        let b = building();
+        let pm = PropagationModel::default();
+        let mut rng = Rng::new(1);
+        // pick a strong link so clamping doesn't bite
+        let (mut rp, mut ap, mut best) = (0, 0, RSS_FLOOR_DBM);
+        for r in 0..b.num_rps() {
+            for a in 0..b.num_aps() {
+                let v = pm.mean_rss_dbm(&b, r, a);
+                if v > best {
+                    best = v;
+                    rp = r;
+                    ap = a;
+                }
+            }
+        }
+        let samples: Vec<f64> = (0..2000).map(|_| pm.measure_dbm(&b, rp, ap, &mut rng)).collect();
+        let std = calloc_tensor::stats::std_dev(&samples);
+        let expect = b.spec().dynamic_noise_std_db;
+        assert!((std - expect).abs() < 0.4, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn undetected_aps_read_floor_without_noise() {
+        let b = building();
+        let pm = PropagationModel::default();
+        let mut rng = Rng::new(2);
+        for rp in 0..b.num_rps() {
+            for ap in 0..b.num_aps() {
+                if pm.mean_rss_dbm(&b, rp, ap) <= RSS_FLOOR_DBM {
+                    assert_eq!(pm.measure_dbm(&b, rp, ap, &mut rng), RSS_FLOOR_DBM);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalize_rss_clamps() {
+        assert_eq!(normalize_rss(-150.0), 0.0);
+        assert_eq!(normalize_rss(20.0), 1.0);
+        assert!((normalize_rss(-25.0) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the simulator's physical invariants across
+//! random building realizations and devices.
+
+use calloc_sim::{
+    normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, DeviceProfile,
+    PropagationModel, Scenario, RSS_FLOOR_DBM, RSS_MAX_DBM,
+};
+use calloc_tensor::Rng;
+use proptest::prelude::*;
+
+fn small_spec(salt: u64) -> (BuildingSpec, u64) {
+    let ids = BuildingId::ALL;
+    let id = ids[(salt % 5) as usize];
+    (
+        BuildingSpec {
+            path_length_m: 10 + (salt % 12) as usize,
+            num_aps: 8 + (salt % 20) as usize,
+            ..id.spec()
+        },
+        salt,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All mean RSS values stay inside the representable range, for any
+    /// building realization.
+    #[test]
+    fn mean_rss_is_in_range(salt in 0u64..5000) {
+        let (spec, s) = small_spec(salt);
+        let b = Building::generate(spec, s);
+        let pm = PropagationModel::default();
+        for rp in 0..b.num_rps() {
+            for ap in 0..b.num_aps() {
+                let v = pm.mean_rss_dbm(&b, rp, ap);
+                prop_assert!((RSS_FLOOR_DBM..=RSS_MAX_DBM).contains(&v));
+            }
+        }
+    }
+
+    /// Device observation never leaves the representable range and is
+    /// deterministic per RNG stream.
+    #[test]
+    fn device_observation_range_and_determinism(seed in 0u64..5000, truth in -120.0..10.0f64) {
+        for d in DeviceProfile::paper_devices() {
+            let v1 = d.observe(truth, &mut Rng::new(seed));
+            let v2 = d.observe(truth, &mut Rng::new(seed));
+            prop_assert_eq!(v1, v2);
+            prop_assert!((RSS_FLOOR_DBM..=0.0).contains(&v1));
+        }
+    }
+
+    /// Normalization is monotone and maps the range endpoints exactly.
+    #[test]
+    fn normalization_is_monotone(a in -130.0..30.0f64, b in -130.0..30.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normalize_rss(lo) <= normalize_rss(hi));
+        prop_assert_eq!(normalize_rss(RSS_FLOOR_DBM), 0.0);
+        prop_assert_eq!(normalize_rss(RSS_MAX_DBM), 1.0);
+    }
+
+    /// A collected scenario always has consistent shapes: every dataset
+    /// shares the building's AP count and RP map, features are normalized
+    /// and every label is in range.
+    #[test]
+    fn scenario_shapes_are_consistent(salt in 0u64..2000, seed in 0u64..2000) {
+        let (spec, s) = small_spec(salt);
+        let b = Building::generate(spec, s);
+        let sc = Scenario::generate(&b, &CollectionConfig::small(), seed);
+        let all = std::iter::once(&sc.train)
+            .chain(sc.test_per_device.iter().map(|(_, d)| d));
+        for ds in all {
+            prop_assert_eq!(ds.num_aps(), b.num_aps());
+            prop_assert_eq!(ds.num_classes(), b.num_rps());
+            prop_assert!(ds.x.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert!(ds.labels.iter().all(|&l| l < b.num_rps()));
+        }
+    }
+
+    /// Localization error is a metric on RP labels: zero iff equal,
+    /// symmetric, and bounded by the building diameter.
+    #[test]
+    fn error_meters_is_a_metric(salt in 0u64..2000, i in 0usize..10, j in 0usize..10) {
+        let (spec, s) = small_spec(salt);
+        let b = Building::generate(spec, s);
+        let sc = Scenario::generate(&b, &CollectionConfig::small(), 3);
+        let n = b.num_rps();
+        let (i, j) = (i % n, j % n);
+        let d_ij = sc.train.error_meters(i, j);
+        let d_ji = sc.train.error_meters(j, i);
+        prop_assert!((d_ij - d_ji).abs() < 1e-12);
+        prop_assert_eq!(d_ij == 0.0, i == j);
+        let (w, h) = b.spec().extent_m;
+        prop_assert!(d_ij <= (w * w + h * h).sqrt());
+    }
+}

@@ -1,0 +1,233 @@
+//! Dense linear-algebra routines.
+//!
+//! Only what the reproduction needs: Cholesky factorization and the
+//! associated triangular / positive-definite solves. These power the
+//! Gaussian-process baseline (`calloc-baselines::gpc`), which must solve
+//! `(K + σ²I) α = Y` for an RBF kernel matrix `K`.
+
+use crate::{Matrix, TensorError};
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, returning the lower-triangular factor `L`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a` is not square and
+/// [`TensorError::Numeric`] if a non-positive pivot is encountered (i.e.
+/// `a` is not positive definite to working precision).
+///
+/// # Example
+///
+/// ```
+/// use calloc_tensor::{linalg, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+/// let l = linalg::cholesky(&a)?;
+/// let recon = l.matmul(&l.transpose());
+/// assert!(recon.approx_eq(&a, 1e-12));
+/// # Ok::<(), calloc_tensor::TensorError>(())
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, TensorError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(TensorError::ShapeMismatch(format!(
+            "cholesky requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::Numeric(format!(
+                        "non-positive pivot {sum:.3e} at row {i}; matrix is not positive definite"
+                    )));
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L x = b` for lower-triangular `L` (forward substitution).
+///
+/// `b` may have multiple right-hand-side columns.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on incompatible shapes and
+/// [`TensorError::Numeric`] on a zero diagonal element.
+pub fn solve_lower_triangular(l: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    let n = l.rows();
+    if l.cols() != n || b.rows() != n {
+        return Err(TensorError::ShapeMismatch(format!(
+            "solve_lower_triangular: L is {}x{}, b is {}x{}",
+            l.rows(),
+            l.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let mut x = b.clone();
+    for col in 0..b.cols() {
+        for i in 0..n {
+            let mut sum = x.get(i, col);
+            for k in 0..i {
+                sum -= l.get(i, k) * x.get(k, col);
+            }
+            let d = l.get(i, i);
+            if d == 0.0 {
+                return Err(TensorError::Numeric(format!("zero diagonal at row {i}")));
+            }
+            x.set(i, col, sum / d);
+        }
+    }
+    Ok(x)
+}
+
+/// Solves `Lᵀ x = b` for lower-triangular `L` (backward substitution).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] on incompatible shapes and
+/// [`TensorError::Numeric`] on a zero diagonal element.
+pub fn solve_upper_from_lower(l: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    let n = l.rows();
+    if l.cols() != n || b.rows() != n {
+        return Err(TensorError::ShapeMismatch(format!(
+            "solve_upper_from_lower: L is {}x{}, b is {}x{}",
+            l.rows(),
+            l.cols(),
+            b.rows(),
+            b.cols()
+        )));
+    }
+    let mut x = b.clone();
+    for col in 0..b.cols() {
+        for i in (0..n).rev() {
+            let mut sum = x.get(i, col);
+            for k in i + 1..n {
+                // (Lᵀ)[i][k] == L[k][i]
+                sum -= l.get(k, i) * x.get(k, col);
+            }
+            let d = l.get(i, i);
+            if d == 0.0 {
+                return Err(TensorError::Numeric(format!("zero diagonal at row {i}")));
+            }
+            x.set(i, col, sum / d);
+        }
+    }
+    Ok(x)
+}
+
+/// Solves the symmetric positive-definite system `A x = b` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates errors from [`cholesky`] and the triangular solves.
+///
+/// # Example
+///
+/// ```
+/// use calloc_tensor::{linalg, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+/// let b = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+/// let x = linalg::solve_spd(&a, &b)?;
+/// assert!(a.matmul(&x).approx_eq(&b, 1e-10));
+/// # Ok::<(), calloc_tensor::TensorError>(())
+/// ```
+pub fn solve_spd(a: &Matrix, b: &Matrix) -> Result<Matrix, TensorError> {
+    let l = cholesky(a)?;
+    let y = solve_lower_triangular(&l, b)?;
+    solve_upper_from_lower(&l, &y)
+}
+
+/// Adds `jitter` to the diagonal of a square matrix (in place on a copy).
+///
+/// Kernel matrices are often numerically semi-definite; a small diagonal
+/// jitter restores positive definiteness.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn add_diagonal(a: &Matrix, jitter: f64) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "add_diagonal requires a square matrix");
+    let mut out = a.clone();
+    for i in 0..a.rows() {
+        out.set(i, i, out.get(i, i) + jitter);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn random_spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        let b = Matrix::from_fn(n, n, |_, _| rng.normal(0.0, 1.0));
+        add_diagonal(&b.matmul(&b.transpose()), 1e-3 + n as f64 * 0.1)
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = random_spd(8, 1);
+        let l = cholesky(&a).expect("spd");
+        assert!(l.matmul(&l.transpose()).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(matches!(
+            cholesky(&Matrix::zeros(2, 3)),
+            Err(TensorError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky(&a), Err(TensorError::Numeric(_))));
+    }
+
+    #[test]
+    fn solve_spd_solves() {
+        let a = random_spd(10, 2);
+        let mut rng = Rng::new(3);
+        let b = Matrix::from_fn(10, 3, |_, _| rng.normal(0.0, 2.0));
+        let x = solve_spd(&a, &b).expect("solve");
+        assert!(a.matmul(&x).approx_eq(&b, 1e-7));
+    }
+
+    #[test]
+    fn triangular_solves_match_direct() {
+        let a = random_spd(6, 4);
+        let l = cholesky(&a).expect("spd");
+        let b = Matrix::from_fn(6, 1, |r, _| r as f64 + 1.0);
+        let y = solve_lower_triangular(&l, &b).expect("fwd");
+        assert!(l.matmul(&y).approx_eq(&b, 1e-9));
+        let x = solve_upper_from_lower(&l, &y).expect("bwd");
+        assert!(l.transpose().matmul(&x).approx_eq(&y, 1e-9));
+    }
+
+    #[test]
+    fn add_diagonal_only_touches_diagonal() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let j = add_diagonal(&a, 0.5);
+        assert_eq!(j.get(0, 0), 1.5);
+        assert_eq!(j.get(1, 1), 4.5);
+        assert_eq!(j.get(0, 1), 2.0);
+        assert_eq!(j.get(1, 0), 3.0);
+    }
+}

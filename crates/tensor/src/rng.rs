@@ -1,0 +1,246 @@
+//! Deterministic random number generation.
+//!
+//! Every stochastic component of the reproduction (shadowing, fading, weight
+//! initialization, dropout masks, attack target selection, ...) draws from
+//! [`Rng`], a xoshiro256++ generator seeded through SplitMix64. Identical
+//! seeds produce identical experiment outputs on every platform.
+
+/// Seeded xoshiro256++ pseudo-random generator.
+///
+/// # Example
+///
+/// ```
+/// use calloc_tensor::Rng;
+///
+/// let mut a = Rng::new(7);
+/// let mut b = Rng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.uniform(0.0, 1.0);
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+    /// Cached second output of the Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four words of xoshiro state are expanded from the seed with
+    /// SplitMix64, as recommended by the xoshiro authors.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng {
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// building/device/lesson its own stream while staying reproducible.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        let base = self.next_u64();
+        Rng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds inverted: [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer draw in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Standard normal draw via the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to avoid ln(0).
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative standard deviation {std_dev}");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0,1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Returns a random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut v);
+        v
+    }
+
+    /// Samples `k` distinct indices from `0..n` (order randomized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut perm = self.permutation(n);
+        perm.truncate(k);
+        perm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = Rng::new(9);
+        for _ in 0..1000 {
+            let x = rng.uniform(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng::new(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn index_covers_range() {
+        let mut rng = Rng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.index(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng::new(11);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = Rng::new(13);
+        let s = rng.sample_indices(100, 30);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 30);
+        assert!(t.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_too_many_panics() {
+        Rng::new(0).sample_indices(3, 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = Rng::new(77);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Rng::new(3);
+        assert!(!(0..100).any(|_| rng.bernoulli(0.0)));
+        assert!((0..100).all(|_| rng.bernoulli(1.0)));
+    }
+}

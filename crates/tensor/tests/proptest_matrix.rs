@@ -1,0 +1,109 @@
+//! Property-based tests for the matrix and RNG primitives.
+
+use calloc_tensor::{linalg, stats, Matrix, Rng};
+use proptest::prelude::*;
+
+/// Strategy producing a matrix of the given shape with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0..100.0f64, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.approx_eq(&right, 1e-6));
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.approx_eq(&right, 1e-8));
+    }
+
+    #[test]
+    fn add_is_commutative(a in matrix(5, 5), b in matrix(5, 5)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn scale_then_sum_scales_sum(a in matrix(4, 4), s in -10.0..10.0f64) {
+        let lhs = a.scale(s).sum();
+        let rhs = a.sum() * s;
+        prop_assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix(6, 9)) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows() {
+            let sum: f64 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(s.row(r).iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn clamp_respects_bounds(m in matrix(3, 3), lo in -5.0..0.0f64, hi in 0.0..5.0f64) {
+        let c = m.clamp(lo, hi);
+        prop_assert!(c.as_slice().iter().all(|&x| x >= lo && x <= hi));
+    }
+
+    #[test]
+    fn spd_solve_round_trips(seed in 0u64..1000) {
+        let mut rng = Rng::new(seed);
+        let n = 5;
+        let b = Matrix::from_fn(n, n, |_, _| rng.normal(0.0, 1.0));
+        let a = linalg::add_diagonal(&b.matmul(&b.transpose()), 1.0);
+        let rhs = Matrix::from_fn(n, 1, |_, _| rng.normal(0.0, 1.0));
+        let x = linalg::solve_spd(&a, &rhs).expect("spd solve");
+        prop_assert!(a.matmul(&x).approx_eq(&rhs, 1e-6));
+    }
+
+    #[test]
+    fn percentile_is_monotone(v in proptest::collection::vec(-50.0..50.0f64, 1..40),
+                              p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(stats::percentile(&v, lo) <= stats::percentile(&v, hi) + 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_between_min_and_max(v in proptest::collection::vec(-50.0..50.0f64, 1..40)) {
+        let s = stats::Summary::of(&v);
+        prop_assert!(s.min <= s.mean + 1e-12);
+        prop_assert!(s.mean <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn rng_uniform_in_bounds(seed in 0u64..500, lo in -10.0..0.0f64, span in 0.001..10.0f64) {
+        let mut rng = Rng::new(seed);
+        let hi = lo + span;
+        for _ in 0..64 {
+            let x = rng.uniform(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+
+    #[test]
+    fn rng_permutation_valid(seed in 0u64..500, n in 1usize..64) {
+        let mut rng = Rng::new(seed);
+        let mut p = rng.permutation(n);
+        p.sort_unstable();
+        prop_assert_eq!(p, (0..n).collect::<Vec<_>>());
+    }
+}

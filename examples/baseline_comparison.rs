@@ -1,0 +1,62 @@
+//! Train the full framework suite (CALLOC + the four state-of-the-art
+//! comparison frameworks + the classical baselines) on one building and
+//! rank everyone clean and under attack — a single-building Fig. 6.
+//!
+//! ```text
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use calloc_attack::{AttackConfig, AttackKind};
+use calloc_eval::{evaluate, Suite, SuiteProfile};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::stats;
+
+fn main() {
+    let spec = BuildingSpec {
+        path_length_m: 24,
+        num_aps: 40,
+        ..BuildingId::B3.spec()
+    };
+    let building = Building::generate(spec, 17);
+    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 23);
+
+    let mut profile = SuiteProfile::quick();
+    profile.include_classical = true;
+    profile.include_nc = true;
+    let suite = Suite::train(&scenario, &profile);
+    println!("trained {} frameworks on {}\n", suite.members.len(), building.spec().id.name());
+
+    let attack = AttackConfig::standard(AttackKind::Pgd, 0.075, 60.0); // paper ε=0.3, ø=60
+    println!(
+        "{:<9} {:>10} {:>12} {:>12}",
+        "framework", "clean [m]", "PGD [m]", "worst [m]"
+    );
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
+    for member in &suite.members {
+        let mut clean = Vec::new();
+        let mut attacked = Vec::new();
+        let mut worst = 0.0f64;
+        for (_, test) in &scenario.test_per_device {
+            clean.push(evaluate(member.model.as_ref(), test, None, None).summary.mean);
+            let e = evaluate(
+                member.model.as_ref(),
+                test,
+                Some(&attack),
+                Some(suite.surrogate()),
+            );
+            attacked.push(e.summary.mean);
+            worst = worst.max(e.summary.max);
+        }
+        rows.push((
+            member.name.clone(),
+            stats::mean(&clean),
+            stats::mean(&attacked),
+            worst,
+        ));
+    }
+    rows.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
+    for (name, clean, attacked, worst) in rows {
+        println!("{name:<9} {clean:>10.2} {attacked:>12.2} {worst:>12.2}");
+    }
+    println!("\n(sorted by attacked error; the paper's Fig. 6 ranks CALLOC first)");
+}

@@ -1,0 +1,66 @@
+//! Curriculum ablation (the Fig. 5 experiment at example scale): the same
+//! CALLOC architecture trained with and without the adversarial
+//! curriculum, evaluated under the three attack methods at several ε.
+//!
+//! ```text
+//! cargo run --release --example curriculum_ablation
+//! ```
+
+use calloc::{CallocConfig, CallocTrainer, Curriculum, Localizer};
+use calloc_attack::{craft, AttackConfig, AttackKind};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::stats;
+
+fn main() {
+    let spec = BuildingSpec {
+        path_length_m: 26,
+        num_aps: 44,
+        ..BuildingId::B4.spec()
+    };
+    let building = Building::generate(spec, 21);
+    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 33);
+
+    let trainer = CallocTrainer::new(CallocConfig {
+        embedding_dim: 64,
+        attention_dim: 32,
+        epochs_per_lesson: 10,
+        ..CallocConfig::default()
+    })
+    .with_curriculum(Curriculum::linear(6, 0.025));
+    let with = trainer.fit(&scenario.train).model;
+    let without = trainer.fit_no_curriculum(&scenario.train).model;
+    println!("trained CALLOC with curriculum and the NC ablation\n");
+
+    println!(
+        "{:<6} {:>6} | {:>12} {:>10}",
+        "attack", "eps", "CALLOC [m]", "NC [m]"
+    );
+    for kind in AttackKind::ALL {
+        for paper_eps in [0.1, 0.3, 0.5] {
+            let eps = paper_eps * 0.25; // ε calibration, see DESIGN.md §4
+            let cfg = AttackConfig::standard(kind, eps, 100.0);
+            let mut we = Vec::new();
+            let mut ne = Vec::new();
+            for (_, test) in &scenario.test_per_device {
+                let adv_w = craft(&with, &test.x, &test.labels, &cfg);
+                we.push(stats::mean(
+                    &test.errors_meters(&with.predict_classes(&adv_w)),
+                ));
+                let adv_n = craft(&without, &test.x, &test.labels, &cfg);
+                ne.push(stats::mean(
+                    &test.errors_meters(&without.predict_classes(&adv_n)),
+                ));
+            }
+            println!(
+                "{:<6} {:>6.1} | {:>12.2} {:>10.2}",
+                kind.name(),
+                paper_eps,
+                stats::mean(&we),
+                stats::mean(&ne)
+            );
+        }
+    }
+    println!("\n(the curriculum's benefit grows with attack strength; in this simulated");
+    println!(" substrate the shared hyperspace-attention architecture is itself robust,");
+    println!(" so the gap is smaller than the paper's — see EXPERIMENTS.md)");
+}

@@ -1,0 +1,25 @@
+//! # calloc-repro
+//!
+//! Umbrella crate for the CALLOC reproduction workspace: re-exports every
+//! member crate so the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`) can reach the whole system through one
+//! dependency.
+//!
+//! See the individual crates for the real APIs:
+//!
+//! * [`calloc`] — the CALLOC framework (curriculum + hyperspace-attention
+//!   model).
+//! * [`calloc_sim`] — buildings, devices, propagation, fingerprints.
+//! * [`calloc_attack`] — FGSM / PGD / MIM white-box attacks.
+//! * [`calloc_baselines`] — KNN, NB, GPC, DNN, AdvLoc, SANGRIA, ANVIL,
+//!   WiDeep.
+//! * [`calloc_eval`] — metrics, suite trainer, reporting.
+//! * [`calloc_nn`] / [`calloc_tensor`] — the ML and numeric substrates.
+
+pub use calloc;
+pub use calloc_attack;
+pub use calloc_baselines;
+pub use calloc_eval;
+pub use calloc_nn;
+pub use calloc_sim;
+pub use calloc_tensor;

@@ -1,0 +1,128 @@
+//! Cross-crate integration tests: the complete CALLOC pipeline from
+//! simulated survey through curriculum training to attacked evaluation.
+
+use calloc::{CallocConfig, CallocTrainer, Curriculum, Localizer};
+use calloc_attack::{craft, AttackConfig, AttackKind};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::stats;
+
+fn small_building() -> Building {
+    let spec = BuildingSpec {
+        path_length_m: 18,
+        num_aps: 28,
+        ..BuildingId::B1.spec()
+    };
+    Building::generate(spec, 2)
+}
+
+fn trained_calloc(scenario: &Scenario) -> calloc::CallocModel {
+    CallocTrainer::new(CallocConfig {
+        embedding_dim: 64,
+        attention_dim: 32,
+        epochs_per_lesson: 10,
+        ..CallocConfig::default()
+    })
+    .with_curriculum(Curriculum::linear(6, 0.025))
+    .fit(&scenario.train)
+    .model
+}
+
+#[test]
+fn full_pipeline_localizes_accurately() {
+    let building = small_building();
+    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 1);
+    let model = trained_calloc(&scenario);
+    // Every device's clean mean error should beat a trivial predictor by a
+    // wide margin (random guessing on this path is ~7 m).
+    for (device, test) in &scenario.test_per_device {
+        let errs = test.errors_meters(&model.predict_classes(&test.x));
+        let mean = stats::mean(&errs);
+        assert!(mean < 5.0, "{}: clean mean error {mean:.2} m", device.acronym);
+    }
+}
+
+#[test]
+fn attacks_are_bounded_and_effective_end_to_end() {
+    let building = small_building();
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 2);
+    let model = trained_calloc(&scenario);
+    let test = &scenario.test_per_device[0].1;
+    let clean = stats::mean(&test.errors_meters(&model.predict_classes(&test.x)));
+    for kind in AttackKind::ALL {
+        let cfg = AttackConfig::standard(kind, 0.1, 100.0);
+        let adv = craft(&model, &test.x, &test.labels, &cfg);
+        // ε bound and range validity hold through the whole pipeline.
+        assert!(adv.sub(&test.x).map(f64::abs).max() <= 0.1 + 1e-12);
+        assert!(adv.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let attacked = stats::mean(&test.errors_meters(&model.predict_classes(&adv)));
+        assert!(
+            attacked >= clean * 0.9,
+            "{}: attack reduced error ({clean:.2} -> {attacked:.2})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn calloc_is_more_robust_than_undefended_dnn() {
+    use calloc_baselines::{DnnConfig, DnnLocalizer};
+    let building = small_building();
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 3);
+    let model = trained_calloc(&scenario);
+    let dnn = DnnLocalizer::fit(
+        &scenario.train.x,
+        &scenario.train.labels,
+        scenario.train.num_classes(),
+        &DnnConfig::default(),
+    );
+    let test = &scenario.test_per_device[1].1; // OP3
+    let cfg = AttackConfig::fgsm(0.075, 100.0); // paper ε=0.3 calibrated
+    let calloc_adv = craft(&model, &test.x, &test.labels, &cfg);
+    let calloc_err = stats::mean(&test.errors_meters(&model.predict_classes(&calloc_adv)));
+    let dnn_model = dnn.as_differentiable().expect("differentiable");
+    let dnn_adv = craft(dnn_model, &test.x, &test.labels, &cfg);
+    let dnn_err = stats::mean(&test.errors_meters(&dnn.predict_classes(&dnn_adv)));
+    assert!(
+        calloc_err < dnn_err,
+        "CALLOC {calloc_err:.2} m should beat undefended DNN {dnn_err:.2} m under attack"
+    );
+}
+
+#[test]
+fn training_pipeline_is_deterministic_end_to_end() {
+    let building = small_building();
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 4);
+    let a = trained_calloc(&scenario);
+    let b = trained_calloc(&scenario);
+    let test = &scenario.test_per_device[0].1;
+    assert_eq!(a.predict_classes(&test.x), b.predict_classes(&test.x));
+}
+
+#[test]
+fn attention_diagnostics_are_well_formed() {
+    let building = small_building();
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 5);
+    let model = trained_calloc(&scenario);
+    let test = &scenario.test_per_device[1].1;
+    let weights = model.attention_map(&test.x);
+    assert_eq!(weights.shape(), (test.len(), building.num_rps()));
+    for r in 0..weights.rows() {
+        let sum: f64 = weights.row(r).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+        assert!(weights.row(r).iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+    // Soft locations are convex combinations of RP coordinates, so they
+    // must lie inside the RP bounding box.
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in building.rp_positions() {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    for (x, y) in model.soft_locations(&test.x) {
+        assert!((min_x - 1e-9..=max_x + 1e-9).contains(&x));
+        assert!((min_y - 1e-9..=max_y + 1e-9).contains(&y));
+    }
+}

@@ -1,0 +1,92 @@
+//! Integration tests of the evaluation harness across all frameworks.
+
+use calloc::CallocConfig;
+use calloc_attack::{AttackConfig, AttackKind};
+use calloc_eval::{evaluate, ResultRow, ResultTable, Suite, SuiteProfile};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+
+fn tiny_suite() -> (Scenario, Suite) {
+    let spec = BuildingSpec {
+        path_length_m: 14,
+        num_aps: 20,
+        ..BuildingId::B2.spec()
+    };
+    let building = Building::generate(spec, 6);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 8);
+    let profile = SuiteProfile {
+        calloc: CallocConfig {
+            epochs_per_lesson: 5,
+            ..CallocConfig::fast()
+        },
+        lessons: 3,
+        include_nc: false,
+        include_sota: true,
+        include_classical: false,
+        baseline_epochs: 15,
+        train_epsilon: 0.025,
+        seed: 2,
+    };
+    let suite = Suite::train(&scenario, &profile);
+    (scenario, suite)
+}
+
+#[test]
+fn every_framework_survives_every_attack_kind() {
+    let (scenario, suite) = tiny_suite();
+    let test = &scenario.test_per_device[0].1;
+    for member in &suite.members {
+        for kind in AttackKind::ALL {
+            let cfg = AttackConfig::standard(kind, 0.05, 50.0);
+            let eval = evaluate(member.model.as_ref(), test, Some(&cfg), Some(suite.surrogate()));
+            assert!(
+                eval.summary.mean.is_finite() && eval.summary.mean >= 0.0,
+                "{} under {}",
+                member.name,
+                kind.name()
+            );
+            assert_eq!(eval.errors_m.len(), test.len());
+        }
+    }
+}
+
+#[test]
+fn result_table_round_trips_through_csv() {
+    let (scenario, suite) = tiny_suite();
+    let test = &scenario.test_per_device[0].1;
+    let mut table = ResultTable::new();
+    for member in &suite.members {
+        let eval = evaluate(member.model.as_ref(), test, None, None);
+        table.push(ResultRow {
+            framework: member.name.clone(),
+            building: "B2".into(),
+            device: "MOTO".into(),
+            attack: "none".into(),
+            epsilon: 0.0,
+            phi: 0.0,
+            mean_error_m: eval.summary.mean,
+            max_error_m: eval.summary.max,
+        });
+    }
+    let csv = table.to_csv();
+    // header + one line per member
+    assert_eq!(csv.lines().count(), suite.members.len() + 1);
+    assert!(csv.contains("CALLOC"));
+    assert!(csv.contains("WiDeep"));
+}
+
+#[test]
+fn surrogate_transfer_hits_tree_ensembles() {
+    let (scenario, suite) = tiny_suite();
+    let sangria = suite.member("SANGRIA").expect("SANGRIA trained");
+    assert!(sangria.model.as_differentiable().is_none());
+    let test = &scenario.test_per_device[0].1;
+    let clean = evaluate(sangria.model.as_ref(), test, None, None);
+    let cfg = AttackConfig::fgsm(0.125, 100.0);
+    let attacked = evaluate(sangria.model.as_ref(), test, Some(&cfg), Some(suite.surrogate()));
+    assert!(
+        attacked.summary.mean >= clean.summary.mean * 0.8,
+        "transfer attack did nothing: {} -> {}",
+        clean.summary.mean,
+        attacked.summary.mean
+    );
+}
