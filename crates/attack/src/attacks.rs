@@ -218,11 +218,16 @@ fn iterate(
         } else {
             grad
         };
-        let step = direction.map(f64::signum).hadamard(mask).scale(config.alpha);
+        let step = direction
+            .map(f64::signum)
+            .hadamard(mask)
+            .scale(config.alpha);
         x = x.add(&step);
         // Project back into the ε-ball around x0 and the valid range.
         x = x
-            .zip_map(x0, |xi, x0i| xi.clamp(x0i - config.epsilon, x0i + config.epsilon))
+            .zip_map(x0, |xi, x0i| {
+                xi.clamp(x0i - config.epsilon, x0i + config.epsilon)
+            })
             .clamp(0.0, 1.0);
     }
     // Non-targeted columns never receive a step, and the projections are
@@ -361,7 +366,9 @@ mod tests {
     #[test]
     fn crafting_is_deterministic() {
         let (net, x, y) = trained_model();
-        let config = AttackConfig::mim(0.2, 60.0).with_targeting(Targeting::Random).with_seed(4);
+        let config = AttackConfig::mim(0.2, 60.0)
+            .with_targeting(Targeting::Random)
+            .with_seed(4);
         let a = craft(&net, &x, &y, &config);
         let b = craft(&net, &x, &y, &config);
         assert_eq!(a, b);

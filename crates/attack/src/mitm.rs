@@ -104,7 +104,10 @@ impl MitmAttack {
                 }
                 debug_assert!(spoofed
                     .zip_map(&mask, |v, m| if m == 0.0 { v } else { 0.0 })
-                    .approx_eq(&x.zip_map(&mask, |v, m| if m == 0.0 { v } else { 0.0 }), 0.0));
+                    .approx_eq(
+                        &x.zip_map(&mask, |v, m| if m == 0.0 { v } else { 0.0 }),
+                        0.0
+                    ));
                 // Perturb the counterfeit baseline on the same AP subset it
                 // was spoofed on.
                 craft_with_targets(model, &spoofed, y, &self.config, &targets)
@@ -148,7 +151,10 @@ mod tests {
         let adv = mitm.apply(&net, &x, &y);
         // Spoofed readings come from decoy rows, so deltas can exceed ε.
         let max_delta = adv.sub(&x).map(f64::abs).max();
-        assert!(max_delta > 0.05, "spoofing looks like manipulation: {max_delta}");
+        assert!(
+            max_delta > 0.05,
+            "spoofing looks like manipulation: {max_delta}"
+        );
     }
 
     #[test]

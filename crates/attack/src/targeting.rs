@@ -60,7 +60,8 @@ pub fn select_targets(x: &Matrix, phi_percent: f64, targeting: Targeting, seed: 
             let means = x.sum_rows().scale(1.0 / x.rows().max(1) as f64);
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| {
-                means.get(0, b)
+                means
+                    .get(0, b)
                     .partial_cmp(&means.get(0, a))
                     .expect("finite means")
             });
@@ -91,10 +92,7 @@ mod tests {
     use super::*;
 
     fn batch() -> Matrix {
-        Matrix::from_rows(&[
-            vec![0.9, 0.1, 0.5, 0.3, 0.7],
-            vec![0.8, 0.2, 0.6, 0.2, 0.6],
-        ])
+        Matrix::from_rows(&[vec![0.9, 0.1, 0.5, 0.3, 0.7], vec![0.8, 0.2, 0.6, 0.2, 0.6]])
     }
 
     #[test]

@@ -94,9 +94,15 @@ impl AnvilLocalizer {
         let dh = config.dim / config.heads;
         AnvilLocalizer {
             embed: Dense::he(num_aps, config.tokens * config.dim, rng),
-            wq: (0..config.heads).map(|_| Dense::xavier(config.dim, dh, rng)).collect(),
-            wk: (0..config.heads).map(|_| Dense::xavier(config.dim, dh, rng)).collect(),
-            wv: (0..config.heads).map(|_| Dense::xavier(config.dim, dh, rng)).collect(),
+            wq: (0..config.heads)
+                .map(|_| Dense::xavier(config.dim, dh, rng))
+                .collect(),
+            wk: (0..config.heads)
+                .map(|_| Dense::xavier(config.dim, dh, rng))
+                .collect(),
+            wv: (0..config.heads)
+                .map(|_| Dense::xavier(config.dim, dh, rng))
+                .collect(),
             wo: Dense::xavier(config.dim, config.dim, rng),
             out: Dense::xavier(config.tokens * config.dim, num_classes, rng),
             config,
@@ -158,7 +164,7 @@ impl AnvilLocalizer {
         let mut head_inputs = Vec::with_capacity(self.config.heads);
         let mut attn = vec![Vec::with_capacity(b); self.config.heads];
         let mut head_outputs: Vec<Matrix> = Vec::with_capacity(self.config.heads);
-        for h in 0..self.config.heads {
+        for (h, attn_h) in attn.iter_mut().enumerate() {
             let q_all = self.wq[h].forward(&tokens_all);
             let k_all = self.wk[h].forward(&tokens_all);
             let v_all = self.wv[h].forward(&tokens_all);
@@ -174,7 +180,7 @@ impl AnvilLocalizer {
                 for (i, &r) in rows.iter().enumerate() {
                     out_all.set_row(r, o.row(i));
                 }
-                attn[h].push(cache);
+                attn_h.push(cache);
             }
             head_inputs.push((q_all, k_all, v_all));
             head_outputs.push(out_all);
@@ -247,8 +253,7 @@ impl AnvilLocalizer {
         }
 
         let g_embed_act = Matrix::from_vec(b, t * d, g_tokens.into_vec());
-        let g_embed_pre =
-            g_embed_act.zip_map(&c.embed_pre, |g, p| if p > 0.0 { g } else { 0.0 });
+        let g_embed_pre = g_embed_act.zip_map(&c.embed_pre, |g, p| if p > 0.0 { g } else { 0.0 });
         let (g_x, g_embed_w, g_embed_b) = self.embed.backward(&c.x, &g_embed_pre);
 
         Grads {
@@ -428,7 +433,10 @@ mod tests {
         let (loss_before, _) = untrained.loss_and_input_grad(&x, &y);
         let trained = AnvilLocalizer::fit(&x, &y, 3, &small_config());
         let (loss_after, _) = trained.loss_and_input_grad(&x, &y);
-        assert!(loss_after < loss_before * 0.5, "{loss_before} -> {loss_after}");
+        assert!(
+            loss_after < loss_before * 0.5,
+            "{loss_before} -> {loss_after}"
+        );
     }
 
     #[test]

@@ -156,7 +156,15 @@ mod tests {
     #[test]
     fn trains_to_high_accuracy() {
         let (x, y) = blobs();
-        let dnn = DnnLocalizer::fit(&x, &y, 3, &DnnConfig { epochs: 60, ..Default::default() });
+        let dnn = DnnLocalizer::fit(
+            &x,
+            &y,
+            3,
+            &DnnConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        );
         let acc = calloc_nn::metrics::accuracy(&dnn.predict_classes(&x), &y);
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -164,7 +172,15 @@ mod tests {
     #[test]
     fn exposes_gradients() {
         let (x, y) = blobs();
-        let dnn = DnnLocalizer::fit(&x, &y, 3, &DnnConfig { epochs: 5, ..Default::default() });
+        let dnn = DnnLocalizer::fit(
+            &x,
+            &y,
+            3,
+            &DnnConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let model = dnn.as_differentiable().expect("DNN is differentiable");
         let (loss, grad) = model.loss_and_input_grad(&x, &y);
         assert!(loss.is_finite());
@@ -178,13 +194,19 @@ mod tests {
         let net = DnnLocalizer::architecture(10, 4, &config, &mut rng);
         // 2 × (Dense + Relu + Dropout) + final Dense
         assert_eq!(net.layers().len(), 7);
-        assert_eq!(net.parameter_count(), 10 * 128 + 128 + 128 * 64 + 64 + 64 * 4 + 4);
+        assert_eq!(
+            net.parameter_count(),
+            10 * 128 + 128 + 128 * 64 + 64 + 64 * 4 + 4
+        );
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
         let (x, y) = blobs();
-        let config = DnnConfig { epochs: 5, ..Default::default() };
+        let config = DnnConfig {
+            epochs: 5,
+            ..Default::default()
+        };
         let a = DnnLocalizer::fit(&x, &y, 3, &config);
         let b = DnnLocalizer::fit(&x, &y, 3, &config);
         assert_eq!(a.network(), b.network());

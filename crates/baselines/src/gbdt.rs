@@ -94,13 +94,7 @@ impl RegressionTree {
         self.nodes.len()
     }
 
-    fn fit(
-        x: &Matrix,
-        grad: &[f64],
-        hess: &[f64],
-        indices: &[usize],
-        config: &GbdtConfig,
-    ) -> Self {
+    fn fit(x: &Matrix, grad: &[f64], hess: &[f64], indices: &[usize], config: &GbdtConfig) -> Self {
         let mut nodes = Vec::new();
         build(x, grad, hess, indices, 0, config, &mut nodes);
         RegressionTree { nodes }
@@ -157,8 +151,8 @@ fn build(
             if nl >= config.min_samples_leaf && nr >= config.min_samples_leaf {
                 let gr = g - gl;
                 let hr = h - hl;
-                let gain = gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda)
-                    - parent_score;
+                let gain =
+                    gl * gl / (hl + config.lambda) + gr * gr / (hr + config.lambda) - parent_score;
                 if gain > 1e-9 && best.is_none_or(|(bg, _, _)| gain > bg) {
                     best = Some((gain, feature, threshold));
                 }

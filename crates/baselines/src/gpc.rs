@@ -211,7 +211,11 @@ mod tests {
         let s = gpc.scores(&x);
         // On training points the regression should be close to the one-hot.
         for (r, &c) in y.iter().enumerate() {
-            assert!(s.get(r, c) > 0.5, "score at train point {r}: {}", s.get(r, c));
+            assert!(
+                s.get(r, c) > 0.5,
+                "score at train point {r}: {}",
+                s.get(r, c)
+            );
         }
     }
 
@@ -248,7 +252,16 @@ mod tests {
         // collapses under feature noise much faster than it degrades on
         // clean data.
         let (x, y) = blobs(0.02, 5);
-        let gpc = GpcLocalizer::fit(x.clone(), y.clone(), 3, GpcConfig { length_scale: 0.1, ..Default::default() }).expect("fit");
+        let gpc = GpcLocalizer::fit(
+            x.clone(),
+            y.clone(),
+            3,
+            GpcConfig {
+                length_scale: 0.1,
+                ..Default::default()
+            },
+        )
+        .expect("fit");
         let clean_acc = calloc_nn::metrics::accuracy(&gpc.predict_classes(&x), &y);
         let mut rng = Rng::new(6);
         let noisy = Matrix::from_fn(x.rows(), x.cols(), |r, c| {
@@ -269,6 +282,9 @@ mod tests {
         let clean = calloc_nn::metrics::accuracy(&gpc.predict_classes(&x), &y);
         let adv = craft(&gpc, &x, &y, &AttackConfig::fgsm(0.3, 100.0));
         let attacked = calloc_nn::metrics::accuracy(&gpc.predict_classes(&adv), &y);
-        assert!(attacked < clean, "attack ineffective: {clean} -> {attacked}");
+        assert!(
+            attacked < clean,
+            "attack ineffective: {clean} -> {attacked}"
+        );
     }
 }

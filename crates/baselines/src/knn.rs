@@ -174,13 +174,9 @@ impl DifferentiableModel for SoftKnn {
             for (i, &di) in d.iter().enumerate() {
                 sums[self.y_train[i]] += (-di / self.temperature - m).exp();
             }
-            for c in 0..self.num_classes {
+            for (c, &sum) in sums.iter().enumerate() {
                 // classes with no training samples get a very low score
-                let s = if sums[c] > 0.0 {
-                    m + sums[c].ln()
-                } else {
-                    -1e9
-                };
+                let s = if sum > 0.0 { m + sum.ln() } else { -1e9 };
                 logits.set(r, c, s);
             }
         }
@@ -214,8 +210,8 @@ impl DifferentiableModel for SoftKnn {
                     continue;
                 }
                 let w = grad_logits.get(r, c) * ei / sums[c] * (-2.0 / self.temperature);
-                for col in 0..x.cols() {
-                    let delta = q[col] - self.x_train.get(i, col);
+                for (col, &qv) in q.iter().enumerate() {
+                    let delta = qv - self.x_train.get(i, col);
                     grad_x.set(r, col, grad_x.get(r, col) + w * delta);
                 }
             }
@@ -323,7 +319,10 @@ mod tests {
         let clean_acc = calloc_nn::metrics::accuracy(&soft.predict_classes(&x), &y);
         let adv = craft(&soft, &x, &y, &AttackConfig::fgsm(0.3, 100.0));
         let adv_acc = calloc_nn::metrics::accuracy(&soft.predict_classes(&adv), &y);
-        assert!(adv_acc < clean_acc, "attack had no effect: {clean_acc} -> {adv_acc}");
+        assert!(
+            adv_acc < clean_acc,
+            "attack had no effect: {clean_acc} -> {adv_acc}"
+        );
     }
 
     #[test]

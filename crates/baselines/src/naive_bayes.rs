@@ -56,10 +56,10 @@ impl NaiveBayesLocalizer {
                 means.set(c, col, means.get(c, col) + x.get(r, col));
             }
         }
-        for c in 0..num_classes {
-            if counts[c] > 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
                 for col in 0..d {
-                    means.set(c, col, means.get(c, col) / counts[c] as f64);
+                    means.set(c, col, means.get(c, col) / count as f64);
                 }
             }
         }
@@ -69,10 +69,10 @@ impl NaiveBayesLocalizer {
                 variances.set(c, col, variances.get(c, col) + diff * diff);
             }
         }
-        for c in 0..num_classes {
+        for (c, &count) in counts.iter().enumerate() {
             for col in 0..d {
-                let v = if counts[c] > 0 {
-                    variances.get(c, col) / counts[c] as f64
+                let v = if count > 0 {
+                    variances.get(c, col) / count as f64
                 } else {
                     1.0
                 };

@@ -10,9 +10,7 @@
 //! evaluation harness attacks SANGRIA by transfer from a surrogate — the
 //! realistic scenario for this architecture.
 
-use calloc_nn::{
-    Adam, Dense, Layer, Localizer, Sequential, TrainConfig, Trainer,
-};
+use calloc_nn::{Adam, Dense, Layer, Localizer, Sequential, TrainConfig, Trainer};
 use calloc_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 

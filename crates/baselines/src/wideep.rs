@@ -215,7 +215,10 @@ mod tests {
         let clean = accuracy(&model.predict_classes(&x), &y);
         let adv = craft(&model, &x, &y, &AttackConfig::fgsm(0.3, 100.0));
         let attacked = accuracy(&model.predict_classes(&adv), &y);
-        assert!(attacked < clean, "attack ineffective: {clean} -> {attacked}");
+        assert!(
+            attacked < clean,
+            "attack ineffective: {clean} -> {attacked}"
+        );
     }
 
     #[test]

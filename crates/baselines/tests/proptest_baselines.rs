@@ -1,0 +1,77 @@
+//! Property-based tests of the classical baselines, starting with the KNN
+//! localizer's shape and validity invariants.
+
+use calloc_baselines::KnnLocalizer;
+use calloc_nn::Localizer;
+use calloc_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+/// Random training set: `n` fingerprints of `d` APs with labels covering
+/// `classes` RP classes.
+fn training_set(seed: u64, n: usize, d: usize, classes: usize) -> (Matrix, Vec<usize>) {
+    let mut rng = Rng::new(seed);
+    let x = Matrix::from_fn(n, d, |_, _| rng.uniform(0.0, 1.0));
+    let y = (0..n).map(|i| i % classes).collect();
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Prediction count equals query count, for every k and query size,
+    /// and every predicted class is in range.
+    #[test]
+    fn knn_prediction_count_matches_query_count(
+        seed in 0u64..5000,
+        n_train in 6usize..40,
+        n_query in 1usize..30,
+        d in 2usize..24,
+        k in 1usize..8,
+        classes in 2usize..6,
+    ) {
+        let classes = classes.min(n_train);
+        let (x, y) = training_set(seed, n_train, d, classes);
+        let knn = KnnLocalizer::fit(x, y, classes, k);
+        let mut rng = Rng::new(seed ^ 0x51_7e);
+        let queries = Matrix::from_fn(n_query, d, |_, _| rng.uniform(0.0, 1.0));
+        let preds = knn.predict_classes(&queries);
+        prop_assert_eq!(preds.len(), n_query);
+        prop_assert!(preds.iter().all(|&c| c < classes),
+            "prediction out of range: {:?} (classes = {})", preds, classes);
+    }
+
+    /// With k = 1, every training fingerprint's nearest neighbor is itself
+    /// (distance zero), so the training set is reproduced exactly.
+    #[test]
+    fn knn_k1_memorizes_training_points(
+        seed in 0u64..5000,
+        n_train in 4usize..30,
+        d in 2usize..16,
+    ) {
+        let classes = 4usize.min(n_train);
+        let (x, y) = training_set(seed, n_train, d, classes);
+        let knn = KnnLocalizer::fit(x.clone(), y.clone(), classes, 1);
+        prop_assert_eq!(knn.predict_classes(&x), y);
+    }
+
+    /// Predictions are per-row independent: predicting a batch equals
+    /// predicting each row alone.
+    #[test]
+    fn knn_rows_predict_independently(
+        seed in 0u64..5000,
+        n_query in 2usize..10,
+        k in 1usize..5,
+    ) {
+        let (d, classes) = (8, 4);
+        let (x, y) = training_set(seed, 20, d, classes);
+        let knn = KnnLocalizer::fit(x, y, classes, k);
+        let mut rng = Rng::new(seed ^ 0xBEEF);
+        let queries = Matrix::from_fn(n_query, d, |_, _| rng.uniform(0.0, 1.0));
+        let batch = knn.predict_classes(&queries);
+        for (r, &expected) in batch.iter().enumerate() {
+            let single = knn.predict_classes(&queries.select_rows(&[r]));
+            prop_assert_eq!(single.len(), 1);
+            prop_assert_eq!(single[0], expected, "row {} differs", r);
+        }
+    }
+}

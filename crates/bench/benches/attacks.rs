@@ -35,7 +35,14 @@ fn bench_attacks(c: &mut Criterion) {
         ("fgsm_e0.3_phi10", AttackConfig::fgsm(0.3, 10.0)),
     ] {
         c.bench_function(&format!("craft_{name}"), |b| {
-            b.iter(|| craft(black_box(model), black_box(&x), black_box(&y), black_box(&cfg)))
+            b.iter(|| {
+                craft(
+                    black_box(model),
+                    black_box(&x),
+                    black_box(&y),
+                    black_box(&cfg),
+                )
+            })
         });
     }
 }

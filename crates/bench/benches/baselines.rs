@@ -25,8 +25,13 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| black_box(knn.predict_classes(black_box(&test.x))))
     });
 
-    let gpc = GpcLocalizer::fit(train.x.clone(), train.labels.clone(), k, GpcConfig::default())
-        .expect("gpc fit");
+    let gpc = GpcLocalizer::fit(
+        train.x.clone(),
+        train.labels.clone(),
+        k,
+        GpcConfig::default(),
+    )
+    .expect("gpc fit");
     c.bench_function("predict_gpc", |b| {
         b.iter(|| black_box(gpc.predict_classes(black_box(&test.x))))
     });

@@ -17,7 +17,10 @@ use calloc_tensor::stats;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("ABLATIONS — extensions beyond the paper (profile: {})\n", profile.name());
+    println!(
+        "ABLATIONS — extensions beyond the paper (profile: {})\n",
+        profile.name()
+    );
     let sp = suite_profile(profile);
     let building = &buildings(profile)[0];
     let scenario = scenario_for(building, 4242);
@@ -45,7 +48,9 @@ fn main() {
         ("linear (paper)", trainer.clone()),
         (
             "two-lesson shock",
-            trainer.clone().with_curriculum(Curriculum::linear(2, sp.train_epsilon)),
+            trainer
+                .clone()
+                .with_curriculum(Curriculum::linear(2, sp.train_epsilon)),
         ),
         (
             "adaptive off",
@@ -90,9 +95,13 @@ fn main() {
         let mut transfer = Vec::new();
         for (_, test) in &scenario.test_per_device {
             let adv_w = craft(&model, &test.x, &test.labels, &cfg);
-            white.push(stats::mean(&test.errors_meters(&model.predict_classes(&adv_w))));
+            white.push(stats::mean(
+                &test.errors_meters(&model.predict_classes(&adv_w)),
+            ));
             let adv_t = craft(sur, &test.x, &test.labels, &cfg);
-            transfer.push(stats::mean(&test.errors_meters(&model.predict_classes(&adv_t))));
+            transfer.push(stats::mean(
+                &test.errors_meters(&model.predict_classes(&adv_t)),
+            ));
         }
         println!(
             "   ε={paper_eps}: white-box {:.2} m   transfer {:.2} m",

@@ -14,7 +14,10 @@ use calloc_tensor::stats;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("FIG 1 — FGSM impact on classical localization (profile: {})", profile.name());
+    println!(
+        "FIG 1 — FGSM impact on classical localization (profile: {})",
+        profile.name()
+    );
     let building = &buildings(profile)[0];
     let scenario = scenario_for(building, 42);
     let train = &scenario.train;
@@ -34,8 +37,13 @@ fn main() {
     report("KNN", &knn, Some(&soft), &scenario, &attack);
 
     // GPC — analytic RBF gradients.
-    let gpc = GpcLocalizer::fit(train.x.clone(), train.labels.clone(), k, GpcConfig::default())
-        .expect("GPC fit");
+    let gpc = GpcLocalizer::fit(
+        train.x.clone(),
+        train.labels.clone(),
+        k,
+        GpcConfig::default(),
+    )
+    .expect("GPC fit");
     report("GPC", &gpc, None, &scenario, &attack);
 
     // DNN — standard white-box.
@@ -50,7 +58,9 @@ fn main() {
     );
     report("DNN", &dnn, None, &scenario, &attack);
 
-    println!("\n(paper trend: every classical solution suffers a multi-x error blow-up under FGSM)");
+    println!(
+        "\n(paper trend: every classical solution suffers a multi-x error blow-up under FGSM)"
+    );
 }
 
 fn report(

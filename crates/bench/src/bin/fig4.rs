@@ -6,13 +6,18 @@
 use calloc::CallocTrainer;
 use calloc::Curriculum;
 use calloc_attack::AttackConfig;
-use calloc_bench::{attacks, buildings, epsilon_grid, phi_grid, scenario_for, suite_profile, Profile};
+use calloc_bench::{
+    attacks, buildings, epsilon_grid, phi_grid, scenario_for, suite_profile, Profile,
+};
 use calloc_eval::{ascii_heatmap, evaluate};
 use calloc_tensor::stats;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("FIG 4 — CALLOC error heatmaps (profile: {})\n", profile.name());
+    println!(
+        "FIG 4 — CALLOC error heatmaps (profile: {})\n",
+        profile.name()
+    );
     let suite = suite_profile(profile);
     let eps_grid = epsilon_grid(profile);
     let phis = phi_grid(profile);
@@ -22,8 +27,10 @@ fn main() {
     let mut scenarios = Vec::new();
     for (i, b) in bldgs.iter().enumerate() {
         let scenario = scenario_for(b, 42 + i as u64);
-        let trainer = CallocTrainer::new(suite.calloc)
-            .with_curriculum(Curriculum::linear(suite.lessons.max(2), suite.train_epsilon));
+        let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
+            suite.lessons.max(2),
+            suite.train_epsilon,
+        ));
         let model = trainer.fit(&scenario.train).model;
         eprintln!("trained CALLOC on {}", b.spec().id.name());
         models.push(model);
@@ -48,7 +55,8 @@ fn main() {
                 let mut errs = Vec::new();
                 for &eps in &eps_grid {
                     for &phi in &phis {
-                        let cfg = AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
+                        let cfg =
+                            AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
                         let eval = evaluate(&models[bi], test, Some(&cfg), None);
                         errs.push(eval.summary.mean);
                     }
@@ -60,7 +68,10 @@ fn main() {
         println!(
             "{}",
             ascii_heatmap(
-                &format!("{} attack — mean error [m] (rows: buildings, cols: devices)", kind.name()),
+                &format!(
+                    "{} attack — mean error [m] (rows: buildings, cols: devices)",
+                    kind.name()
+                ),
                 &building_names,
                 &device_names,
                 &grid,

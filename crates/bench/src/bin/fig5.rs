@@ -6,13 +6,18 @@
 use calloc::{CallocTrainer, Curriculum};
 use calloc_attack::AttackConfig;
 use calloc_baselines::{DnnConfig, DnnLocalizer};
-use calloc_bench::{attacks, buildings, epsilon_grid, phi_grid, scenario_for, suite_profile, Profile};
+use calloc_bench::{
+    attacks, buildings, epsilon_grid, phi_grid, scenario_for, suite_profile, Profile,
+};
 use calloc_eval::evaluate;
 use calloc_tensor::stats;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("FIG 5 — impact of curriculum learning (profile: {})\n", profile.name());
+    println!(
+        "FIG 5 — impact of curriculum learning (profile: {})\n",
+        profile.name()
+    );
     let suite = suite_profile(profile);
     let eps_grid = epsilon_grid(profile);
     let phis = phi_grid(profile);
@@ -21,8 +26,10 @@ fn main() {
     let mut pairs = Vec::new(); // (curriculum model, NC model, scenario)
     for (i, b) in bldgs.iter().enumerate() {
         let scenario = scenario_for(b, 77 + i as u64);
-        let trainer = CallocTrainer::new(suite.calloc)
-            .with_curriculum(Curriculum::linear(suite.lessons.max(2), suite.train_epsilon));
+        let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
+            suite.lessons.max(2),
+            suite.train_epsilon,
+        ));
         let with = trainer.fit(&scenario.train).model;
         let without = trainer.fit_no_curriculum(&scenario.train).model;
         // An independent surrogate makes the evaluation a worst-case
@@ -55,9 +62,9 @@ fn main() {
                 let sur = surrogate.network();
                 for (_, test) in &scenario.test_per_device {
                     for &phi in &phis {
-                        let cfg = AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
-                        with_errs
-                            .push(evaluate(with, test, Some(&cfg), Some(sur)).summary.mean);
+                        let cfg =
+                            AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
+                        with_errs.push(evaluate(with, test, Some(&cfg), Some(sur)).summary.mean);
                         without_errs
                             .push(evaluate(without, test, Some(&cfg), Some(sur)).summary.mean);
                     }

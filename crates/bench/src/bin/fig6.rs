@@ -7,12 +7,17 @@
 //! WiDeep by 6.03×/4.6×.
 
 use calloc_attack::AttackConfig;
-use calloc_bench::{attacks, buildings, epsilon_grid, phi_grid_fig7, scenario_for, suite_profile, Profile};
+use calloc_bench::{
+    attacks, buildings, epsilon_grid, phi_grid_fig7, scenario_for, suite_profile, Profile,
+};
 use calloc_eval::{evaluate, ResultRow, ResultTable, Suite};
 
 fn main() {
     let profile = Profile::from_env();
-    println!("FIG 6 — CALLOC vs state-of-the-art (profile: {})\n", profile.name());
+    println!(
+        "FIG 6 — CALLOC vs state-of-the-art (profile: {})\n",
+        profile.name()
+    );
     let sp = suite_profile(profile);
     let eps_grid = epsilon_grid(profile);
     let phis = phi_grid_fig7(profile);
@@ -27,7 +32,11 @@ fn main() {
                 for kind in attacks() {
                     for &eps in &eps_grid {
                         for &phi in &phis {
-                            let cfg = AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
+                            let cfg = AttackConfig::standard(
+                                kind,
+                                calloc_bench::calibrate_epsilon(eps),
+                                phi,
+                            );
                             let eval = evaluate(
                                 member.model.as_ref(),
                                 test,

@@ -13,7 +13,10 @@ use std::collections::BTreeMap;
 
 fn main() {
     let profile = Profile::from_env();
-    println!("FIG 7 — error vs attacked APs ø, FGSM ε=0.1 (profile: {})\n", profile.name());
+    println!(
+        "FIG 7 — error vs attacked APs ø, FGSM ε=0.1 (profile: {})\n",
+        profile.name()
+    );
     let sp = suite_profile(profile);
     let phis = phi_grid_fig7(profile);
 
@@ -29,7 +32,11 @@ fn main() {
                 .or_insert_with(|| vec![Vec::new(); phis.len()]);
             for (_, test) in &scenario.test_per_device {
                 for (pi, &phi) in phis.iter().enumerate() {
-                    let cfg = AttackConfig::standard(AttackKind::Fgsm, calloc_bench::calibrate_epsilon(0.1), phi);
+                    let cfg = AttackConfig::standard(
+                        AttackKind::Fgsm,
+                        calloc_bench::calibrate_epsilon(0.1),
+                        phi,
+                    );
                     let eval = evaluate(
                         member.model.as_ref(),
                         test,

@@ -7,9 +7,9 @@ use calloc_sim::{Building, BuildingId, PropagationModel, RSS_FLOOR_DBM};
 fn main() {
     let pm = PropagationModel::default();
     println!("TABLE II: BUILDING FLOORPLAN DETAILS (paper columns + realized simulation)");
+    // Column widths match the data rows below: <12 >11 >12 >6 >10 >12.
     println!(
-        "{:<12} {:>11} {:>12} {:>6} {:>10} {:>12}  {}",
-        "Building", "Visible APs", "Path Length", "RPs", "n (PL exp)", "Detected[%]", "Characteristics"
+        "Building     Visible APs  Path Length    RPs n (PL exp)  Detected[%]  Characteristics"
     );
     for id in BuildingId::ALL {
         let spec = id.spec();

@@ -143,7 +143,9 @@ pub fn phi_grid(profile: Profile) -> Vec<f64> {
 /// The ø grid of Fig. 7 (paper: 1–100).
 pub fn phi_grid_fig7(profile: Profile) -> Vec<f64> {
     match profile {
-        Profile::Full => vec![1.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+        Profile::Full => vec![
+            1.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+        ],
         Profile::Quick => vec![1.0, 20.0, 40.0, 60.0, 80.0, 100.0],
     }
 }

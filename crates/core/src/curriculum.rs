@@ -78,7 +78,10 @@ impl Curriculum {
     ///
     /// Panics if `lessons` is empty.
     pub fn from_lessons(lessons: Vec<Lesson>) -> Self {
-        assert!(!lessons.is_empty(), "a curriculum needs at least one lesson");
+        assert!(
+            !lessons.is_empty(),
+            "a curriculum needs at least one lesson"
+        );
         Curriculum { lessons }
     }
 

@@ -1,7 +1,9 @@
 //! The CALLOC hyperspace-attention network (§IV.B–C of the paper).
 
 use calloc_nn::attention::{attention_backward, attention_forward};
-use calloc_nn::{loss, Cache, Dense, DifferentiableModel, Layer, LayerGrad, Localizer, Mode, Sequential};
+use calloc_nn::{
+    loss, Cache, Dense, DifferentiableModel, Layer, LayerGrad, Localizer, Mode, Sequential,
+};
 use calloc_sim::Dataset;
 use calloc_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
@@ -148,10 +150,7 @@ impl CallocModel {
         });
 
         CallocModel {
-            embed_c: Sequential::new(vec![
-                Layer::Dense(Dense::he(num_aps, d, rng)),
-                Layer::Relu,
-            ]),
+            embed_c: Sequential::new(vec![Layer::Dense(Dense::he(num_aps, d, rng)), Layer::Relu]),
             embed_o: Sequential::new(vec![
                 Layer::Dense(Dense::he(num_aps, d, rng)),
                 Layer::Relu,
@@ -189,10 +188,10 @@ impl CallocModel {
                 proto.set(label, c, proto.get(label, c) + dataset.x.get(r, c));
             }
         }
-        for class in 0..k {
-            assert!(counts[class] > 0, "RP class {class} has no fingerprints");
+        for (class, &count) in counts.iter().enumerate() {
+            assert!(count > 0, "RP class {class} has no fingerprints");
             for c in 0..dataset.num_aps() {
-                proto.set(class, c, proto.get(class, c) / counts[class] as f64);
+                proto.set(class, c, proto.get(class, c) / count as f64);
             }
         }
         proto
@@ -305,11 +304,7 @@ impl CallocModel {
     }
 
     /// Gradient of the `H^O` branch for a pair batch (alignment loss).
-    pub(crate) fn backward_original(
-        &self,
-        caches: &[Cache],
-        grad_h_o: &Matrix,
-    ) -> Vec<LayerGrad> {
+    pub(crate) fn backward_original(&self, caches: &[Cache], grad_h_o: &Matrix) -> Vec<LayerGrad> {
         let (_, grads) = self.embed_o.backward(caches, grad_h_o);
         grads
     }
@@ -329,7 +324,9 @@ impl CallocModel {
         let fwd = self.forward(x, Mode::Eval, &mut rng);
         let w = fwd.attn.weights();
         let soft = w.matmul(&self.memory_v).scale(self.location_scale);
-        (0..soft.rows()).map(|r| (soft.get(r, 0), soft.get(r, 1))).collect()
+        (0..soft.rows())
+            .map(|r| (soft.get(r, 0), soft.get(r, 1)))
+            .collect()
     }
 
     pub(crate) fn parts_mut(
@@ -351,18 +348,30 @@ impl CallocModel {
     }
 }
 
+/// Weight/bias gradient pair of one dense layer.
+pub(crate) type DenseGrad = (Matrix, Matrix);
+
+/// `ModelGrads` decomposed for the optimizer: input gradient, the two
+/// embedding-network gradients, then the Wq / Wk / fc dense grads.
+pub(crate) type GradParts = (
+    Matrix,
+    Vec<LayerGrad>,
+    Vec<LayerGrad>,
+    DenseGrad,
+    DenseGrad,
+    DenseGrad,
+);
+
 impl ModelGrads {
-    pub(crate) fn into_parts(
-        self,
-    ) -> (
-        Matrix,
-        Vec<LayerGrad>,
-        Vec<LayerGrad>,
-        (Matrix, Matrix),
-        (Matrix, Matrix),
-        (Matrix, Matrix),
-    ) {
-        (self.input, self.grads_c, self.grads_o, self.wq, self.wk, self.fc)
+    pub(crate) fn into_parts(self) -> GradParts {
+        (
+            self.input,
+            self.grads_c,
+            self.grads_o,
+            self.wq,
+            self.wk,
+            self.fc,
+        )
     }
 
     pub(crate) fn grads_o_mut(&mut self) -> &mut Vec<LayerGrad> {
@@ -500,11 +509,7 @@ mod tests {
 
     #[test]
     fn prototypes_are_class_means() {
-        let x = Matrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![0.4, 0.4],
-        ]);
+        let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0], vec![0.4, 0.4]]);
         let ds = Dataset::new(x, vec![0, 0, 1], vec![(0.0, 0.0), (1.0, 0.0)]);
         let proto = CallocModel::prototypes_from(&ds);
         assert_eq!(proto.row(0), &[0.5, 0.5]);

@@ -67,12 +67,7 @@ impl CallocTrainer {
         assert!(!train.is_empty(), "cannot train on an empty dataset");
         let mut rng = Rng::new(self.config.seed);
         let prototypes = CallocModel::prototypes_from(train);
-        let mut model = CallocModel::new(
-            prototypes,
-            &train.rp_positions,
-            self.config,
-            &mut rng,
-        );
+        let mut model = CallocModel::new(prototypes, &train.rp_positions, self.config, &mut rng);
         let mut opt = Opt::new(&model, self.config.learning_rate);
 
         let mut reports = Vec::with_capacity(self.curriculum.len());
@@ -447,7 +442,10 @@ mod tests {
             .train
             .errors_meters(&outcome.model.predict_classes(&scenario.train.x));
         let mean_err = calloc_tensor::stats::mean(&errs);
-        assert!(mean_err < 9.0, "NC mean error {mean_err:.2} m collapsed entirely");
+        assert!(
+            mean_err < 9.0,
+            "NC mean error {mean_err:.2} m collapsed entirely"
+        );
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub fn evaluate(
     }
     candidates
         .iter()
-        .map(|x| eval_on(x))
+        .map(eval_on)
         .max_by(|a, b| {
             a.summary
                 .mean

@@ -83,14 +83,19 @@ impl ResultTable {
 
 /// Serializes rows to CSV (with header).
 pub fn csv_table(rows: &[ResultRow]) -> String {
-    let mut out = String::from(
-        "framework,building,device,attack,epsilon,phi,mean_error_m,max_error_m\n",
-    );
+    let mut out =
+        String::from("framework,building,device,attack,epsilon,phi,mean_error_m,max_error_m\n");
     for r in rows {
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{:.4},{:.4}",
-            r.framework, r.building, r.device, r.attack, r.epsilon, r.phi, r.mean_error_m,
+            r.framework,
+            r.building,
+            r.device,
+            r.attack,
+            r.epsilon,
+            r.phi,
+            r.mean_error_m,
             r.max_error_m
         );
     }

@@ -1,12 +1,11 @@
 //! Trains the full framework suite of the paper's evaluation on a scenario.
 
 use calloc::{CallocConfig, CallocTrainer, Curriculum};
-use calloc_baselines::{
-    AdvLocConfig, AdvLocLocalizer, AnvilConfig, AnvilLocalizer, DnnConfig, DnnLocalizer,
-    GpcConfig, GpcLocalizer, KnnLocalizer, SangriaConfig, SangriaLocalizer, WiDeepConfig,
-    WiDeepLocalizer,
-};
 use calloc_baselines::gbdt::GbdtConfig;
+use calloc_baselines::{
+    AdvLocConfig, AdvLocLocalizer, AnvilConfig, AnvilLocalizer, DnnConfig, DnnLocalizer, GpcConfig,
+    GpcLocalizer, KnnLocalizer, SangriaConfig, SangriaLocalizer, WiDeepConfig, WiDeepLocalizer,
+};
 use calloc_nn::{DifferentiableModel, Localizer, Sequential};
 use calloc_sim::Scenario;
 
@@ -92,8 +91,9 @@ impl Suite {
         let k = train.num_classes();
         let mut members: Vec<SuiteMember> = Vec::new();
 
-        let calloc_trainer = CallocTrainer::new(profile.calloc)
-            .with_curriculum(Curriculum::linear(profile.lessons.max(2), profile.train_epsilon));
+        let calloc_trainer = CallocTrainer::new(profile.calloc).with_curriculum(
+            Curriculum::linear(profile.lessons.max(2), profile.train_epsilon),
+        );
         let calloc_model = calloc_trainer.fit(train).model;
         members.push(SuiteMember {
             name: "CALLOC".into(),

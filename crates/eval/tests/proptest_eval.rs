@@ -1,0 +1,129 @@
+//! Property-based tests of the evaluation harness: metric shapes and
+//! invariants of [`calloc_eval::evaluate`], and consistency of the
+//! [`calloc_eval::ResultTable`] aggregations.
+
+use calloc_baselines::KnnLocalizer;
+use calloc_eval::{evaluate, ResultRow, ResultTable};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use proptest::prelude::*;
+
+fn tiny_scenario(salt: u64, seed: u64) -> Scenario {
+    let id = BuildingId::ALL[(salt % 5) as usize];
+    let spec = BuildingSpec {
+        path_length_m: 8 + (salt % 8) as usize,
+        num_aps: 6 + (salt % 10) as usize,
+        ..id.spec()
+    };
+    let building = Building::generate(spec, salt);
+    Scenario::generate(&building, &CollectionConfig::small(), seed)
+}
+
+fn row(framework: &str, mean: f64, max: f64) -> ResultRow {
+    ResultRow {
+        framework: framework.to_string(),
+        building: "B1".to_string(),
+        device: "OP3".to_string(),
+        attack: "none".to_string(),
+        epsilon: 0.0,
+        phi: 0.0,
+        mean_error_m: mean,
+        max_error_m: max,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A clean evaluation always produces one error per fingerprint, only
+    /// non-negative finite errors, a consistent summary and an accuracy
+    /// inside [0, 1].
+    #[test]
+    fn evaluation_shapes_and_bounds(salt in 0u64..2000, seed in 0u64..2000, k in 1usize..6) {
+        let s = tiny_scenario(salt, seed);
+        let knn = KnnLocalizer::fit(
+            s.train.x.clone(),
+            s.train.labels.clone(),
+            s.train.num_classes(),
+            k,
+        );
+        for (_, test) in &s.test_per_device {
+            let ev = evaluate(&knn, test, None, None);
+            prop_assert_eq!(ev.errors_m.len(), test.len());
+            prop_assert!(ev.errors_m.iter().all(|e| e.is_finite() && *e >= 0.0));
+            prop_assert!((0.0..=1.0).contains(&ev.accuracy));
+            prop_assert!(ev.summary.min >= 0.0);
+            prop_assert!(ev.summary.min <= ev.summary.mean + 1e-12);
+            prop_assert!(ev.summary.mean <= ev.summary.max + 1e-12);
+            let mean = ev.errors_m.iter().sum::<f64>() / ev.errors_m.len() as f64;
+            prop_assert!((mean - ev.summary.mean).abs() < 1e-9,
+                "summary mean {} != recomputed {}", ev.summary.mean, mean);
+        }
+    }
+
+    /// Evaluating on the training fingerprints themselves: a 1-NN model
+    /// memorizes the survey, so accuracy is perfect and mean error zero.
+    #[test]
+    fn knn_memorizes_training_set(salt in 0u64..2000, seed in 0u64..2000) {
+        let s = tiny_scenario(salt, seed);
+        let knn = KnnLocalizer::fit(
+            s.train.x.clone(),
+            s.train.labels.clone(),
+            s.train.num_classes(),
+            1,
+        );
+        let ev = evaluate(&knn, &s.train, None, None);
+        prop_assert_eq!(ev.accuracy, 1.0);
+        prop_assert_eq!(ev.summary.mean, 0.0);
+    }
+
+    /// `ResultTable::mean_where` over every row equals the hand-computed
+    /// mean, and the trivially-false predicate yields `None`.
+    #[test]
+    fn result_table_mean_where_is_consistent(
+        means in proptest::collection::vec(0.0..50.0f64, 1..20),
+    ) {
+        let mut table = ResultTable::new();
+        for m in &means {
+            table.push(row("CALLOC", *m, *m * 2.0));
+        }
+        prop_assert_eq!(table.rows().len(), means.len());
+        let expect = means.iter().sum::<f64>() / means.len() as f64;
+        let got = table.mean_where(|_| true).expect("non-empty table");
+        prop_assert!((got - expect).abs() < 1e-9, "mean_where {got} != {expect}");
+        prop_assert_eq!(table.mean_where(|r| r.framework == "nope"), None);
+        let max = table.max_where(|_| true).expect("non-empty table");
+        let expect_max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max) * 2.0;
+        prop_assert!((max - expect_max).abs() < 1e-9);
+    }
+
+    /// `for_framework` partitions the table: the per-framework row counts
+    /// sum to the total and every returned row matches the framework.
+    #[test]
+    fn result_table_for_framework_partitions(
+        picks in proptest::collection::vec(0usize..3, 1..30),
+    ) {
+        let names = ["CALLOC", "KNN", "DNN"];
+        let mut table = ResultTable::new();
+        for (i, p) in picks.iter().enumerate() {
+            table.push(row(names[*p], i as f64, i as f64));
+        }
+        let mut total = 0;
+        for name in names {
+            let rows = table.for_framework(name);
+            prop_assert!(rows.iter().all(|r| r.framework == name));
+            total += rows.len();
+        }
+        prop_assert_eq!(total, picks.len());
+    }
+
+    /// The CSV export has a header plus exactly one line per row.
+    #[test]
+    fn csv_has_one_line_per_row(n in 0usize..25) {
+        let mut table = ResultTable::new();
+        for i in 0..n {
+            table.push(row("CALLOC", i as f64, i as f64));
+        }
+        let csv = table.to_csv();
+        prop_assert_eq!(csv.trim_end().lines().count(), n + 1);
+    }
+}

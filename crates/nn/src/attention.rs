@@ -89,10 +89,7 @@ pub fn attention_forward(q: &Matrix, k: &Matrix, v: &Matrix) -> (Matrix, Attenti
 /// # Panics
 ///
 /// Panics if `grad_out` does not match the forward output shape.
-pub fn attention_backward(
-    cache: &AttentionCache,
-    grad_out: &Matrix,
-) -> (Matrix, Matrix, Matrix) {
+pub fn attention_backward(cache: &AttentionCache, grad_out: &Matrix) -> (Matrix, Matrix, Matrix) {
     assert_eq!(
         grad_out.shape(),
         (cache.q.rows(), cache.v.cols()),

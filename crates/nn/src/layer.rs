@@ -153,14 +153,13 @@ impl Layer {
                     return (x.clone(), Cache::None);
                 }
                 let keep = 1.0 - rate.min(1.0 - f64::EPSILON);
-                let mask =
-                    Matrix::from_fn(x.rows(), x.cols(), |_, _| {
-                        if rng.bernoulli(keep) {
-                            1.0 / keep
-                        } else {
-                            0.0
-                        }
-                    });
+                let mask = Matrix::from_fn(x.rows(), x.cols(), |_, _| {
+                    if rng.bernoulli(keep) {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                });
                 (x.hadamard(&mask), Cache::Mask(mask))
             }
             Layer::GaussianNoise { std } => {
@@ -221,12 +220,7 @@ impl Layer {
 mod tests {
     use super::*;
 
-    fn finite_diff_input(
-        layer: &Layer,
-        x: &Matrix,
-        grad_out: &Matrix,
-        eps: f64,
-    ) -> Matrix {
+    fn finite_diff_input(layer: &Layer, x: &Matrix, grad_out: &Matrix, eps: f64) -> Matrix {
         // d/dx of sum(grad_out ⊙ f(x)) via central differences, eval-free
         // layers only (deterministic path).
         let mut rng = Rng::new(0);
@@ -347,7 +341,7 @@ mod tests {
         // inverted dropout: E[y] == x
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Some elements must actually be dropped.
-        assert!(y.as_slice().iter().any(|&v| v == 0.0));
+        assert!(y.as_slice().contains(&0.0));
     }
 
     #[test]

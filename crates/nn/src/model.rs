@@ -251,9 +251,8 @@ mod tests {
         let mut rng = Rng::new(0);
         let (y, mut caches) = net.forward(&x, Mode::Eval, &mut rng);
         caches.pop();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            net.backward(&caches, &y)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.backward(&caches, &y)));
         assert!(result.is_err());
     }
 

@@ -230,9 +230,9 @@ impl ParamAdam {
             .scale(self.beta2)
             .add(&grad.map(|g| g * g).scale(1.0 - self.beta2));
         let eps = self.epsilon;
-        let update = self
-            .m
-            .zip_map(&self.v, |m, v| learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps));
+        let update = self.m.zip_map(&self.v, |m, v| {
+            learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps)
+        });
         *param = param.sub(&update);
     }
 

@@ -165,11 +165,7 @@ mod tests {
             vec![0.5, 0.6],
             vec![0.7, 0.8],
         ]);
-        Dataset::new(
-            x,
-            vec![0, 1, 0, 1],
-            vec![(0.0, 0.0), (3.0, 4.0)],
-        )
+        Dataset::new(x, vec![0, 1, 0, 1], vec![(0.0, 0.0), (3.0, 4.0)])
     }
 
     #[test]
@@ -194,9 +190,8 @@ mod tests {
         assert_eq!(s.len(), d.len());
         // every (row, label) pair of s must exist in d
         for i in 0..s.len() {
-            let found = (0..d.len()).any(|j| {
-                d.labels[j] == s.labels[i] && d.x.row(j) == s.x.row(i)
-            });
+            let found =
+                (0..d.len()).any(|j| d.labels[j] == s.labels[i] && d.x.row(j) == s.x.row(i));
             assert!(found);
         }
     }
@@ -229,7 +224,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "mismatch")]
     fn new_rejects_label_count_mismatch() {
-        Dataset::new(Matrix::zeros(3, 2), vec![0, 1], vec![(0.0, 0.0), (1.0, 1.0)]);
+        Dataset::new(
+            Matrix::zeros(3, 2),
+            vec![0, 1],
+            vec![(0.0, 0.0), (1.0, 1.0)],
+        );
     }
 
     #[test]

@@ -135,8 +135,7 @@ impl DeviceProfile {
         let mut v = RSS_FLOOR_DBM + rel * self.scale + self.gain_offset_db;
         v += rng.normal(0.0, self.noise_std_db);
         // Stochastic detection: scanning misses weak beacons.
-        let p_detect =
-            ((v - self.sensitivity_floor_dbm) / Self::DETECTION_RAMP_DB).clamp(0.0, 1.0);
+        let p_detect = ((v - self.sensitivity_floor_dbm) / Self::DETECTION_RAMP_DB).clamp(0.0, 1.0);
         if !rng.bernoulli(p_detect) {
             return RSS_FLOOR_DBM;
         }
@@ -176,8 +175,7 @@ mod tests {
         let moto = &DeviceProfile::paper_devices()[4];
         let mut rng = Rng::new(2);
         let truth = -60.0;
-        let mean_obs: f64 =
-            (0..500).map(|_| moto.observe(truth, &mut rng)).sum::<f64>() / 500.0;
+        let mean_obs: f64 = (0..500).map(|_| moto.observe(truth, &mut rng)).sum::<f64>() / 500.0;
         // MOTO has gain -5.5 and scale 1.08 → observed clearly below truth.
         assert!(mean_obs < truth - 2.0, "mean obs {mean_obs}");
     }

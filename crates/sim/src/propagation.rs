@@ -173,7 +173,9 @@ mod tests {
                 }
             }
         }
-        let samples: Vec<f64> = (0..2000).map(|_| pm.measure_dbm(&b, rp, ap, &mut rng)).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| pm.measure_dbm(&b, rp, ap, &mut rng))
+            .collect();
         let std = calloc_tensor::stats::std_dev(&samples);
         let expect = b.spec().dynamic_noise_std_db;
         assert!((std - expect).abs() < 0.4, "std {std} vs {expect}");

@@ -210,7 +210,12 @@ mod tests {
     #[test]
     fn features_are_normalized() {
         let (_, s) = scenario();
-        assert!(s.train.x.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(s
+            .train
+            .x
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -152,7 +152,12 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c]
     }
 
@@ -163,7 +168,12 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -174,7 +184,11 @@ impl Matrix {
     /// Panics if `r` is out of bounds.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -185,7 +199,11 @@ impl Matrix {
     /// Panics if `r` is out of bounds.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -200,7 +218,11 @@ impl Matrix {
     ///
     /// Panics if `c` is out of bounds.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col {c} out of bounds for {} cols", self.cols);
+        assert!(
+            c < self.cols,
+            "col {c} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|r| self.get(r, c)).collect()
     }
 
@@ -391,8 +413,7 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        self.checked_matmul(other)
-            .unwrap_or_else(|e| panic!("{e}"))
+        self.checked_matmul(other).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Matrix product returning an error instead of panicking on a shape
@@ -676,7 +697,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let bias = Matrix::row_vector(&[10.0, 20.0]);
         let out = a.add_row_broadcast(&bias);
-        assert_eq!(out, Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]]));
+        assert_eq!(
+            out,
+            Matrix::from_rows(&[vec![11.0, 22.0], vec![13.0, 24.0]])
+        );
     }
 
     #[test]
@@ -705,9 +729,16 @@ mod tests {
 
     #[test]
     fn select_rows_and_cols() {
-        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]]);
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
         let r = a.select_rows(&[2, 0]);
-        assert_eq!(r, Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]]));
+        assert_eq!(
+            r,
+            Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]])
+        );
         let c = a.select_cols(&[1]);
         assert_eq!(c, Matrix::from_rows(&[vec![2.0], vec![5.0], vec![8.0]]));
     }

@@ -6,9 +6,7 @@
 //! cargo run --release --example attack_demo
 //! ```
 
-use calloc_attack::{
-    craft, select_targets, AttackConfig, AttackKind, MitmAttack, Targeting,
-};
+use calloc_attack::{craft, select_targets, AttackConfig, AttackKind, MitmAttack, Targeting};
 use calloc_baselines::{DnnConfig, DnnLocalizer};
 use calloc_nn::Localizer;
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
@@ -35,9 +33,17 @@ fn main() {
 
     // Which APs does a rational adversary target? The strongest ones.
     let targets = select_targets(&test.x, 25.0, Targeting::Strongest, 0);
-    println!("ø=25% strongest-AP targeting picks {} of {} APs: {:?}\n", targets.len(), test.num_aps(), &targets[..targets.len().min(10)]);
+    println!(
+        "ø=25% strongest-AP targeting picks {} of {} APs: {:?}\n",
+        targets.len(),
+        test.num_aps(),
+        &targets[..targets.len().min(10)]
+    );
 
-    println!("{:<6} {:>6} {:>6} | {:>10} {:>12}", "attack", "eps", "phi", "L_inf", "error [m]");
+    println!(
+        "{:<6} {:>6} {:>6} | {:>10} {:>12}",
+        "attack", "eps", "phi", "L_inf", "error [m]"
+    );
     for kind in AttackKind::ALL {
         for (eps, phi) in [(0.025, 25.0), (0.025, 100.0), (0.125, 100.0)] {
             let cfg = AttackConfig::standard(kind, eps, phi);

@@ -24,7 +24,11 @@ fn main() {
     profile.include_classical = true;
     profile.include_nc = true;
     let suite = Suite::train(&scenario, &profile);
-    println!("trained {} frameworks on {}\n", suite.members.len(), building.spec().id.name());
+    println!(
+        "trained {} frameworks on {}\n",
+        suite.members.len(),
+        building.spec().id.name()
+    );
 
     let attack = AttackConfig::standard(AttackKind::Pgd, 0.075, 60.0); // paper ε=0.3, ø=60
     println!(
@@ -37,7 +41,11 @@ fn main() {
         let mut attacked = Vec::new();
         let mut worst = 0.0f64;
         for (_, test) in &scenario.test_per_device {
-            clean.push(evaluate(member.model.as_ref(), test, None, None).summary.mean);
+            clean.push(
+                evaluate(member.model.as_ref(), test, None, None)
+                    .summary
+                    .mean,
+            );
             let e = evaluate(
                 member.model.as_ref(),
                 test,

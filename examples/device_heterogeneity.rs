@@ -20,9 +20,7 @@ fn main() {
     };
     let building = Building::generate(spec, 11);
     let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 5);
-    println!(
-        "training data comes from OP3 only; testing on all six Table I devices\n"
-    );
+    println!("training data comes from OP3 only; testing on all six Table I devices\n");
 
     let knn = KnnLocalizer::fit(
         scenario.train.x.clone(),

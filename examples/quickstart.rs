@@ -67,5 +67,7 @@ fn main() {
         let attacked = stats::mean(&test.errors_meters(&adv_pred));
         println!("{:<8} {:>13.2} {:>14.2}", device.acronym, clean, attacked);
     }
-    println!("\nCALLOC keeps the attacked error close to the clean error — that is the paper's claim.");
+    println!(
+        "\nCALLOC keeps the attacked error close to the clean error — that is the paper's claim."
+    );
 }

@@ -37,7 +37,11 @@ fn full_pipeline_localizes_accurately() {
     for (device, test) in &scenario.test_per_device {
         let errs = test.errors_meters(&model.predict_classes(&test.x));
         let mean = stats::mean(&errs);
-        assert!(mean < 5.0, "{}: clean mean error {mean:.2} m", device.acronym);
+        assert!(
+            mean < 5.0,
+            "{}: clean mean error {mean:.2} m",
+            device.acronym
+        );
     }
 }
 

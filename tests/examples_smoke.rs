@@ -1,0 +1,43 @@
+//! Smoke test mirroring the `examples/` entry points under a fast
+//! configuration, so `cargo test` catches a broken quickstart path without
+//! paying full example runtime. (CI additionally runs
+//! `cargo build --examples` so every example keeps compiling.)
+
+use calloc::{CallocConfig, CallocTrainer, Localizer};
+use calloc_attack::{craft, AttackConfig};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::stats;
+
+/// A miniature run of the `quickstart` example: simulate, train with
+/// `CallocConfig::fast()`, localize clean and FGSM-attacked fingerprints.
+#[test]
+fn quickstart_path_runs_under_fast_config() {
+    let spec = BuildingSpec {
+        path_length_m: 12,
+        num_aps: 16,
+        ..BuildingId::B1.spec()
+    };
+    let building = Building::generate(spec, 7);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 42);
+
+    let outcome = CallocTrainer::new(CallocConfig::fast()).fit(&scenario.train);
+    let model = outcome.model;
+    assert!(!outcome.lesson_reports.is_empty());
+
+    let (_, test) = &scenario.test_per_device[0];
+    let clean_errs = test.errors_meters(&model.predict_classes(&test.x));
+    assert_eq!(clean_errs.len(), test.len());
+    let clean_mean = stats::mean(&clean_errs);
+    assert!(clean_mean.is_finite() && clean_mean >= 0.0);
+
+    let victim = model.as_differentiable().expect("calloc is differentiable");
+    let adv = craft(
+        victim,
+        &test.x,
+        &test.labels,
+        &AttackConfig::fgsm(0.1, 50.0),
+    );
+    let adv_errs = test.errors_meters(&model.predict_classes(&adv));
+    let adv_mean = stats::mean(&adv_errs);
+    assert!(adv_mean.is_finite() && adv_mean >= 0.0);
+}

@@ -37,7 +37,12 @@ fn every_framework_survives_every_attack_kind() {
     for member in &suite.members {
         for kind in AttackKind::ALL {
             let cfg = AttackConfig::standard(kind, 0.05, 50.0);
-            let eval = evaluate(member.model.as_ref(), test, Some(&cfg), Some(suite.surrogate()));
+            let eval = evaluate(
+                member.model.as_ref(),
+                test,
+                Some(&cfg),
+                Some(suite.surrogate()),
+            );
             assert!(
                 eval.summary.mean.is_finite() && eval.summary.mean >= 0.0,
                 "{} under {}",
@@ -82,7 +87,12 @@ fn surrogate_transfer_hits_tree_ensembles() {
     let test = &scenario.test_per_device[0].1;
     let clean = evaluate(sangria.model.as_ref(), test, None, None);
     let cfg = AttackConfig::fgsm(0.125, 100.0);
-    let attacked = evaluate(sangria.model.as_ref(), test, Some(&cfg), Some(suite.surrogate()));
+    let attacked = evaluate(
+        sangria.model.as_ref(),
+        test,
+        Some(&cfg),
+        Some(suite.surrogate()),
+    );
     assert!(
         attacked.summary.mean >= clean.summary.mean * 0.8,
         "transfer attack did nothing: {} -> {}",

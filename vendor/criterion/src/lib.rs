@@ -1,0 +1,114 @@
+//! Minimal wall-clock benchmarking harness, source-compatible with the
+//! subset of [criterion](https://bheisler.github.io/criterion.rs/book/)
+//! this workspace uses (see `vendor/README.md` for why it is vendored).
+//!
+//! Measurement model: each `bench_function` first times a single call to
+//! size the workload, then runs enough iterations to fill a ~300 ms
+//! measurement window (at least 5) and reports the mean and best per-
+//! iteration wall time. No statistics, plots or baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark harness handle passed to `criterion_group!` targets.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            window: self.measurement_window,
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    window: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one sample per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Size the workload with one untimed-ish warmup call.
+        let probe_start = Instant::now();
+        hint::black_box(routine());
+        let probe = probe_start.elapsed();
+
+        let target = self.window;
+        let iters = if probe.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / probe.as_nanos().max(1)).clamp(5, 100_000) as usize
+        };
+        self.samples.reserve(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let best = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{name:<40} mean {mean:>12?}   best {best:>12?}   ({} iters)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group declared by `criterion_group!`.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

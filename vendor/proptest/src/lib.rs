@@ -1,0 +1,196 @@
+//! Deterministic mini property-testing library, source-compatible with the
+//! subset of [proptest](https://proptest-rs.github.io/proptest/) this
+//! workspace uses (see `vendor/README.md` for why it is vendored).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **Deterministic.** Every case is drawn from a seed derived by hashing
+//!   the test function's name and the case index, so a failing case is
+//!   reproduced exactly by re-running the test — no persistence files.
+//! * **No shrinking.** A failure reports the case index and message only.
+//! * Default case count is 64 (configurable with
+//!   [`ProptestConfig::with_cases`] via `#![proptest_config(..)]`).
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! fn add_commutes(a: i64, b: i64) -> bool {
+//!     a + b == b + a
+//! }
+//!
+//! proptest! {
+//!     // In real tests this fn carries `#[test]`; omitted here so the
+//!     // doctest (which has no test harness) can call it directly.
+//!     fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+//!         prop_assert!(add_commutes(a, b));
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports for writing property tests, mirroring
+    //! `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports an optional `#![proptest_config(expr)]` header followed by any
+/// number of `#[test] fn name(arg in strategy, ...) { body }` items. Each
+/// generated test runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} for `{}` failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property-test case unless the condition holds.
+///
+/// Accepts an optional format message, like `assert!`. Must be used inside
+/// a [`proptest!`] body (it `return`s a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!(
+                    "assertion failed: {}",
+                    stringify!($cond)
+                )),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property-test case unless the two expressions are
+/// equal (compared by reference, like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `{} == {}` ({})\n  left: `{:?}`\n right: `{:?}`",
+                            stringify!($left),
+                            stringify!($right),
+                            format!($($fmt)+),
+                            l,
+                            r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current property-test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: `{:?}`",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}

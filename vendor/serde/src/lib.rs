@@ -1,0 +1,39 @@
+//! Marker-trait stand-in for [serde](https://serde.rs) used by this offline
+//! workspace.
+//!
+//! The workspace only ever *derives* `Serialize` / `Deserialize` (no runtime
+//! serialization is exercised yet), so the traits are markers with blanket
+//! impls and the derive macros are no-ops. Code written against this crate
+//! stays source-compatible with real serde; see `vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that derived impls and trait
+/// bounds compile exactly as they would against real serde.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Blanket-implemented for every sized type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for serde's `de` module (re-exports [`DeserializeOwned`]).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for serde's `ser` module (re-exports [`Serialize`]).
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde stand-in.
+//!
+//! The companion `serde` crate provides blanket impls of its marker traits,
+//! so the derives only need to exist (and accept `#[serde(...)]` helper
+//! attributes) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Derives the (marker) `serde::Serialize` trait. Expands to nothing; the
+/// blanket impl in the `serde` stand-in already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (marker) `serde::Deserialize` trait. Expands to nothing; the
+/// blanket impl in the `serde` stand-in already covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
