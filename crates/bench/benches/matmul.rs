@@ -1,0 +1,44 @@
+//! Matmul kernel comparison: the seed's naive triple loop vs. the
+//! cache-blocked serial kernel vs. the row-chunk-parallel kernel, plus the
+//! transpose-free `A·Bᵀ` product, at the sizes that dominate attention and
+//! suite training.
+//!
+//! `cargo run -p calloc-bench --release --bin perf_baseline` records the
+//! same comparison as a JSON snapshot (`BENCH_kernels.json`).
+
+use calloc_bench::seed_matmul_reference;
+use calloc_tensor::{par, Matrix, Rng};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_matmul(c: &mut Criterion) {
+    for &size in &[128usize, 256] {
+        let mut rng = Rng::new(size as u64);
+        let a = Matrix::from_fn(size, size, |_, _| rng.normal(0.0, 1.0));
+        let b = Matrix::from_fn(size, size, |_, _| rng.normal(0.0, 1.0));
+
+        c.bench_function(&format!("matmul_naive_{size}"), |bch| {
+            bch.iter(|| seed_matmul_reference(black_box(&a), black_box(&b)))
+        });
+
+        par::set_threads(1);
+        c.bench_function(&format!("matmul_blocked_serial_{size}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+
+        par::set_threads(0); // CALLOC_THREADS / available parallelism
+        c.bench_function(&format!("matmul_blocked_parallel_{size}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+
+        c.bench_function(&format!("matmul_transposed_{size}"), |bch| {
+            bch.iter(|| black_box(&a).matmul_transposed(black_box(&b)))
+        });
+
+        c.bench_function(&format!("transpose_then_matmul_{size}"), |bch| {
+            bch.iter(|| black_box(&a).matmul(&black_box(&b).transpose()))
+        });
+    }
+}
+
+criterion_group!(benches, bench_matmul);
+criterion_main!(benches);

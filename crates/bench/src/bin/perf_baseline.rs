@@ -1,0 +1,96 @@
+//! Records a wall-clock performance snapshot of the tensor hot-path
+//! kernels to `BENCH_kernels.json` (in the current directory).
+//!
+//! For each square size the snapshot compares the seed's naive matmul
+//! triple loop against the cache-blocked serial kernel
+//! (`CALLOC_THREADS=1`) and the row-chunk-parallel kernel (thread budget
+//! from `CALLOC_THREADS` / available parallelism), plus the transpose-free
+//! `A·Bᵀ` product, the blocked transpose and the parallel row softmax.
+//! Every variant's output is asserted bit-identical to the naive reference
+//! before it is timed — the determinism contract is checked, not assumed.
+//!
+//! ```bash
+//! cargo run -p calloc-bench --release --bin perf_baseline
+//! ```
+
+use calloc_bench::seed_matmul_reference;
+use calloc_tensor::{par, Matrix, Rng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time in milliseconds.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let threads = par::threads();
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = 5;
+    let mut rows = Vec::new();
+
+    for &size in &[128usize, 256, 384] {
+        let mut rng = Rng::new(size as u64);
+        let a = Matrix::from_fn(size, size, |_, _| rng.normal(0.0, 1.0));
+        let b = Matrix::from_fn(size, size, |_, _| rng.normal(0.0, 1.0));
+
+        let reference = seed_matmul_reference(&a, &b);
+        par::set_threads(1);
+        assert_eq!(reference, a.matmul(&b), "blocked kernel diverges at {size}");
+        par::set_threads(0);
+        assert_eq!(
+            reference,
+            a.matmul(&b),
+            "parallel kernel diverges at {size}"
+        );
+        assert_eq!(
+            a.matmul_transposed(&b),
+            a.matmul(&b.transpose()),
+            "matmul_transposed diverges at {size}"
+        );
+
+        let naive_ms = best_ms(reps, || seed_matmul_reference(&a, &b));
+        par::set_threads(1);
+        let blocked_serial_ms = best_ms(reps, || a.matmul(&b));
+        par::set_threads(0);
+        let parallel_ms = best_ms(reps, || a.matmul(&b));
+        let matmul_transposed_ms = best_ms(reps, || a.matmul_transposed(&b));
+        let transpose_ms = best_ms(reps, || a.transpose());
+        let softmax_ms = best_ms(reps, || a.softmax_rows());
+
+        println!(
+            "matmul {size}x{size}: naive {naive_ms:.3} ms | blocked(serial) \
+             {blocked_serial_ms:.3} ms ({:.2}x) | parallel({threads}t) {parallel_ms:.3} ms ({:.2}x)",
+            naive_ms / blocked_serial_ms,
+            naive_ms / parallel_ms,
+        );
+
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"size\": {size}, \"naive_ms\": {naive_ms:.4}, \
+             \"blocked_serial_ms\": {blocked_serial_ms:.4}, \"parallel_ms\": {parallel_ms:.4}, \
+             \"blocked_speedup\": {:.3}, \"parallel_speedup\": {:.3}, \
+             \"matmul_transposed_ms\": {matmul_transposed_ms:.4}, \
+             \"transpose_ms\": {transpose_ms:.4}, \"softmax_ms\": {softmax_ms:.4}}}",
+            naive_ms / blocked_serial_ms,
+            naive_ms / parallel_ms,
+        )
+        .expect("write to string");
+        rows.push(row);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
+         \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json ({threads} worker threads, {available} cores available)");
+}

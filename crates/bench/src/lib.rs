@@ -30,6 +30,7 @@ use calloc::CallocConfig;
 use calloc_attack::AttackKind;
 use calloc_eval::SuiteProfile;
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::Matrix;
 
 /// Calibration of the paper's ε to our normalized RSS units.
 ///
@@ -153,6 +154,31 @@ pub fn phi_grid_fig7(profile: Profile) -> Vec<f64> {
 /// All three attacks in paper order.
 pub fn attacks() -> [AttackKind; 3] {
     AttackKind::ALL
+}
+
+/// The seed repository's matmul kernel (naive i-k-j triple loop with its
+/// per-element `a == 0.0` skip), preserved verbatim as the shared baseline
+/// for the `matmul` criterion bench and the `perf_baseline` JSON snapshot
+/// — both must measure against the exact same reference.
+pub fn seed_matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let (k, n) = (a.cols(), b.cols());
+    let od = out.as_mut_slice();
+    for i in 0..a.rows() {
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &bd[kk * n..(kk + 1) * n];
+            let crow = &mut od[i * n..(i + 1) * n];
+            for (cv, &ov) in crow.iter_mut().zip(orow) {
+                *cv += av * ov;
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use calloc_baselines::{
 };
 use calloc_nn::{DifferentiableModel, Localizer, Sequential};
 use calloc_sim::Scenario;
+use calloc_tensor::par;
 
 /// One trained framework in the suite.
 pub struct SuiteMember {
@@ -82,148 +83,216 @@ impl SuiteProfile {
     }
 }
 
+/// A deferred member training: the figure name plus the closure that
+/// trains the model. Jobs are independent (each framework derives its own
+/// RNG stream from the profile seed), so `Suite::train` can run them on
+/// worker threads and collect the results in job (= figure) order.
+type MemberJob<'a> = (
+    &'static str,
+    Box<dyn FnOnce() -> Box<dyn Localizer> + Send + 'a>,
+);
+
+/// One result of the suite's flat training fan-out: every framework and
+/// the surrogate train in a *single* `par_run` (nesting fan-outs would
+/// collapse the inner one to its serial fallback).
+enum Trained {
+    /// A comparison-suite member, in figure order.
+    Member(Box<dyn Localizer>),
+    /// The transfer-attack surrogate network.
+    Surrogate(Sequential),
+}
+
 impl Suite {
     /// Trains every requested framework on the scenario's offline data.
+    ///
+    /// Members train in parallel on up to `calloc_tensor::par::threads()`
+    /// workers (`CALLOC_THREADS` knob; `1` = the old serial behavior).
+    /// Each member consumes only its own seed-derived RNG stream and the
+    /// results are merged in figure order, so the trained suite is
+    /// bit-identical for every thread count.
     pub fn train(scenario: &Scenario, profile: &SuiteProfile) -> Suite {
         let train = &scenario.train;
         let x = &train.x;
         let y = &train.labels;
         let k = train.num_classes();
-        let mut members: Vec<SuiteMember> = Vec::new();
+
+        let mut jobs: Vec<MemberJob<'_>> = Vec::new();
 
         let calloc_trainer = CallocTrainer::new(profile.calloc).with_curriculum(
             Curriculum::linear(profile.lessons.max(2), profile.train_epsilon),
         );
-        let calloc_model = calloc_trainer.fit(train).model;
-        members.push(SuiteMember {
-            name: "CALLOC".into(),
-            model: Box::new(calloc_model),
-        });
+        {
+            let trainer = calloc_trainer.clone();
+            jobs.push((
+                "CALLOC",
+                Box::new(move || Box::new(trainer.fit(train).model) as Box<dyn Localizer>),
+            ));
+        }
         if profile.include_nc {
-            let nc = calloc_trainer.fit_no_curriculum(train).model;
-            members.push(SuiteMember {
-                name: "NC".into(),
-                model: Box::new(nc),
-            });
+            let trainer = calloc_trainer;
+            jobs.push((
+                "NC",
+                Box::new(move || {
+                    Box::new(trainer.fit_no_curriculum(train).model) as Box<dyn Localizer>
+                }),
+            ));
         }
 
         if profile.include_sota {
-            let advloc = AdvLocLocalizer::fit(
-                x,
-                y,
-                k,
-                &AdvLocConfig {
-                    dnn: DnnConfig {
-                        epochs: profile.baseline_epochs,
-                        seed: profile.seed,
-                        ..Default::default()
-                    },
-                    epsilon: profile.train_epsilon,
-                    ..Default::default()
-                },
-            );
-            members.push(SuiteMember {
-                name: "AdvLoc".into(),
-                model: Box::new(advloc),
-            });
-
-            let sangria = SangriaLocalizer::fit(
-                x,
-                y,
-                k,
-                &SangriaConfig {
-                    pretrain_epochs: profile.baseline_epochs / 2,
-                    gbdt: GbdtConfig {
-                        rounds: 30,
-                        ..Default::default()
-                    },
-                    seed: profile.seed,
-                    ..Default::default()
-                },
-            );
-            members.push(SuiteMember {
-                name: "SANGRIA".into(),
-                model: Box::new(sangria),
-            });
-
-            let anvil = AnvilLocalizer::fit(
-                x,
-                y,
-                k,
-                &AnvilConfig {
-                    epochs: profile.baseline_epochs,
-                    learning_rate: 5e-3,
-                    seed: profile.seed,
-                    ..Default::default()
-                },
-            );
-            members.push(SuiteMember {
-                name: "ANVIL".into(),
-                model: Box::new(anvil),
-            });
-
-            let wideep = WiDeepLocalizer::fit(
-                x,
-                y,
-                k,
-                &WiDeepConfig {
-                    pretrain_epochs: profile.baseline_epochs / 2,
-                    seed: profile.seed,
-                    ..Default::default()
-                },
-            )
-            .expect("WiDeep GPC kernel must be positive definite");
-            members.push(SuiteMember {
-                name: "WiDeep".into(),
-                model: Box::new(wideep),
-            });
+            jobs.push((
+                "AdvLoc",
+                Box::new(move || {
+                    Box::new(AdvLocLocalizer::fit(
+                        x,
+                        y,
+                        k,
+                        &AdvLocConfig {
+                            dnn: DnnConfig {
+                                epochs: profile.baseline_epochs,
+                                seed: profile.seed,
+                                ..Default::default()
+                            },
+                            epsilon: profile.train_epsilon,
+                            ..Default::default()
+                        },
+                    )) as Box<dyn Localizer>
+                }),
+            ));
+            jobs.push((
+                "SANGRIA",
+                Box::new(move || {
+                    Box::new(SangriaLocalizer::fit(
+                        x,
+                        y,
+                        k,
+                        &SangriaConfig {
+                            pretrain_epochs: profile.baseline_epochs / 2,
+                            gbdt: GbdtConfig {
+                                rounds: 30,
+                                ..Default::default()
+                            },
+                            seed: profile.seed,
+                            ..Default::default()
+                        },
+                    )) as Box<dyn Localizer>
+                }),
+            ));
+            jobs.push((
+                "ANVIL",
+                Box::new(move || {
+                    Box::new(AnvilLocalizer::fit(
+                        x,
+                        y,
+                        k,
+                        &AnvilConfig {
+                            epochs: profile.baseline_epochs,
+                            learning_rate: 5e-3,
+                            seed: profile.seed,
+                            ..Default::default()
+                        },
+                    )) as Box<dyn Localizer>
+                }),
+            ));
+            jobs.push((
+                "WiDeep",
+                Box::new(move || {
+                    Box::new(
+                        WiDeepLocalizer::fit(
+                            x,
+                            y,
+                            k,
+                            &WiDeepConfig {
+                                pretrain_epochs: profile.baseline_epochs / 2,
+                                seed: profile.seed,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("WiDeep GPC kernel must be positive definite"),
+                    ) as Box<dyn Localizer>
+                }),
+            ));
         }
 
         if profile.include_classical {
-            let knn = KnnLocalizer::fit(x.clone(), y.clone(), k, 3);
-            members.push(SuiteMember {
-                name: "KNN".into(),
-                model: Box::new(knn),
-            });
-            let gpc = GpcLocalizer::fit(x.clone(), y.clone(), k, GpcConfig::default())
-                .expect("GPC kernel must be positive definite");
-            members.push(SuiteMember {
-                name: "GPC".into(),
-                model: Box::new(gpc),
-            });
-            let dnn = DnnLocalizer::fit(
-                x,
-                y,
-                k,
-                &DnnConfig {
-                    epochs: profile.baseline_epochs,
-                    seed: profile.seed,
-                    ..Default::default()
-                },
-            );
-            members.push(SuiteMember {
-                name: "DNN".into(),
-                model: Box::new(dnn),
-            });
+            jobs.push((
+                "KNN",
+                Box::new(move || {
+                    Box::new(KnnLocalizer::fit(x.clone(), y.clone(), k, 3)) as Box<dyn Localizer>
+                }),
+            ));
+            jobs.push((
+                "GPC",
+                Box::new(move || {
+                    Box::new(
+                        GpcLocalizer::fit(x.clone(), y.clone(), k, GpcConfig::default())
+                            .expect("GPC kernel must be positive definite"),
+                    ) as Box<dyn Localizer>
+                }),
+            ));
+            jobs.push((
+                "DNN",
+                Box::new(move || {
+                    Box::new(DnnLocalizer::fit(
+                        x,
+                        y,
+                        k,
+                        &DnnConfig {
+                            epochs: profile.baseline_epochs,
+                            seed: profile.seed,
+                            ..Default::default()
+                        },
+                    )) as Box<dyn Localizer>
+                }),
+            ));
         }
 
-        // Independent surrogate for transfer attacks against
-        // non-differentiable members.
-        let surrogate = DnnLocalizer::fit(
-            x,
-            y,
-            k,
-            &DnnConfig {
-                hidden: vec![64],
-                epochs: profile.baseline_epochs,
-                seed: profile.seed ^ 0xDEAD,
-                ..Default::default()
-            },
-        );
-        Suite {
-            members,
-            surrogate: surrogate.network().clone(),
-        }
+        let (names, member_jobs): (Vec<&'static str>, Vec<_>) = jobs.into_iter().unzip();
+
+        // One flat fan-out: every member plus the surrogate (an
+        // independent gradient source for transfer attacks against
+        // non-differentiable members) as the last job.
+        let mut trainings: Vec<Box<dyn FnOnce() -> Trained + Send + '_>> = member_jobs
+            .into_iter()
+            .map(|job: Box<dyn FnOnce() -> Box<dyn Localizer> + Send + '_>| {
+                Box::new(move || Trained::Member(job())) as Box<dyn FnOnce() -> Trained + Send + '_>
+            })
+            .collect();
+        trainings.push(Box::new(move || {
+            Trained::Surrogate(
+                DnnLocalizer::fit(
+                    x,
+                    y,
+                    k,
+                    &DnnConfig {
+                        hidden: vec![64],
+                        epochs: profile.baseline_epochs,
+                        seed: profile.seed ^ 0xDEAD,
+                        ..Default::default()
+                    },
+                )
+                .network()
+                .clone(),
+            )
+        }));
+
+        let mut trained = par::par_run(trainings);
+        let Some(Trained::Surrogate(surrogate)) = trained.pop() else {
+            unreachable!("the last job is always the surrogate");
+        };
+        let members = names
+            .into_iter()
+            .zip(trained)
+            .map(|(name, trained)| {
+                let Trained::Member(model) = trained else {
+                    unreachable!("only the last job is the surrogate");
+                };
+                SuiteMember {
+                    name: name.into(),
+                    model,
+                }
+            })
+            .collect();
+        Suite { members, surrogate }
     }
 
     /// Looks up a trained member by name.

@@ -67,7 +67,8 @@ pub fn attention_forward(q: &Matrix, k: &Matrix, v: &Matrix) -> (Matrix, Attenti
         v.rows()
     );
     let scale = 1.0 / (q.cols().max(1) as f64).sqrt();
-    let scores = q.matmul(&k.transpose()).scale(scale);
+    // Q·Kᵀ without materializing Kᵀ (bit-identical to the transpose form).
+    let scores = q.matmul_transposed(k).scale(scale);
     let weights = scores.softmax_rows();
     let out = weights.matmul(v);
     (
@@ -95,28 +96,25 @@ pub fn attention_backward(cache: &AttentionCache, grad_out: &Matrix) -> (Matrix,
         (cache.q.rows(), cache.v.cols()),
         "grad_out shape mismatch"
     );
-    // out = A V
-    let grad_v = cache.weights.transpose().matmul(grad_out);
-    let grad_a = grad_out.matmul(&cache.v.transpose());
+    // out = A V; all transposed products use the transpose-free kernels.
+    let grad_v = cache.weights.transposed_matmul(grad_out);
+    let grad_a = grad_out.matmul_transposed(&cache.v);
 
     // Softmax backward, row-wise: dS_ij = A_ij (dA_ij - Σ_k dA_ik A_ik)
     let mut grad_scores = Matrix::zeros(grad_a.rows(), grad_a.cols());
     for r in 0..grad_a.rows() {
-        let dot: f64 = grad_a
-            .row(r)
-            .iter()
-            .zip(cache.weights.row(r))
-            .map(|(&g, &a)| g * a)
-            .sum();
-        for c in 0..grad_a.cols() {
-            let a = cache.weights.get(r, c);
-            grad_scores.set(r, c, a * (grad_a.get(r, c) - dot));
+        let ga_row = grad_a.row(r);
+        let w_row = cache.weights.row(r);
+        let dot: f64 = ga_row.iter().zip(w_row).map(|(&g, &a)| g * a).sum();
+        let out_row = grad_scores.row_mut(r);
+        for ((o, &g), &a) in out_row.iter_mut().zip(ga_row).zip(w_row) {
+            *o = a * (g - dot);
         }
     }
     let grad_scores = grad_scores.scale(cache.scale);
 
     let grad_q = grad_scores.matmul(&cache.k);
-    let grad_k = grad_scores.transpose().matmul(&cache.q);
+    let grad_k = grad_scores.transposed_matmul(&cache.q);
     (grad_q, grad_k, grad_v)
 }
 

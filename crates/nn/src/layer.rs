@@ -67,8 +67,10 @@ impl Dense {
     /// Backward pass. Given the cached input and `dL/dy`, returns
     /// `(dL/dx, dL/dW, dL/db)`.
     pub fn backward(&self, input: &Matrix, grad_out: &Matrix) -> (Matrix, Matrix, Matrix) {
-        let grad_x = grad_out.matmul(&self.w.transpose());
-        let grad_w = input.transpose().matmul(grad_out);
+        // G·Wᵀ and Xᵀ·G via the transpose-free kernels (bit-identical to
+        // materializing the transposes).
+        let grad_x = grad_out.matmul_transposed(&self.w);
+        let grad_w = input.transposed_matmul(grad_out);
         let grad_b = grad_out.sum_rows();
         (grad_x, grad_w, grad_b)
     }

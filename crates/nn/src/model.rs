@@ -137,7 +137,12 @@ pub trait DifferentiableModel {
 /// [`Localizer::as_differentiable`]; models that are not differentiable
 /// (e.g. tree ensembles) return `None` and are attacked by *transfer* from
 /// a surrogate model.
-pub trait Localizer {
+///
+/// `Send + Sync` is a supertrait so trained models can be produced on
+/// worker threads and evaluated from parallel harnesses (all implementors
+/// are plain owned data). Prediction takes `&self`, so sharing across
+/// threads is safe by construction.
+pub trait Localizer: Send + Sync {
     /// Framework name as used in the paper's figures (e.g. `"CALLOC"`).
     fn name(&self) -> &str;
 

@@ -18,6 +18,9 @@
 //!   Gaussian-process baseline.
 //! * [`stats`] — descriptive statistics (mean, std, percentiles) used by the
 //!   evaluation harness.
+//! * [`par`] — the deterministic parallel compute runtime (`CALLOC_THREADS`
+//!   knob, index-order-merge fork-join primitives) behind the parallel
+//!   matrix kernels; results are bit-identical for every thread count.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@ mod matrix;
 mod rng;
 
 pub mod linalg;
+pub mod par;
 pub mod stats;
 
 pub use matrix::Matrix;

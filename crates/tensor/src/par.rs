@@ -1,0 +1,519 @@
+//! Deterministic parallel compute runtime.
+//!
+//! Every parallel kernel in the workspace is built on the primitives in
+//! this module, and all of them share one contract:
+//!
+//! > **Chunks are contiguous index ranges and results are merged in index
+//! > order, so the output of a parallel computation is bit-identical to the
+//! > serial computation regardless of the thread count.**
+//!
+//! Concretely, work of length `n` is split into at most [`threads`]
+//! contiguous chunks; each chunk is evaluated on its own scoped worker
+//! thread (via the vendored `rayon::join`, a `std::thread::scope`-based
+//! fork-join); and the per-chunk results are written back or concatenated
+//! in ascending chunk order. Because each index's value never depends on
+//! which chunk computed it, changing `CALLOC_THREADS` can only change wall
+//! time, never a single bit of output. `tests/determinism.rs` and
+//! `crates/tensor/tests/proptest_parallel.rs` enforce this.
+//!
+//! # Thread-count knob
+//!
+//! The worker budget is resolved in this order:
+//!
+//! 1. a process-local override installed with [`set_threads`] (used by
+//!    benches and tests),
+//! 2. the `CALLOC_THREADS` environment variable (read once, on first use),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `CALLOC_THREADS=1` (or `set_threads(1)`) selects the serial fallback:
+//! no worker threads are ever spawned and every primitive degenerates to a
+//! plain loop on the calling thread.
+//!
+//! # Granularity
+//!
+//! Spawning a scoped worker costs tens of microseconds, so kernels only
+//! fan out when every chunk carries at least [`min_work`] units of work
+//! (roughly flops); small matrices always take the serial path. Tests can
+//! lower the floor with [`set_min_work`] to force the parallel code path
+//! on tiny inputs.
+//!
+//! Fan-outs do not nest: while a thread is executing one job of a fan-out
+//! ([`par_run`] / [`par_join`] operands, and the per-chunk callbacks of
+//! [`par_chunks`] / [`par_row_chunks_mut`] when they actually fanned out),
+//! [`threads`] reports `1` on that thread, so the kernels inside (matmuls
+//! of a training loop, say) stay serial instead of oversubscribing the
+//! machine with threads-of-threads. The single-chunk serial fallback is
+//! not marked — no sibling holds the budget there. Like everything else
+//! here this only shifts wall time, never bits.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Set while this thread is executing one job of a coarse fan-out
+    /// ([`par_run`] / [`par_join`]): sibling jobs already consume the
+    /// thread budget, so nested kernel calls stay serial instead of
+    /// oversubscribing the machine (the scoped stand-in pool spawns real
+    /// OS threads per fork). Purely a throughput decision — by the
+    /// index-order-merge contract it cannot change any result.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with this thread marked as a fan-out worker (nested parallel
+/// kernels degenerate to their serial fallback), restoring the previous
+/// mark afterwards — also on unwind, so a panicking job cannot leave the
+/// calling thread permanently serial.
+fn run_marked<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+    f()
+}
+
+/// Default minimum amount of work (≈ flops) a chunk must carry before a
+/// kernel fans out to worker threads.
+pub const DEFAULT_MIN_WORK: usize = 1 << 20;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static MIN_WORK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    match std::env::var("CALLOC_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => rayon::current_num_threads(),
+        },
+        Err(_) => rayon::current_num_threads(),
+    }
+}
+
+/// The worker-thread budget parallel kernels may use (always ≥ 1).
+///
+/// See the [module docs](self) for the resolution order of the
+/// `CALLOC_THREADS` knob. A value of `1` means "serial": primitives run
+/// entirely on the calling thread.
+///
+/// On a thread that is itself executing one job of a coarse fan-out
+/// ([`par_run`] / [`par_join`]) this returns `1`: the sibling jobs already
+/// consume the budget, so nested kernels run serially rather than
+/// oversubscribing the machine with threads-of-threads.
+pub fn threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    configured_threads()
+}
+
+fn configured_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => *ENV_THREADS.get_or_init(env_threads),
+        n => n,
+    }
+}
+
+/// Overrides [`threads`] process-wide; `0` restores the environment-driven
+/// default. Intended for benches and tests that need to compare thread
+/// counts within one process.
+///
+/// Because of the index-order-merge contract, flipping this concurrently
+/// with running kernels can never change any result — only how fast it is
+/// produced.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Minimum work (≈ flops) per chunk before kernels fan out.
+pub fn min_work() -> usize {
+    match MIN_WORK_OVERRIDE.load(Ordering::Relaxed) {
+        0 => DEFAULT_MIN_WORK,
+        n => n,
+    }
+}
+
+/// Overrides [`min_work`] process-wide; `0` restores
+/// [`DEFAULT_MIN_WORK`]. Tests lower this to `1` to exercise the parallel
+/// code path on tiny inputs.
+pub fn set_min_work(n: usize) {
+    MIN_WORK_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Minimum rows per chunk for a row-parallel kernel whose per-row cost is
+/// `work_per_row` (≈ flops); always ≥ 1.
+pub fn min_rows_for(work_per_row: usize) -> usize {
+    min_work().div_ceil(work_per_row.max(1)).max(1)
+}
+
+/// Runs the two closures, in parallel when the thread budget allows, and
+/// returns `(a(), b())`. With [`threads`] `== 1` both run sequentially on
+/// the calling thread, in order.
+pub fn par_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        rayon::join(|| run_marked(a), || run_marked(b))
+    }
+}
+
+/// Splits `len` items into at most `threads()` contiguous ranges of at
+/// least `min_chunk` items each (a single range when `len` is too small),
+/// balanced to within one item.
+fn split_ranges(len: usize, min_chunk: usize) -> Vec<Range<usize>> {
+    let max_chunks = (len / min_chunk.max(1)).max(1);
+    let n_chunks = threads().min(max_chunks).max(1);
+    let base = len / n_chunks;
+    let extra = len % n_chunks;
+    let mut ranges = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    for i in 0..n_chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+fn run_ranges<T, F>(mut ranges: Vec<Range<usize>>, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    match ranges.len() {
+        0 => Vec::new(),
+        // Leaves run marked: sibling chunks already consume the budget, so
+        // kernels nested inside a chunk callback must stay serial.
+        1 => vec![run_marked(|| f(ranges.pop().expect("one range")))],
+        n => {
+            let right = ranges.split_off(n / 2);
+            let (mut lo, hi) = rayon::join(|| run_ranges(ranges, f), || run_ranges(right, f));
+            lo.extend(hi);
+            lo
+        }
+    }
+}
+
+/// Evaluates `f` over contiguous sub-ranges of `0..len`, at most
+/// [`threads`] of them and each at least `min_chunk` long, and returns the
+/// per-chunk results **in index order**.
+///
+/// With a single chunk (serial fallback, small input, or `threads() == 1`)
+/// this is exactly `vec![f(0..len)]` on the calling thread.
+///
+/// # Example
+///
+/// ```
+/// use calloc_tensor::par;
+///
+/// let partial_sums = par::par_chunks(1000, 1, |r| r.sum::<usize>());
+/// let total: usize = partial_sums.iter().sum();
+/// assert_eq!(total, 499_500);
+/// ```
+pub fn par_chunks<T, F>(len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = split_ranges(len, min_chunk);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(&f).collect();
+    }
+    run_ranges(ranges, &f)
+}
+
+fn run_row_chunks<F>(mut chunks: Vec<(usize, &mut [f64])>, f: &F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    match chunks.len() {
+        0 => {}
+        // Leaves run marked, as in `run_ranges`.
+        1 => {
+            let (first_row, data) = chunks.pop().expect("one chunk");
+            run_marked(|| f(first_row, data));
+        }
+        n => {
+            let right = chunks.split_off(n / 2);
+            rayon::join(|| run_row_chunks(chunks, f), || run_row_chunks(right, f));
+        }
+    }
+}
+
+/// Splits a row-major buffer of `row_len`-wide rows into at most
+/// [`threads`] contiguous row chunks of at least `min_rows` rows each and
+/// runs `f(first_row, chunk)` on every chunk, in parallel when the budget
+/// allows.
+///
+/// The chunks are disjoint `&mut` slices of `data`, so each worker owns
+/// its output rows exclusively; because chunk boundaries never change what
+/// any individual row computes, the filled buffer is bit-identical for
+/// every thread count.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a multiple of `row_len` (for non-empty
+/// `data`).
+pub fn par_row_chunks_mut<F>(data: &mut [f64], row_len: usize, min_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    if data.is_empty() || row_len == 0 {
+        f(0, data);
+        return;
+    }
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "buffer length {} is not a multiple of row length {row_len}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    let ranges = split_ranges(rows, min_rows);
+    if ranges.len() <= 1 {
+        f(0, data);
+        return;
+    }
+    let mut chunks = Vec::with_capacity(ranges.len());
+    let mut rest = data;
+    let mut row = 0;
+    for range in &ranges {
+        let (head, tail) = rest.split_at_mut(range.len() * row_len);
+        chunks.push((row, head));
+        row += range.len();
+        rest = tail;
+    }
+    run_row_chunks(chunks, &f);
+}
+
+/// A deferred computation tagged with its original index.
+type IndexedJob<'a, R> = (usize, Box<dyn FnOnce() -> R + Send + 'a>);
+
+fn run_jobs<R: Send>(mut jobs: Vec<IndexedJob<'_, R>>) -> Vec<(usize, R)> {
+    match jobs.len() {
+        0 => Vec::new(),
+        1 => {
+            let (i, job) = jobs.pop().expect("one job");
+            vec![(i, job())]
+        }
+        n => {
+            let right = jobs.split_off(n / 2);
+            let (mut lo, hi) = rayon::join(|| run_jobs(jobs), || run_jobs(right));
+            lo.extend(hi);
+            lo
+        }
+    }
+}
+
+/// Runs a list of heterogeneous jobs, in parallel when the thread budget
+/// allows, and returns their results **in job order**.
+///
+/// At most [`threads`] jobs run concurrently: jobs are dealt round-robin
+/// onto that many workers (so expensive jobs listed first spread across
+/// workers), each worker runs its share sequentially, and the results are
+/// reassembled by original index. With `threads() == 1` the jobs simply
+/// run front to back on the calling thread.
+///
+/// This is the primitive behind parallel suite training
+/// (`calloc_eval::Suite::train`): each framework trains from its own
+/// derived seed, so training jobs are independent and the member list
+/// comes back in figure order regardless of the thread count.
+pub fn par_run<R: Send>(jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<R> {
+    let workers = threads().min(jobs.len().max(1));
+    if workers <= 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let n_jobs = jobs.len();
+    // Deal jobs round-robin into `workers` sequential groups.
+    let mut groups: Vec<Vec<IndexedJob<'_, R>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        groups[i % workers].push((i, job));
+    }
+    let group_jobs: Vec<IndexedJob<'_, Vec<(usize, R)>>> = groups
+        .into_iter()
+        .enumerate()
+        .map(|(g, group)| {
+            let job: Box<dyn FnOnce() -> Vec<(usize, R)> + Send + '_> = Box::new(move || {
+                run_marked(|| {
+                    group
+                        .into_iter()
+                        .map(|(i, job)| (i, job()))
+                        .collect::<Vec<_>>()
+                })
+            });
+            (g, job)
+        })
+        .collect();
+    let mut indexed: Vec<(usize, R)> = run_jobs(group_jobs)
+        .into_iter()
+        .flat_map(|(_, results)| results)
+        .collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(indexed.len(), n_jobs);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global knobs: chunk
+    /// *structure* (unlike kernel output) does depend on the thread count.
+    static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
+        KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly_once() {
+        for len in [0usize, 1, 7, 100, 1001] {
+            for min_chunk in [1usize, 3, 64] {
+                let ranges = split_ranges(len, min_chunk);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "ranges must cover 0..{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_results_are_in_index_order() {
+        let _guard = lock_knobs();
+        set_threads(4);
+        set_min_work(1);
+        let chunks = par_chunks(100, 1, |r| r.start);
+        let mut sorted = chunks.clone();
+        sorted.sort_unstable();
+        assert_eq!(chunks, sorted);
+        set_threads(0);
+        set_min_work(0);
+    }
+
+    #[test]
+    fn par_chunks_serial_is_single_chunk() {
+        let _guard = lock_knobs();
+        set_threads(1);
+        let chunks = par_chunks(100, 1, |r| (r.start, r.end));
+        assert_eq!(chunks, vec![(0, 100)]);
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_row_chunks_mut_visits_every_row_once() {
+        let _guard = lock_knobs();
+        for n_threads in [1usize, 2, 5] {
+            set_threads(n_threads);
+            let rows = 17;
+            let cols = 3;
+            let mut data = vec![0.0; rows * cols];
+            par_row_chunks_mut(&mut data, cols, 1, |first_row, chunk| {
+                for (i, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (first_row + i) as f64;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(data[r * cols + c], r as f64, "threads={n_threads}");
+                }
+            }
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_row_chunks_mut_handles_empty() {
+        let mut data: Vec<f64> = Vec::new();
+        par_row_chunks_mut(&mut data, 4, 1, |_, chunk| assert!(chunk.is_empty()));
+    }
+
+    #[test]
+    fn par_join_returns_in_operand_order() {
+        let _guard = lock_knobs();
+        for n_threads in [1usize, 3] {
+            set_threads(n_threads);
+            let (a, b) = par_join(|| 1, || 2);
+            assert_eq!((a, b), (1, 2));
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_run_preserves_job_order() {
+        let _guard = lock_knobs();
+        for n_threads in [1usize, 2, 4, 9] {
+            set_threads(n_threads);
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..9usize)
+                .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
+                .collect();
+            let out = par_run(jobs);
+            assert_eq!(out, (0..9usize).map(|i| i * 10).collect::<Vec<_>>());
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn par_run_actually_distributes_jobs_across_threads() {
+        // Regression guard: a par_run nested under an already-marked
+        // fan-out collapses to serial — the top-level call must not.
+        let _guard = lock_knobs();
+        set_threads(4);
+        let jobs: Vec<Box<dyn FnOnce() -> std::thread::ThreadId + Send>> = (0..4)
+            .map(|_| {
+                Box::new(|| std::thread::current().id())
+                    as Box<dyn FnOnce() -> std::thread::ThreadId + Send>
+            })
+            .collect();
+        let ids = par_run(jobs);
+        set_threads(0);
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert!(
+            distinct.len() > 1,
+            "4 jobs at 4 threads must span more than one worker thread"
+        );
+    }
+
+    #[test]
+    fn nested_kernels_inside_fan_out_workers_run_serial() {
+        let _guard = lock_knobs();
+        set_threads(4);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4)
+            .map(|_| Box::new(threads) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let budgets = par_run(jobs);
+        assert!(
+            budgets.iter().all(|&t| t == 1),
+            "nested budget must collapse to 1 inside fan-out jobs, got {budgets:?}"
+        );
+        let (a, b) = par_join(threads, threads);
+        assert_eq!((a, b), (1, 1), "par_join operands must see a serial budget");
+        // The caller's own budget is restored once the fan-out returns.
+        assert_eq!(threads(), 4);
+        set_threads(0);
+    }
+
+    #[test]
+    fn min_rows_for_is_positive_and_monotone() {
+        assert!(min_rows_for(0) >= 1);
+        assert!(min_rows_for(usize::MAX) >= 1);
+        assert!(min_rows_for(1) >= min_rows_for(1 << 30));
+    }
+}

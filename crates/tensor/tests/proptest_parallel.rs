@@ -1,0 +1,144 @@
+//! Property tests for the deterministic parallel runtime: every parallel
+//! kernel must be **bit-identical** to the serial fallback for every
+//! thread count, across random shapes and seeds.
+//!
+//! The tests force the parallel code path on tiny inputs by dropping the
+//! per-chunk work floor (`par::set_min_work(1)`), then compare
+//! `CALLOC_THREADS`-style settings 1, 2, 3 and 8 via `par::set_threads`.
+//! Because those knobs are process-global and some assertions are about
+//! *chunk structure*, every test takes a shared lock.
+
+use calloc_tensor::{par, Matrix, Rng};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0))
+}
+
+/// True raw-bit equality: unlike `PartialEq` on `f64`, this distinguishes
+/// `0.0` from `-0.0` — the contract is *bit*-identity, not numeric
+/// equality.
+fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Runs `f` serially, then at several worker budgets with the work floor
+/// dropped to one flop, asserting bitwise-equal `Matrix` results.
+fn assert_thread_count_invariant(
+    f: impl Fn() -> Matrix,
+) -> Result<(), proptest::prelude::TestCaseError> {
+    par::set_min_work(1);
+    par::set_threads(1);
+    let serial = f();
+    for threads in [2usize, 3, 8] {
+        par::set_threads(threads);
+        let parallel = f();
+        par::set_threads(0);
+        par::set_min_work(0);
+        prop_assert!(
+            bits_eq(&serial, &parallel),
+            "diverged at {} threads",
+            threads
+        );
+        par::set_min_work(1);
+    }
+    par::set_threads(0);
+    par::set_min_work(0);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn parallel_matmul_is_bit_identical(
+        m in 1usize..24, k in 1usize..80, n in 1usize..24, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(k, n, seed ^ 0x9E37_79B9);
+        assert_thread_count_invariant(|| a.matmul(&b))?;
+    }
+
+    #[test]
+    fn parallel_matmul_transposed_is_bit_identical(
+        m in 1usize..24, k in 1usize..80, n in 1usize..24, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(n, k, seed ^ 0xDEAD_BEEF);
+        assert_thread_count_invariant(|| a.matmul_transposed(&b))?;
+    }
+
+    #[test]
+    fn parallel_transposed_matmul_is_bit_identical(
+        m in 1usize..80, k in 1usize..24, n in 1usize..24, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(m, n, seed ^ 0x5151_5151);
+        assert_thread_count_invariant(|| a.transposed_matmul(&b))?;
+    }
+
+    #[test]
+    fn parallel_softmax_is_bit_identical(
+        rows in 1usize..40, cols in 1usize..40, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(rows, cols, seed);
+        assert_thread_count_invariant(|| a.softmax_rows())?;
+    }
+
+    #[test]
+    fn parallel_transpose_is_bit_identical(
+        rows in 1usize..70, cols in 1usize..70, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(rows, cols, seed);
+        assert_thread_count_invariant(|| a.transpose())?;
+    }
+
+    #[test]
+    fn matmul_transposed_equals_explicit_transpose(
+        m in 1usize..20, k in 1usize..70, n in 1usize..20, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(n, k, seed ^ 0xABCD);
+        // Exact, not approximate: the kernels accumulate in the same order.
+        prop_assert!(bits_eq(&a.matmul_transposed(&b), &a.matmul(&b.transpose())));
+    }
+
+    #[test]
+    fn transposed_matmul_equals_explicit_transpose(
+        m in 1usize..70, k in 1usize..20, n in 1usize..20, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, k, seed);
+        let b = rand_matrix(m, n, seed ^ 0x1234);
+        prop_assert!(bits_eq(&a.transposed_matmul(&b), &a.transpose().matmul(&b)));
+    }
+
+    #[test]
+    fn par_chunks_merges_in_index_order(len in 0usize..500, seed in any::<u64>()) {
+        let _guard = lock_knobs();
+        let _ = seed;
+        par::set_min_work(1);
+        par::set_threads(7);
+        let chunks = par::par_chunks(len, 1, |r| r.clone());
+        par::set_threads(0);
+        par::set_min_work(0);
+        let flattened: Vec<usize> = chunks.into_iter().flatten().collect();
+        prop_assert_eq!(flattened, (0..len).collect::<Vec<usize>>());
+    }
+}

@@ -8,6 +8,30 @@
 
 use calloc::{CallocConfig, CallocTrainer, Localizer};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::par;
+use std::sync::Mutex;
+
+/// Serializes the tests that flip the process-global `par` knobs, so one
+/// test's `set_threads(0)` restore cannot land in the middle of another's
+/// parallel run and silently turn it into a serial-vs-serial comparison.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Raw-bit matrix equality: the contract is *bit*-identity, and
+/// `PartialEq` on `f64` would let a `0.0` / `-0.0` divergence slip by.
+fn assert_matrix_bits_eq(a: &calloc_tensor::Matrix, b: &calloc_tensor::Matrix, context: &str) {
+    assert_eq!(a.shape(), b.shape(), "{context}: shapes differ");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
 
 fn small_spec() -> BuildingSpec {
     BuildingSpec {
@@ -79,7 +103,7 @@ fn calloc_training_is_bit_identical() {
         .as_differentiable()
         .expect("calloc is differentiable")
         .logits(&test.x);
-    assert_eq!(logits_a, logits_b, "test logits are not bit-identical");
+    assert_matrix_bits_eq(&logits_a, &logits_b, "test logits are not bit-identical");
 
     assert_eq!(
         run_a.model.predict_classes(&scenario.train.x),
@@ -90,6 +114,100 @@ fn calloc_training_is_bit_identical() {
         run_b.model.predict_classes(&test.x)
     );
     assert_eq!(run_a.lesson_reports.len(), run_b.lesson_reports.len());
+}
+
+/// The parallel compute runtime's core contract: training is
+/// bit-identical for every thread count (`CALLOC_THREADS` = 1, 2, 4 here,
+/// via the process-local override), with the per-chunk work floor dropped
+/// so the parallel code paths actually engage at test sizes.
+///
+/// CI additionally runs this whole suite twice, with `CALLOC_THREADS=1`
+/// and `CALLOC_THREADS=4`, comparing across processes.
+#[test]
+fn calloc_training_is_thread_count_invariant() {
+    let _guard = lock_knobs();
+    let building = Building::generate(small_spec(), 9);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 123);
+    let config = CallocConfig {
+        epochs_per_lesson: 3,
+        ..CallocConfig::fast()
+    };
+    let test = &scenario.test_per_device[0].1;
+
+    par::set_min_work(1);
+    let mut logits_per_thread_count = Vec::new();
+    for threads in [1usize, 2, 4] {
+        par::set_threads(threads);
+        let run = CallocTrainer::new(config).fit(&scenario.train);
+        logits_per_thread_count.push((
+            threads,
+            run.model
+                .as_differentiable()
+                .expect("calloc is differentiable")
+                .logits(&test.x),
+        ));
+    }
+    par::set_threads(0);
+    par::set_min_work(0);
+
+    let (_, ref serial) = logits_per_thread_count[0];
+    for (threads, logits) in &logits_per_thread_count[1..] {
+        assert_matrix_bits_eq(
+            serial,
+            logits,
+            &format!("training logits diverge between 1 and {threads} threads"),
+        );
+    }
+}
+
+/// Parallel suite training (members fan out onto worker threads) must
+/// produce the same members, in figure order, with bit-identical
+/// predictions, for every thread count.
+#[test]
+fn suite_training_is_thread_count_invariant() {
+    use calloc_eval::{Suite, SuiteProfile};
+
+    let _guard = lock_knobs();
+    let building = Building::generate(small_spec(), 9);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 7);
+    let profile = SuiteProfile {
+        calloc: CallocConfig {
+            epochs_per_lesson: 2,
+            ..CallocConfig::fast()
+        },
+        lessons: 2,
+        include_nc: false,
+        include_sota: false,
+        include_classical: true,
+        baseline_epochs: 4,
+        train_epsilon: 0.025,
+        seed: 3,
+    };
+    let test = &scenario.test_per_device[0].1;
+
+    par::set_min_work(1);
+    par::set_threads(1);
+    let serial = Suite::train(&scenario, &profile);
+    par::set_threads(4);
+    let parallel = Suite::train(&scenario, &profile);
+    par::set_threads(0);
+    par::set_min_work(0);
+
+    assert_eq!(serial.members.len(), parallel.members.len());
+    for (a, b) in serial.members.iter().zip(&parallel.members) {
+        assert_eq!(a.name, b.name, "member order must be figure order");
+        assert_eq!(
+            a.model.predict_classes(&test.x),
+            b.model.predict_classes(&test.x),
+            "{} predictions diverge across thread counts",
+            a.name
+        );
+    }
+    assert_matrix_bits_eq(
+        &serial.surrogate.infer(&test.x),
+        &parallel.surrogate.infer(&test.x),
+        "surrogate diverges across thread counts",
+    );
 }
 
 /// Different seeds must actually change the realization — guards against a

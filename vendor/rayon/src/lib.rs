@@ -1,0 +1,89 @@
+//! Minimal scoped fork-join primitives, source-compatible with the subset
+//! of [rayon](https://docs.rs/rayon) this workspace uses (see
+//! `vendor/README.md` for why it is vendored).
+//!
+//! The stand-in is built directly on [`std::thread::scope`]: every
+//! [`join`] runs its second operand on a freshly spawned scoped thread and
+//! the first operand on the calling thread, then joins. There is no
+//! persistent worker pool and no work stealing — callers
+//! (`calloc_tensor::par`) are expected to split work into a bounded number
+//! of coarse chunks, so the per-call spawn cost is amortized over a large
+//! amount of numeric work. Panics from either operand are propagated to
+//! the caller, as with real rayon.
+
+use std::panic;
+use std::thread;
+
+/// Runs the two closures, potentially in parallel, and returns both
+/// results. `oper_a` runs on the calling thread; `oper_b` runs on a scoped
+/// worker thread.
+///
+/// If either closure panics, the panic is propagated to the caller once
+/// both operands have stopped running.
+///
+/// # Example
+///
+/// ```
+/// let (a, b) = rayon::join(|| 2 + 2, || 3 * 3);
+/// assert_eq!((a, b), (4, 9));
+/// ```
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let handle = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle.join() {
+            Ok(rb) => rb,
+            Err(payload) => panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Number of threads the machine can run in parallel (the size rayon's
+/// default pool would have). Falls back to `1` when the parallelism cannot
+/// be queried.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results_in_order() {
+        let (a, b) = join(|| "left", || "right");
+        assert_eq!((a, b), ("left", "right"));
+    }
+
+    #[test]
+    fn join_allows_borrowing_the_stack() {
+        let data = [1.0f64, 2.0, 3.0, 4.0];
+        let (lo, hi) = data.split_at(2);
+        let (sa, sb) = join(|| lo.iter().sum::<f64>(), || hi.iter().sum::<f64>());
+        assert_eq!(sa + sb, 10.0);
+    }
+
+    #[test]
+    fn join_nests() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn join_propagates_worker_panic() {
+        let _ = join(|| 1, || panic!("worker boom"));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}
