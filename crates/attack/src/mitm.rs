@@ -35,6 +35,19 @@ pub enum MitmVariant {
     Spoofing,
 }
 
+impl MitmVariant {
+    /// Both injection mechanisms, manipulation (the weaker one) first.
+    pub const ALL: [MitmVariant; 2] = [MitmVariant::Manipulation, MitmVariant::Spoofing];
+
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MitmVariant::Manipulation => "manipulation",
+            MitmVariant::Spoofing => "spoofing",
+        }
+    }
+}
+
 /// A channel-side MITM attack: a crafting configuration plus an injection
 /// mechanism.
 #[derive(Debug, Clone, Serialize, Deserialize)]

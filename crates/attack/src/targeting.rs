@@ -17,6 +17,20 @@ pub enum Targeting {
     Weakest,
 }
 
+impl Targeting {
+    /// All targeting strategies, default (paper) one first.
+    pub const ALL: [Targeting; 3] = [Targeting::Strongest, Targeting::Random, Targeting::Weakest];
+
+    /// Display name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Targeting::Strongest => "strongest",
+            Targeting::Random => "random",
+            Targeting::Weakest => "weakest",
+        }
+    }
+}
+
 /// Selects the indices of the APs to attack.
 ///
 /// `phi_percent` is the paper's ø: the percentage (0–100) of APs targeted.

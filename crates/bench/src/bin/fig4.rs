@@ -2,15 +2,14 @@
 //! devices (columns), buildings (rows) and attack methods (one heatmap per
 //! attack), averaged over the ε (0.1–0.5) and ø (10–100) grids — trained on
 //! OP3, tested on all devices.
+//!
+//! Each building's grid runs through the sweep engine; the per-attack
+//! heatmaps are pivots of the one merged `ResultTable`.
 
 use calloc::CallocTrainer;
 use calloc::Curriculum;
-use calloc_attack::AttackConfig;
-use calloc_bench::{
-    attacks, buildings, epsilon_grid, phi_grid, scenario_for, suite_profile, Profile,
-};
-use calloc_eval::{ascii_heatmap, evaluate};
-use calloc_tensor::stats;
+use calloc_bench::{attacks, buildings, scenario_for, suite_profile, Profile};
+use calloc_eval::{ascii_heatmap, run_sweep, Localizer, ResultTable, Suite};
 
 fn main() {
     let profile = Profile::from_env();
@@ -19,13 +18,14 @@ fn main() {
         profile.name()
     );
     let suite = suite_profile(profile);
-    let eps_grid = epsilon_grid(profile);
-    let phis = phi_grid(profile);
+    let spec = calloc_bench::sweep_spec(profile);
 
-    let bldgs = buildings(profile);
-    let mut models = Vec::new();
-    let mut scenarios = Vec::new();
-    for (i, b) in bldgs.iter().enumerate() {
+    let mut table = ResultTable::new();
+    let mut building_names = Vec::new();
+    // All buildings collect the same device suite; the first building's
+    // dataset labels fix the heatmap column order.
+    let mut device_names = Vec::new();
+    for (i, b) in buildings(profile).iter().enumerate() {
         let scenario = scenario_for(b, 42 + i as u64);
         let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
             suite.lessons.max(2),
@@ -33,38 +33,24 @@ fn main() {
         ));
         let model = trainer.fit(&scenario.train).model;
         eprintln!("trained CALLOC on {}", b.spec().id.name());
-        models.push(model);
-        scenarios.push(scenario);
+        let name = b.spec().id.name().to_string();
+        let datasets = Suite::scenario_datasets(&scenario, &name);
+        if device_names.is_empty() {
+            device_names = datasets.iter().map(|(_, d, _)| d.clone()).collect();
+        }
+        let members: [(&str, &dyn Localizer); 1] = [("CALLOC", &model)];
+        table.extend(run_sweep(&members, None, &datasets, &spec));
+        building_names.push(name);
     }
 
-    let device_names: Vec<String> = scenarios[0]
-        .test_per_device
-        .iter()
-        .map(|(d, _)| d.acronym.clone())
-        .collect();
-    let building_names: Vec<String> = bldgs
-        .iter()
-        .map(|b| b.spec().id.name().to_string())
-        .collect();
-
     for kind in attacks() {
-        let mut grid = Vec::new();
-        for (bi, scenario) in scenarios.iter().enumerate() {
-            let mut row = Vec::new();
-            for (_, test) in &scenario.test_per_device {
-                let mut errs = Vec::new();
-                for &eps in &eps_grid {
-                    for &phi in &phis {
-                        let cfg =
-                            AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
-                        let eval = evaluate(&models[bi], test, Some(&cfg), None);
-                        errs.push(eval.summary.mean);
-                    }
-                }
-                row.push(stats::mean(&errs));
-            }
-            grid.push(row);
-        }
+        let per_attack = table.filtered(|r| r.attack == kind.name());
+        let grid = per_attack.pivot_mean(
+            &building_names,
+            &device_names,
+            |r| &r.building,
+            |r| &r.device,
+        );
         println!(
             "{}",
             ascii_heatmap(

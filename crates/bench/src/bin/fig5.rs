@@ -2,15 +2,14 @@
 //! method and ε value, the mean error of CALLOC (with curriculum) is
 //! compared against the NC ablation (no curriculum), averaged over all
 //! devices, buildings and ø ∈ {10..100}.
+//!
+//! Both variants evaluate as members of one sweep plan per building, so
+//! the comparison runs on the engine's parallel fan-out.
 
 use calloc::{CallocTrainer, Curriculum};
-use calloc_attack::AttackConfig;
 use calloc_baselines::{DnnConfig, DnnLocalizer};
-use calloc_bench::{
-    attacks, buildings, epsilon_grid, phi_grid, scenario_for, suite_profile, Profile,
-};
-use calloc_eval::evaluate;
-use calloc_tensor::stats;
+use calloc_bench::{attacks, buildings, epsilon_grid, scenario_for, suite_profile, Profile};
+use calloc_eval::{run_sweep, Localizer, ResultTable, Suite};
 
 fn main() {
     let profile = Profile::from_env();
@@ -19,12 +18,11 @@ fn main() {
         profile.name()
     );
     let suite = suite_profile(profile);
+    let spec = calloc_bench::sweep_spec(profile);
     let eps_grid = epsilon_grid(profile);
-    let phis = phi_grid(profile);
 
-    let bldgs = buildings(profile);
-    let mut pairs = Vec::new(); // (curriculum model, NC model, scenario)
-    for (i, b) in bldgs.iter().enumerate() {
+    let mut table = ResultTable::new();
+    for (i, b) in buildings(profile).iter().enumerate() {
         let scenario = scenario_for(b, 77 + i as u64);
         let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
             suite.lessons.max(2),
@@ -46,7 +44,14 @@ fn main() {
             },
         );
         eprintln!("trained CALLOC + NC on {}", b.spec().id.name());
-        pairs.push((with, without, surrogate, scenario));
+        let datasets = Suite::scenario_datasets(&scenario, b.spec().id.name());
+        let members: [(&str, &dyn Localizer); 2] = [("CALLOC", &with), ("NC", &without)];
+        table.extend(run_sweep(
+            &members,
+            Some(surrogate.network()),
+            &datasets,
+            &spec,
+        ));
     }
 
     println!(
@@ -56,22 +61,14 @@ fn main() {
     println!("{}", "-".repeat(52));
     for kind in attacks() {
         for &eps in &eps_grid {
-            let mut with_errs = Vec::new();
-            let mut without_errs = Vec::new();
-            for (with, without, surrogate, scenario) in &pairs {
-                let sur = surrogate.network();
-                for (_, test) in &scenario.test_per_device {
-                    for &phi in &phis {
-                        let cfg =
-                            AttackConfig::standard(kind, calloc_bench::calibrate_epsilon(eps), phi);
-                        with_errs.push(evaluate(with, test, Some(&cfg), Some(sur)).summary.mean);
-                        without_errs
-                            .push(evaluate(without, test, Some(&cfg), Some(sur)).summary.mean);
-                    }
-                }
-            }
-            let w = stats::mean(&with_errs);
-            let wo = stats::mean(&without_errs);
+            let w = table
+                .mean_where(|r| {
+                    r.framework == "CALLOC" && r.attack == kind.name() && r.epsilon == eps
+                })
+                .expect("CALLOC rows for every (attack, eps)");
+            let wo = table
+                .mean_where(|r| r.framework == "NC" && r.attack == kind.name() && r.epsilon == eps)
+                .expect("NC rows for every (attack, eps)");
             println!(
                 "{:<6} {:>5.1} | {:>12.2} {:>12.2} {:>8.2}x",
                 kind.name(),

@@ -5,12 +5,14 @@
 //! The paper's headline ratios: CALLOC beats AdvLoc by 1.77×/2.35×
 //! (mean/worst-case), SANGRIA by 2.64×/2.92×, ANVIL by 3.77×/4.26× and
 //! WiDeep by 6.03×/4.6×.
+//!
+//! The whole grid runs through the sweep engine
+//! (`calloc_eval::sweep`): one plan per building, fanned out on
+//! `CALLOC_THREADS` workers and merged in plan-index order, so the CSV at
+//! the end is bit-identical for every thread count.
 
-use calloc_attack::AttackConfig;
-use calloc_bench::{
-    attacks, buildings, epsilon_grid, phi_grid_fig7, scenario_for, suite_profile, Profile,
-};
-use calloc_eval::{evaluate, ResultRow, ResultTable, Suite};
+use calloc_bench::{buildings, epsilon_grid, phi_grid_fig7, scenario_for, suite_profile, Profile};
+use calloc_eval::{ResultTable, Suite, SweepSpec};
 
 fn main() {
     let profile = Profile::from_env();
@@ -19,47 +21,27 @@ fn main() {
         profile.name()
     );
     let sp = suite_profile(profile);
-    let eps_grid = epsilon_grid(profile);
-    let phis = phi_grid_fig7(profile);
+    let mut spec = calloc_bench::sweep_spec(profile);
+    spec.epsilons = epsilon_grid(profile);
+    spec.phis = phi_grid_fig7(profile);
 
     let mut table = ResultTable::new();
     for (i, b) in buildings(profile).iter().enumerate() {
         let scenario = scenario_for(b, 1000 + i as u64);
         let suite = Suite::train(&scenario, &sp);
         eprintln!("trained suite on {}", b.spec().id.name());
-        for member in &suite.members {
-            for (device, test) in &scenario.test_per_device {
-                for kind in attacks() {
-                    for &eps in &eps_grid {
-                        for &phi in &phis {
-                            let cfg = AttackConfig::standard(
-                                kind,
-                                calloc_bench::calibrate_epsilon(eps),
-                                phi,
-                            );
-                            let eval = evaluate(
-                                member.model.as_ref(),
-                                test,
-                                Some(&cfg),
-                                Some(suite.surrogate()),
-                            );
-                            table.push(ResultRow {
-                                framework: member.name.clone(),
-                                building: b.spec().id.name().into(),
-                                device: device.acronym.clone(),
-                                attack: kind.name().into(),
-                                epsilon: eps,
-                                phi,
-                                mean_error_m: eval.summary.mean,
-                                max_error_m: eval.summary.max,
-                            });
-                        }
-                    }
-                }
-            }
-        }
+        let datasets = Suite::scenario_datasets(&scenario, b.spec().id.name());
+        table.extend(suite.sweep(&datasets, &spec));
     }
 
+    print_ratios(&table, &spec);
+    println!("\n(paper reference ratios vs CALLOC — AdvLoc 1.77x/2.35x, SANGRIA 2.64x/2.92x,");
+    println!(" ANVIL 3.77x/4.26x, WiDeep 6.03x/4.6x; expect the same ordering here)");
+    println!("\nCSV of all {} cells follows:\n", table.len());
+    print!("{}", table.to_csv());
+}
+
+fn print_ratios(table: &ResultTable, spec: &SweepSpec) {
     let frameworks = ["CALLOC", "AdvLoc", "SANGRIA", "ANVIL", "WiDeep"];
     let calloc_mean = table
         .mean_where(|r| r.framework == "CALLOC")
@@ -68,6 +50,13 @@ fn main() {
         .max_where(|r| r.framework == "CALLOC")
         .expect("CALLOC rows");
 
+    println!(
+        "{} attack cells per (framework, device): {} kinds x {} eps x {} phi",
+        spec.attacks.len() * spec.epsilons.len() * spec.phis.len(),
+        spec.attacks.len(),
+        spec.epsilons.len(),
+        spec.phis.len()
+    );
     println!(
         "{:<8} | {:>9} {:>12} | {:>10} {:>13}",
         "framework", "mean [m]", "vs CALLOC", "worst [m]", "vs CALLOC"
@@ -87,8 +76,4 @@ fn main() {
             max / calloc_max.max(1e-9)
         );
     }
-    println!("\n(paper reference ratios vs CALLOC — AdvLoc 1.77x/2.35x, SANGRIA 2.64x/2.92x,");
-    println!(" ANVIL 3.77x/4.26x, WiDeep 6.03x/4.6x; expect the same ordering here)");
-    println!("\nCSV of all {} cells follows:\n", table.rows().len());
-    print!("{}", table.to_csv());
 }

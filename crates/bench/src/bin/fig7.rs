@@ -4,12 +4,13 @@
 //!
 //! Paper trends: CALLOC stays nearly flat as ø grows; AdvLoc tracks it but
 //! rises from ø ≈ 60; ANVIL/SANGRIA/WiDeep sit higher across the range.
+//!
+//! The ø axis is one sweep-engine plan per building (FGSM only); each
+//! series is a `mean_where` slice of the merged table.
 
-use calloc_attack::{AttackConfig, AttackKind};
+use calloc_attack::AttackKind;
 use calloc_bench::{buildings, phi_grid_fig7, scenario_for, suite_profile, Profile};
-use calloc_eval::{evaluate, Suite};
-use calloc_tensor::stats;
-use std::collections::BTreeMap;
+use calloc_eval::{ResultTable, Suite};
 
 fn main() {
     let profile = Profile::from_env();
@@ -19,34 +20,18 @@ fn main() {
     );
     let sp = suite_profile(profile);
     let phis = phi_grid_fig7(profile);
+    let mut spec = calloc_bench::sweep_spec(profile);
+    spec.attacks = vec![AttackKind::Fgsm];
+    spec.epsilons = vec![0.1];
+    spec.phis = phis.clone();
 
-    // series[framework][phi index] = collected mean errors
-    let mut series: BTreeMap<String, Vec<Vec<f64>>> = BTreeMap::new();
+    let mut table = ResultTable::new();
     for (i, b) in buildings(profile).iter().enumerate() {
         let scenario = scenario_for(b, 2000 + i as u64);
         let suite = Suite::train(&scenario, &sp);
         eprintln!("trained suite on {}", b.spec().id.name());
-        for member in &suite.members {
-            let entry = series
-                .entry(member.name.clone())
-                .or_insert_with(|| vec![Vec::new(); phis.len()]);
-            for (_, test) in &scenario.test_per_device {
-                for (pi, &phi) in phis.iter().enumerate() {
-                    let cfg = AttackConfig::standard(
-                        AttackKind::Fgsm,
-                        calloc_bench::calibrate_epsilon(0.1),
-                        phi,
-                    );
-                    let eval = evaluate(
-                        member.model.as_ref(),
-                        test,
-                        Some(&cfg),
-                        Some(suite.surrogate()),
-                    );
-                    entry[pi].push(eval.summary.mean);
-                }
-            }
-        }
+        let datasets = Suite::scenario_datasets(&scenario, b.spec().id.name());
+        table.extend(suite.sweep(&datasets, &spec));
     }
 
     print!("{:<9}", "phi");
@@ -57,12 +42,15 @@ fn main() {
     println!("{}", "-".repeat(9 + 8 * phis.len()));
     let order = ["CALLOC", "AdvLoc", "SANGRIA", "ANVIL", "WiDeep"];
     for name in order {
-        let Some(per_phi) = series.get(name) else {
+        if table.for_framework(name).is_empty() {
             continue;
-        };
+        }
         print!("{name:<9}");
-        for errs in per_phi {
-            print!("{:>8.2}", stats::mean(errs));
+        for &phi in &phis {
+            let mean = table
+                .mean_where(|r| r.framework == name && r.phi == phi)
+                .expect("every (framework, phi) cell is planned");
+            print!("{mean:>8.2}");
         }
         println!();
     }

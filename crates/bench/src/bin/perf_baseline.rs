@@ -6,15 +6,19 @@
 //! (`CALLOC_THREADS=1`) and the row-chunk-parallel kernel (thread budget
 //! from `CALLOC_THREADS` / available parallelism), plus the transpose-free
 //! `A·Bᵀ` product, the blocked transpose and the parallel row softmax.
-//! Every variant's output is asserted bit-identical to the naive reference
+//! The same comparison runs for the Cholesky factorization: the seed's
+//! unblocked kernel against the blocked right-looking one, serial and
+//! parallel (this is the GPC baseline's fit hot path, which dominated
+//! attack-sweep wall clock before the blocked kernel landed).
+//! Every variant's output is asserted bit-identical to the seed reference
 //! before it is timed — the determinism contract is checked, not assumed.
 //!
 //! ```bash
 //! cargo run -p calloc-bench --release --bin perf_baseline
 //! ```
 
-use calloc_bench::seed_matmul_reference;
-use calloc_tensor::{par, Matrix, Rng};
+use calloc_bench::{seed_cholesky_reference, seed_matmul_reference};
+use calloc_tensor::{linalg, par, Matrix, Rng};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -86,10 +90,58 @@ fn main() {
         rows.push(row);
     }
 
+    let mut chol_rows = Vec::new();
+    for &size in &[128usize, 256, 384] {
+        let mut rng = Rng::new(0x5EED ^ size as u64);
+        let b = Matrix::from_fn(size, size, |_, _| rng.normal(0.0, 1.0));
+        let spd = linalg::add_diagonal(&b.matmul(&b.transpose()), size as f64 * 0.05);
+
+        let reference = seed_cholesky_reference(&spd).expect("SPD by construction");
+        par::set_threads(1);
+        assert_eq!(
+            reference,
+            linalg::cholesky(&spd).expect("spd"),
+            "blocked cholesky diverges from seed at {size}"
+        );
+        par::set_threads(0);
+        assert_eq!(
+            reference,
+            linalg::cholesky(&spd).expect("spd"),
+            "parallel cholesky diverges from seed at {size}"
+        );
+
+        let naive_ms = best_ms(reps, || seed_cholesky_reference(&spd));
+        par::set_threads(1);
+        let blocked_serial_ms = best_ms(reps, || linalg::cholesky(&spd));
+        par::set_threads(0);
+        let parallel_ms = best_ms(reps, || linalg::cholesky(&spd));
+
+        println!(
+            "cholesky {size}x{size}: seed {naive_ms:.3} ms | blocked(serial) \
+             {blocked_serial_ms:.3} ms ({:.2}x) | parallel({threads}t) {parallel_ms:.3} ms ({:.2}x)",
+            naive_ms / blocked_serial_ms,
+            naive_ms / parallel_ms,
+        );
+
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"size\": {size}, \"seed_ms\": {naive_ms:.4}, \
+             \"blocked_serial_ms\": {blocked_serial_ms:.4}, \"parallel_ms\": {parallel_ms:.4}, \
+             \"blocked_speedup\": {:.3}, \"parallel_speedup\": {:.3}}}",
+            naive_ms / blocked_serial_ms,
+            naive_ms / parallel_ms,
+        )
+        .expect("write to string");
+        chol_rows.push(row);
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
-         \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ],\n  \
+         \"cholesky\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        chol_rows.join(",\n")
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json ({threads} worker threads, {available} cores available)");

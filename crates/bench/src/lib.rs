@@ -28,9 +28,9 @@
 use calloc::CallocConfig;
 
 use calloc_attack::AttackKind;
-use calloc_eval::SuiteProfile;
+use calloc_eval::{SuiteProfile, SweepSpec};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
-use calloc_tensor::Matrix;
+use calloc_tensor::{Matrix, TensorError};
 
 /// Calibration of the paper's ε to our normalized RSS units.
 ///
@@ -156,6 +156,58 @@ pub fn attacks() -> [AttackKind; 3] {
     AttackKind::ALL
 }
 
+/// The figure binaries' base sweep: all three crafting algorithms over
+/// this profile's (ε, ø) grids, manipulation injection, strongest-AP
+/// targeting, ε calibrated through [`EPSILON_UNIT`], no clean cell (the
+/// paper's robustness figures are attack-only). Individual figures swap
+/// grids or axes on the returned spec.
+pub fn sweep_spec(profile: Profile) -> SweepSpec {
+    let mut spec =
+        SweepSpec::grid(epsilon_grid(profile), phi_grid(profile)).with_epsilon_unit(EPSILON_UNIT);
+    spec.include_clean = false;
+    spec
+}
+
+/// The seed repository's unblocked Cholesky kernel, preserved verbatim as
+/// the shared baseline for the `perf_baseline` JSON snapshot — the
+/// blocked/parallel `calloc_tensor::linalg::cholesky` must stay
+/// bit-identical to it.
+///
+/// # Errors
+///
+/// Returns the same errors as `linalg::cholesky` (non-square input,
+/// non-positive pivot).
+pub fn seed_cholesky_reference(a: &Matrix) -> Result<Matrix, TensorError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(TensorError::ShapeMismatch(format!(
+            "cholesky requires a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::Numeric(format!(
+                        "non-positive pivot {sum:.3e} at row {i}; matrix is not positive definite"
+                    )));
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
 /// The seed repository's matmul kernel (naive i-k-j triple loop with its
 /// per-element `a == 0.0` skip), preserved verbatim as the shared baseline
 /// for the `matmul` criterion bench and the `perf_baseline` JSON snapshot
@@ -206,6 +258,32 @@ mod tests {
         let b = buildings(Profile::Quick);
         assert_eq!(b.len(), 2);
         assert!(b.iter().all(|b| b.num_rps() <= 24 && b.num_aps() <= 40));
+    }
+
+    #[test]
+    fn blocked_cholesky_is_bit_identical_to_seed_reference() {
+        use calloc_tensor::{linalg, Rng};
+        let n = 100; // crosses the 64-wide panel boundary
+        let mut rng = Rng::new(11);
+        let b = Matrix::from_fn(n, n, |_, _| rng.normal(0.0, 1.0));
+        let a = linalg::add_diagonal(&b.matmul(&b.transpose()), 5.0);
+        let seed = seed_cholesky_reference(&a).expect("spd");
+        let blocked = linalg::cholesky(&a).expect("spd");
+        for (i, (x, y)) in seed.as_slice().iter().zip(blocked.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "element {i} diverges from seed");
+        }
+    }
+
+    #[test]
+    fn bench_sweep_spec_matches_profile_grids() {
+        let spec = sweep_spec(Profile::Quick);
+        assert_eq!(spec.epsilons, epsilon_grid(Profile::Quick));
+        assert_eq!(spec.phis, phi_grid(Profile::Quick));
+        assert_eq!(spec.epsilon_unit, EPSILON_UNIT);
+        assert!(
+            !spec.include_clean,
+            "paper robustness figures are attack-only"
+        );
     }
 
     #[test]

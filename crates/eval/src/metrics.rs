@@ -1,6 +1,6 @@
 //! Localization-error evaluation with optional adversarial attacks.
 
-use calloc_attack::{craft, AttackConfig};
+use calloc_attack::{craft, AttackConfig, MitmAttack};
 use calloc_nn::{DifferentiableModel, Localizer};
 use calloc_sim::Dataset;
 use calloc_tensor::stats::Summary;
@@ -49,6 +49,27 @@ pub fn evaluate(
     attack: Option<&AttackConfig>,
     surrogate: Option<&dyn DifferentiableModel>,
 ) -> Evaluation {
+    // A manipulation-style MITM applies exactly `craft`, so plain-config
+    // evaluation is the manipulation special case of the MITM path.
+    let mitm = attack.map(|config| MitmAttack::manipulation(config.clone()));
+    evaluate_mitm(model, dataset, mitm.as_ref(), surrogate)
+}
+
+/// Evaluates `model` on `dataset` under a full MITM attack (manipulation
+/// *or* spoofing injection), with the same strongest-available-adversary
+/// rule as [`evaluate`]: both the victim's own gradients and the surrogate
+/// (when present) craft a candidate batch, and the more damaging one is
+/// reported. This is what the sweep engine runs for every attack cell.
+///
+/// # Panics
+///
+/// Panics if `dataset` is empty.
+pub fn evaluate_mitm(
+    model: &dyn Localizer,
+    dataset: &Dataset,
+    attack: Option<&MitmAttack>,
+    surrogate: Option<&dyn DifferentiableModel>,
+) -> Evaluation {
     assert!(!dataset.is_empty(), "cannot evaluate on an empty dataset");
     let eval_on = |x: &Matrix| -> Evaluation {
         let predictions = model.predict_classes(x);
@@ -60,15 +81,15 @@ pub fn evaluate(
             accuracy,
         }
     };
-    let Some(config) = attack else {
+    let Some(mitm) = attack else {
         return eval_on(&dataset.x);
     };
     let mut candidates: Vec<Matrix> = Vec::new();
     if let Some(victim) = model.as_differentiable() {
-        candidates.push(craft(victim, &dataset.x, &dataset.labels, config));
+        candidates.push(mitm.apply(victim, &dataset.x, &dataset.labels));
     }
     if let Some(sur) = surrogate {
-        candidates.push(craft(sur, &dataset.x, &dataset.labels, config));
+        candidates.push(mitm.apply(sur, &dataset.x, &dataset.labels));
     }
     if candidates.is_empty() {
         return eval_on(&dataset.x);

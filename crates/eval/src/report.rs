@@ -3,8 +3,16 @@
 use std::fmt::Write as _;
 
 /// One experiment cell: a (framework, condition) measurement.
+///
+/// `plan_index` is the row's position in the [`crate::SweepPlan`] that
+/// produced it (see the plan-index merge contract in the module docs of
+/// [`crate::sweep`]): rows are merged in ascending plan index, so a table
+/// produced by the sweep engine is bit-identical for every thread count.
+/// Hand-built tables may number rows however they like (typically `0..n`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
+    /// Stable index of this cell in the sweep plan that produced it.
+    pub plan_index: usize,
     /// Framework name (e.g. "CALLOC").
     pub framework: String,
     /// Building name (e.g. "Building 1"), or empty if aggregated.
@@ -13,7 +21,13 @@ pub struct ResultRow {
     pub device: String,
     /// Attack name ("FGSM"/"PGD"/"MIM"), or "none".
     pub attack: String,
-    /// Attack strength ε.
+    /// MITM injection mechanism ("manipulation"/"spoofing"), or empty for
+    /// clean rows.
+    pub variant: String,
+    /// AP targeting strategy ("strongest"/"random"/"weakest"), or empty
+    /// for clean rows.
+    pub targeting: String,
+    /// Attack strength ε (paper units).
     pub epsilon: f64,
     /// Targeted-AP percentage ø.
     pub phi: f64,
@@ -23,8 +37,35 @@ pub struct ResultRow {
     pub max_error_m: f64,
 }
 
+impl ResultRow {
+    /// A clean (no attack) row — attack "none", empty variant/targeting,
+    /// zero ε/ø. Sweep-engine counterpart of the attack cells.
+    pub fn clean(
+        plan_index: usize,
+        framework: &str,
+        building: &str,
+        device: &str,
+        mean_error_m: f64,
+        max_error_m: f64,
+    ) -> Self {
+        ResultRow {
+            plan_index,
+            framework: framework.into(),
+            building: building.into(),
+            device: device.into(),
+            attack: "none".into(),
+            variant: String::new(),
+            targeting: String::new(),
+            epsilon: 0.0,
+            phi: 0.0,
+            mean_error_m,
+            max_error_m,
+        }
+    }
+}
+
 /// A flat collection of experiment results with export helpers.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultTable {
     rows: Vec<ResultRow>,
 }
@@ -40,9 +81,31 @@ impl ResultTable {
         self.rows.push(row);
     }
 
+    /// Moves every row of `other` into this table (in order) — how the
+    /// figure binaries merge one sweep table per building into a single
+    /// report without cloning rows.
+    pub fn extend(&mut self, other: ResultTable) {
+        self.rows.extend(other.rows);
+    }
+
     /// Borrow all rows.
     pub fn rows(&self) -> &[ResultRow] {
         &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows at all.
+    ///
+    /// [`mean_where`](Self::mean_where) and
+    /// [`max_where`](Self::max_where) return `None` both for an empty
+    /// table and for a filter that matched nothing; callers that need to
+    /// tell those apart check this first.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 
     /// Rows of one framework.
@@ -50,8 +113,22 @@ impl ResultTable {
         self.rows.iter().filter(|r| r.framework == name).collect()
     }
 
-    /// Mean of `mean_error_m` over the rows matching `pred`; `None` when no
-    /// row matches.
+    /// A new table holding clones of the rows matching `pred` (plan
+    /// indices are preserved, so provenance survives slicing).
+    pub fn filtered(&self, pred: impl Fn(&ResultRow) -> bool) -> ResultTable {
+        ResultTable {
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Mean of `mean_error_m` over the rows matching `pred`.
+    ///
+    /// Returns `None` when no row matches — which happens both when the
+    /// table is empty and when the filter simply matched nothing. The two
+    /// cases are indistinguishable from the return value alone **by
+    /// design** (an aggregate over zero rows does not exist either way);
+    /// use [`is_empty`](Self::is_empty) / [`len`](Self::len) when "no
+    /// data at all" must be told apart from "no matching condition".
     pub fn mean_where(&self, pred: impl Fn(&ResultRow) -> bool) -> Option<f64> {
         let matched: Vec<f64> = self
             .rows
@@ -67,12 +144,43 @@ impl ResultTable {
     }
 
     /// Maximum of `max_error_m` over the rows matching `pred`.
+    ///
+    /// `None` when no row matches, with the same empty-table /
+    /// nothing-matched ambiguity as [`mean_where`](Self::mean_where) —
+    /// check [`is_empty`](Self::is_empty) to distinguish them.
     pub fn max_where(&self, pred: impl Fn(&ResultRow) -> bool) -> Option<f64> {
         self.rows
             .iter()
             .filter(|r| pred(r))
             .map(|r| r.max_error_m)
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Pivots the table into a `row_labels` × `col_labels` matrix of
+    /// `mean_error_m` averages: cell `(r, c)` is
+    /// [`mean_where`](Self::mean_where) over the rows whose `row_of` /
+    /// `col_of` keys equal the respective labels (`NaN` when no row
+    /// matches). [`markdown_table`] and [`ascii_heatmap`] render the
+    /// result, so every figure view derives from the same table.
+    pub fn pivot_mean(
+        &self,
+        row_labels: &[String],
+        col_labels: &[String],
+        row_of: impl Fn(&ResultRow) -> &str,
+        col_of: impl Fn(&ResultRow) -> &str,
+    ) -> Vec<Vec<f64>> {
+        row_labels
+            .iter()
+            .map(|rl| {
+                col_labels
+                    .iter()
+                    .map(|cl| {
+                        self.mean_where(|r| row_of(r) == rl.as_str() && col_of(r) == cl.as_str())
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Serializes the table to CSV (with header).
@@ -83,16 +191,21 @@ impl ResultTable {
 
 /// Serializes rows to CSV (with header).
 pub fn csv_table(rows: &[ResultRow]) -> String {
-    let mut out =
-        String::from("framework,building,device,attack,epsilon,phi,mean_error_m,max_error_m\n");
+    let mut out = String::from(
+        "plan_index,framework,building,device,attack,variant,targeting,\
+         epsilon,phi,mean_error_m,max_error_m\n",
+    );
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{:.4},{:.4}",
+            "{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
+            r.plan_index,
             r.framework,
             r.building,
             r.device,
             r.attack,
+            r.variant,
+            r.targeting,
             r.epsilon,
             r.phi,
             r.mean_error_m,
@@ -185,10 +298,13 @@ mod tests {
 
     fn row(framework: &str, mean: f64, max: f64) -> ResultRow {
         ResultRow {
+            plan_index: 0,
             framework: framework.into(),
             building: "Building 1".into(),
             device: "OP3".into(),
             attack: "FGSM".into(),
+            variant: "manipulation".into(),
+            targeting: "strongest".into(),
             epsilon: 0.1,
             phi: 50.0,
             mean_error_m: mean,
@@ -201,8 +317,10 @@ mod tests {
         let csv = csv_table(&[row("CALLOC", 1.5, 4.0)]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert!(lines[0].starts_with("framework,"));
-        assert!(lines[1].starts_with("CALLOC,Building 1,OP3,FGSM,0.1,50,1.5"));
+        assert!(lines[0].starts_with("plan_index,framework,"));
+        assert!(
+            lines[1].starts_with("0,CALLOC,Building 1,OP3,FGSM,manipulation,strongest,0.1,50,1.5")
+        );
     }
 
     #[test]
@@ -215,6 +333,65 @@ mod tests {
         assert_eq!(t.max_where(|r| r.framework == "CALLOC"), Some(8.0));
         assert_eq!(t.mean_where(|r| r.framework == "ANVIL"), None);
         assert_eq!(t.for_framework("WiDeep").len(), 1);
+    }
+
+    #[test]
+    fn aggregations_on_empty_table_are_none() {
+        // The documented "no rows at all" path of mean_where/max_where:
+        // indistinguishable from a non-matching filter by return value,
+        // distinguished via is_empty().
+        let t = ResultTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.mean_where(|_| true), None);
+        assert_eq!(t.max_where(|_| true), None);
+    }
+
+    #[test]
+    fn aggregations_on_unmatched_filter_are_none() {
+        // The documented "filter matched nothing" path: the table has
+        // data, so is_empty() tells the caller the None came from the
+        // filter, not from a missing table.
+        let mut t = ResultTable::new();
+        t.push(row("CALLOC", 1.0, 2.0));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.mean_where(|r| r.framework == "nope"), None);
+        assert_eq!(t.max_where(|r| r.epsilon > 100.0), None);
+    }
+
+    #[test]
+    fn filtered_preserves_plan_indices() {
+        let mut t = ResultTable::new();
+        for (i, f) in ["CALLOC", "WiDeep", "CALLOC"].iter().enumerate() {
+            let mut r = row(f, i as f64, i as f64);
+            r.plan_index = i;
+            t.push(r);
+        }
+        let sub = t.filtered(|r| r.framework == "CALLOC");
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.rows()[0].plan_index, 0);
+        assert_eq!(sub.rows()[1].plan_index, 2);
+    }
+
+    #[test]
+    fn pivot_mean_aggregates_by_keys() {
+        let mut t = ResultTable::new();
+        let mut a = row("CALLOC", 1.0, 2.0);
+        a.device = "OP3".into();
+        let mut b = row("CALLOC", 3.0, 4.0);
+        b.device = "OP3".into();
+        let mut c = row("WiDeep", 6.0, 7.0);
+        c.device = "BLU".into();
+        t.push(a);
+        t.push(b);
+        t.push(c);
+        let rows = vec!["CALLOC".to_string(), "WiDeep".to_string()];
+        let cols = vec!["OP3".to_string(), "BLU".to_string()];
+        let grid = t.pivot_mean(&rows, &cols, |r| &r.framework, |r| &r.device);
+        assert_eq!(grid[0][0], 2.0);
+        assert!(grid[0][1].is_nan(), "no CALLOC/BLU rows");
+        assert_eq!(grid[1][1], 6.0);
     }
 
     #[test]

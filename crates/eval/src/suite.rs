@@ -7,8 +7,11 @@ use calloc_baselines::{
     GpcLocalizer, KnnLocalizer, SangriaConfig, SangriaLocalizer, WiDeepConfig, WiDeepLocalizer,
 };
 use calloc_nn::{DifferentiableModel, Localizer, Sequential};
-use calloc_sim::Scenario;
+use calloc_sim::{Dataset, Scenario};
 use calloc_tensor::par;
+
+use crate::report::ResultTable;
+use crate::sweep::{run_sweep, SweepSpec};
 
 /// One trained framework in the suite.
 pub struct SuiteMember {
@@ -303,6 +306,35 @@ impl Suite {
     /// The surrogate as a gradient source.
     pub fn surrogate(&self) -> &dyn DifferentiableModel {
         &self.surrogate
+    }
+
+    /// Runs an attack sweep over every trained member on the given
+    /// `(building, device, fingerprints)` datasets, transfer-attacking
+    /// non-differentiable members through the suite surrogate. Rows come
+    /// back in plan-index order (members in figure order outermost), so
+    /// the table is bit-identical for every thread count — see
+    /// [`crate::sweep`].
+    pub fn sweep(&self, datasets: &[(String, String, &Dataset)], spec: &SweepSpec) -> ResultTable {
+        let members: Vec<(&str, &dyn Localizer)> = self
+            .members
+            .iter()
+            .map(|m| (m.name.as_str(), m.model.as_ref()))
+            .collect();
+        run_sweep(&members, Some(self.surrogate()), datasets, spec)
+    }
+
+    /// The sweep datasets of a scenario: every per-device test set,
+    /// labelled with `building` and the device acronym, in collection
+    /// order.
+    pub fn scenario_datasets<'a>(
+        scenario: &'a Scenario,
+        building: &str,
+    ) -> Vec<(String, String, &'a Dataset)> {
+        scenario
+            .test_per_device
+            .iter()
+            .map(|(d, t)| (building.to_string(), d.acronym.clone(), t))
+            .collect()
     }
 }
 

@@ -1,0 +1,504 @@
+//! The parallel attack-sweep evaluation engine.
+//!
+//! The paper's headline artifacts are robustness tables and heatmaps:
+//! every framework evaluated under a grid of attacks. This module turns
+//! that grid into a first-class, declarative, parallel subsystem:
+//!
+//! ```text
+//! SweepSpec  --plan-->  SweepPlan  --run-->  ResultTable
+//! ```
+//!
+//! * [`SweepSpec`] declares the axes: attack kinds × ε grid × ø grid ×
+//!   targeting strategies × MITM variants, plus an optional clean
+//!   baseline cell and the ε calibration factor.
+//! * [`SweepSpec::plan`] crosses those axes with the members and datasets
+//!   under evaluation and flattens the whole cross-product into one work
+//!   list of [`SweepCell`]s, each carrying its **plan index** — its
+//!   position in the canonical enumeration order (member-major, then
+//!   dataset, then attack cell; clean first when requested, then
+//!   kind → variant → targeting → ε → ø, each axis in spec order).
+//! * [`SweepPlan::run`] evaluates the cells on
+//!   [`calloc_tensor::par::par_chunks`] — contiguous chunks of the work
+//!   list fan out to worker threads — and merges the resulting rows **in
+//!   plan-index order**.
+//!
+//! # The plan-index merge contract
+//!
+//! Every cell is an independent, deterministic evaluation (its own attack
+//! config, its own derived seeds; crafting never mutates shared state),
+//! and rows are reassembled by ascending plan index, so a `ResultTable`
+//! produced by this engine is **bit-identical for every thread count**
+//! (`CALLOC_THREADS` ∈ {1, 2, 4, …}). `tests/determinism.rs` asserts the
+//! table equality and `tests/golden_reports.rs` pins exact CSV bytes.
+//!
+//! # Adding a new attack axis
+//!
+//! Give the axis a field on [`SweepSpec`] (with every existing
+//! constructor defaulting to the axis' singleton so current plans are
+//! unchanged), extend [`AttackCell`] and the enumeration loop in
+//! [`SweepSpec::attack_cells`] (append the new loop *innermost* to keep
+//! existing plan prefixes stable within a cell block), label the axis in
+//! [`ResultRow`] so CSV rows stay self-describing, and regenerate the
+//! golden CSVs — their diff is the review artifact for the new axis.
+
+use calloc_attack::{AttackConfig, AttackKind, MitmAttack, MitmVariant, Targeting};
+use calloc_nn::{DifferentiableModel, Localizer};
+use calloc_sim::Dataset;
+use calloc_tensor::par;
+
+use crate::metrics::evaluate_mitm;
+use crate::report::{ResultRow, ResultTable};
+
+/// Declarative description of an attack sweep: the grid axes crossed with
+/// every (member, dataset) pair under evaluation.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Crafting algorithms to sweep (outermost attack axis).
+    pub attacks: Vec<AttackKind>,
+    /// MITM injection mechanisms to sweep.
+    pub variants: Vec<MitmVariant>,
+    /// AP targeting strategies to sweep.
+    pub targetings: Vec<Targeting>,
+    /// ε grid, in **paper units** (reported verbatim in result rows).
+    pub epsilons: Vec<f64>,
+    /// ø grid (percentage of targeted APs), innermost attack axis.
+    pub phis: Vec<f64>,
+    /// Calibration factor mapping paper ε to normalized attack units
+    /// (crafting uses `ε · epsilon_unit`; `calloc-bench` passes its
+    /// `EPSILON_UNIT`, direct users of normalized units keep `1.0`).
+    pub epsilon_unit: f64,
+    /// Whether each (member, dataset) pair gets a clean baseline cell
+    /// before its attack cells.
+    pub include_clean: bool,
+    /// Seed for random targeting and spoofing decoy selection.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// A minimal clean-only sweep (no attack cells at all).
+    pub fn clean_only() -> Self {
+        SweepSpec {
+            attacks: Vec::new(),
+            variants: vec![MitmVariant::Manipulation],
+            targetings: vec![Targeting::Strongest],
+            epsilons: Vec::new(),
+            phis: Vec::new(),
+            epsilon_unit: 1.0,
+            include_clean: true,
+            seed: 0,
+        }
+    }
+
+    /// The paper's default sweep shape: all three crafting algorithms,
+    /// manipulation injection, strongest-AP targeting, over the given ε
+    /// and ø grids, with a clean baseline.
+    pub fn grid(epsilons: Vec<f64>, phis: Vec<f64>) -> Self {
+        SweepSpec {
+            attacks: AttackKind::ALL.to_vec(),
+            variants: vec![MitmVariant::Manipulation],
+            targetings: vec![Targeting::Strongest],
+            epsilons,
+            phis,
+            epsilon_unit: 1.0,
+            include_clean: true,
+            seed: 0,
+        }
+    }
+
+    /// The full threat-model cross-product over the given grids: all
+    /// crafting algorithms × both MITM variants × all targeting
+    /// strategies, plus the clean baseline.
+    pub fn full_grid(epsilons: Vec<f64>, phis: Vec<f64>) -> Self {
+        SweepSpec {
+            attacks: AttackKind::ALL.to_vec(),
+            variants: MitmVariant::ALL.to_vec(),
+            targetings: Targeting::ALL.to_vec(),
+            epsilons,
+            phis,
+            epsilon_unit: 1.0,
+            include_clean: true,
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with the given ε calibration factor.
+    pub fn with_epsilon_unit(mut self, unit: f64) -> Self {
+        self.epsilon_unit = unit;
+        self
+    }
+
+    /// Returns a copy with the given targeting/decoy seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The attack-axis cells of this spec, in canonical order: the clean
+    /// cell first (when requested), then kind → variant → targeting →
+    /// ε → ø with each axis iterated in spec order and ø innermost.
+    pub fn attack_cells(&self) -> Vec<Option<AttackCell>> {
+        let mut cells = Vec::new();
+        if self.include_clean {
+            cells.push(None);
+        }
+        for &kind in &self.attacks {
+            for &variant in &self.variants {
+                for &targeting in &self.targetings {
+                    for &epsilon in &self.epsilons {
+                        for &phi in &self.phis {
+                            cells.push(Some(AttackCell {
+                                kind,
+                                variant,
+                                targeting,
+                                epsilon,
+                                phi,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Crosses the attack cells with members and datasets into a flat,
+    /// plan-indexed work list.
+    ///
+    /// `members` are framework names in figure order; `datasets` are
+    /// `(building, device)` labels in evaluation order. The plan is pure
+    /// data — models and fingerprints are only needed at
+    /// [`SweepPlan::run`] time.
+    pub fn plan(&self, members: &[String], datasets: &[(String, String)]) -> SweepPlan {
+        let attack_cells = self.attack_cells();
+        let mut cells = Vec::with_capacity(members.len() * datasets.len() * attack_cells.len());
+        for member in 0..members.len() {
+            for dataset in 0..datasets.len() {
+                for attack in &attack_cells {
+                    cells.push(SweepCell {
+                        plan_index: cells.len(),
+                        member,
+                        dataset,
+                        attack: attack.clone(),
+                    });
+                }
+            }
+        }
+        SweepPlan {
+            spec: self.clone(),
+            members: members.to_vec(),
+            datasets: datasets.to_vec(),
+            cells,
+        }
+    }
+}
+
+/// One point on the attack axes of a sweep (everything except the clean
+/// baseline, which is represented as `None` in a [`SweepCell`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCell {
+    /// Crafting algorithm.
+    pub kind: AttackKind,
+    /// MITM injection mechanism.
+    pub variant: MitmVariant,
+    /// AP targeting strategy.
+    pub targeting: Targeting,
+    /// ε in paper units.
+    pub epsilon: f64,
+    /// ø, percentage of targeted APs.
+    pub phi: f64,
+}
+
+impl AttackCell {
+    /// Materializes the concrete MITM attack this cell evaluates.
+    pub fn to_attack(&self, epsilon_unit: f64, seed: u64) -> MitmAttack {
+        let config = AttackConfig::standard(self.kind, self.epsilon * epsilon_unit, self.phi)
+            .with_targeting(self.targeting)
+            .with_seed(seed);
+        MitmAttack {
+            config,
+            variant: self.variant,
+            decoy_seed: seed,
+        }
+    }
+}
+
+/// One unit of sweep work: evaluate one member on one dataset under one
+/// attack cell (or clean, when `attack` is `None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Position of this cell in the plan — the merge key of the engine's
+    /// determinism contract, and the `plan_index` of the produced row.
+    pub plan_index: usize,
+    /// Index into the plan's member list.
+    pub member: usize,
+    /// Index into the plan's dataset list.
+    pub dataset: usize,
+    /// The attack axes point, or `None` for the clean baseline.
+    pub attack: Option<AttackCell>,
+}
+
+/// A fully enumerated sweep: the flat work list plus the labels it was
+/// planned against.
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    spec: SweepSpec,
+    members: Vec<String>,
+    datasets: Vec<(String, String)>,
+    cells: Vec<SweepCell>,
+}
+
+impl SweepPlan {
+    /// The spec this plan was enumerated from.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Member names, in figure order.
+    pub fn members(&self) -> &[String] {
+        &self.members
+    }
+
+    /// `(building, device)` labels, in evaluation order.
+    pub fn datasets(&self) -> &[(String, String)] {
+        &self.datasets
+    }
+
+    /// The flat work list, in plan-index order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Number of cells in the plan.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the plan has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Executes the plan: every cell is evaluated (fanned out on
+    /// [`par::par_chunks`], up to `CALLOC_THREADS` contiguous chunks of
+    /// the work list) and the rows are merged in plan-index order, so the
+    /// returned table is bit-identical for every thread count.
+    ///
+    /// `models` and `datasets` must parallel the member and dataset label
+    /// lists the plan was built from. The `surrogate` (usually
+    /// [`crate::Suite::surrogate`]) transfer-attacks non-differentiable
+    /// members; pass `None` to skip attacks on them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` / `datasets` lengths disagree with the plan's
+    /// label lists, or if any dataset is empty.
+    pub fn run(
+        &self,
+        models: &[&dyn Localizer],
+        surrogate: Option<&dyn DifferentiableModel>,
+        datasets: &[&Dataset],
+    ) -> ResultTable {
+        assert_eq!(
+            models.len(),
+            self.members.len(),
+            "model count does not match the planned member list"
+        );
+        assert_eq!(
+            datasets.len(),
+            self.datasets.len(),
+            "dataset count does not match the planned label list"
+        );
+        let rows = par::par_chunks(self.cells.len(), 1, |range| {
+            range
+                .map(|i| self.evaluate_cell(&self.cells[i], models, surrogate, datasets))
+                .collect::<Vec<ResultRow>>()
+        });
+        let mut table = ResultTable::new();
+        for row in rows.into_iter().flatten() {
+            table.push(row);
+        }
+        table
+    }
+
+    /// Evaluates one cell into its result row.
+    fn evaluate_cell(
+        &self,
+        cell: &SweepCell,
+        models: &[&dyn Localizer],
+        surrogate: Option<&dyn DifferentiableModel>,
+        datasets: &[&Dataset],
+    ) -> ResultRow {
+        let model = models[cell.member];
+        let data = datasets[cell.dataset];
+        let (building, device) = &self.datasets[cell.dataset];
+        let framework = &self.members[cell.member];
+        match &cell.attack {
+            None => {
+                let eval = evaluate_mitm(model, data, None, None);
+                ResultRow::clean(
+                    cell.plan_index,
+                    framework,
+                    building,
+                    device,
+                    eval.summary.mean,
+                    eval.summary.max,
+                )
+            }
+            Some(attack) => {
+                let mitm = attack.to_attack(self.spec.epsilon_unit, self.spec.seed);
+                let eval = evaluate_mitm(model, data, Some(&mitm), surrogate);
+                ResultRow {
+                    plan_index: cell.plan_index,
+                    framework: framework.clone(),
+                    building: building.clone(),
+                    device: device.clone(),
+                    attack: attack.kind.name().into(),
+                    variant: attack.variant.name().into(),
+                    targeting: attack.targeting.name().into(),
+                    epsilon: attack.epsilon,
+                    phi: attack.phi,
+                    mean_error_m: eval.summary.mean,
+                    max_error_m: eval.summary.max,
+                }
+            }
+        }
+    }
+}
+
+/// Plans and runs a sweep in one call: `members` are `(name, model)`
+/// pairs, `datasets` are `(building, device, fingerprints)` triples.
+///
+/// # Panics
+///
+/// Panics if any dataset is empty.
+pub fn run_sweep(
+    members: &[(&str, &dyn Localizer)],
+    surrogate: Option<&dyn DifferentiableModel>,
+    datasets: &[(String, String, &Dataset)],
+    spec: &SweepSpec,
+) -> ResultTable {
+    let names: Vec<String> = members.iter().map(|(n, _)| (*n).into()).collect();
+    let labels: Vec<(String, String)> = datasets
+        .iter()
+        .map(|(b, d, _)| (b.clone(), d.clone()))
+        .collect();
+    let models: Vec<&dyn Localizer> = members.iter().map(|(_, m)| *m).collect();
+    let data: Vec<&Dataset> = datasets.iter().map(|(_, _, d)| *d).collect();
+    spec.plan(&names, &labels).run(&models, surrogate, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_baselines::KnnLocalizer;
+    use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+
+    fn tiny_scenario() -> Scenario {
+        let spec = BuildingSpec {
+            path_length_m: 10,
+            num_aps: 12,
+            ..BuildingId::B1.spec()
+        };
+        let building = Building::generate(spec, 2);
+        Scenario::generate(&building, &CollectionConfig::small(), 3)
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::full_grid(vec![0.1, 0.3], vec![50.0, 100.0])
+    }
+
+    #[test]
+    fn plan_enumerates_the_full_cross_product() {
+        let s = spec();
+        let members = vec!["KNN".to_string(), "DNN".to_string()];
+        let datasets = vec![
+            ("B1".to_string(), "OP3".to_string()),
+            ("B1".to_string(), "BLU".to_string()),
+        ];
+        let plan = s.plan(&members, &datasets);
+        // clean + 3 kinds × 2 variants × 3 targetings × 2 ε × 2 ø
+        let per_pair = 1 + 3 * 2 * 3 * 2 * 2;
+        assert_eq!(plan.len(), 2 * 2 * per_pair);
+        for (i, cell) in plan.cells().iter().enumerate() {
+            assert_eq!(cell.plan_index, i, "plan index must equal position");
+        }
+        // Member-major enumeration: the first block is member 0.
+        assert!(plan.cells()[..per_pair * 2].iter().all(|c| c.member == 0));
+        // Clean cell leads each (member, dataset) block.
+        assert!(plan.cells()[0].attack.is_none());
+        assert!(plan.cells()[per_pair].attack.is_none());
+    }
+
+    #[test]
+    fn attack_cells_iterate_phi_innermost() {
+        let s = SweepSpec::grid(vec![0.1, 0.2], vec![10.0, 20.0]);
+        let cells = s.attack_cells();
+        assert!(cells[0].is_none(), "clean first");
+        let a = cells[1].as_ref().expect("attack cell");
+        let b = cells[2].as_ref().expect("attack cell");
+        assert_eq!((a.epsilon, a.phi), (0.1, 10.0));
+        assert_eq!((b.epsilon, b.phi), (0.1, 20.0), "ø varies before ε");
+    }
+
+    #[test]
+    fn run_produces_rows_in_plan_order_with_labels() {
+        let scenario = tiny_scenario();
+        let train = &scenario.train;
+        let knn = KnnLocalizer::fit(
+            train.x.clone(),
+            train.labels.clone(),
+            train.num_classes(),
+            3,
+        );
+        let soft = knn.to_soft(0.05);
+        let s = SweepSpec::grid(vec![0.2], vec![100.0]);
+        let datasets: Vec<(String, String, &Dataset)> = scenario
+            .test_per_device
+            .iter()
+            .map(|(d, t)| ("B1".to_string(), d.acronym.clone(), t))
+            .collect();
+        let table = run_sweep(&[("KNN", &knn)], Some(&soft), &datasets, &s);
+        assert_eq!(table.len(), datasets.len() * (1 + 3));
+        for (i, row) in table.rows().iter().enumerate() {
+            assert_eq!(row.plan_index, i, "rows must be merged in plan order");
+            assert_eq!(row.framework, "KNN");
+            assert!(row.mean_error_m.is_finite() && row.mean_error_m >= 0.0);
+            assert!(row.max_error_m >= row.mean_error_m - 1e-12);
+        }
+        let clean = &table.rows()[0];
+        assert_eq!((clean.attack.as_str(), clean.epsilon), ("none", 0.0));
+        assert_eq!(clean.variant, "");
+        let attacked = &table.rows()[1];
+        assert_eq!(attacked.attack, "FGSM");
+        assert_eq!(attacked.variant, "manipulation");
+        assert_eq!(attacked.targeting, "strongest");
+        assert_eq!((attacked.epsilon, attacked.phi), (0.2, 100.0));
+    }
+
+    #[test]
+    fn epsilon_unit_scales_crafting_but_not_reporting() {
+        let cell = AttackCell {
+            kind: AttackKind::Fgsm,
+            variant: MitmVariant::Manipulation,
+            targeting: Targeting::Strongest,
+            epsilon: 0.4,
+            phi: 50.0,
+        };
+        let mitm = cell.to_attack(0.25, 7);
+        assert!((mitm.config.epsilon - 0.1).abs() < 1e-12);
+        assert_eq!(mitm.config.seed, 7);
+        assert_eq!(cell.epsilon, 0.4, "rows report paper units");
+    }
+
+    #[test]
+    fn clean_only_spec_has_one_cell_per_pair() {
+        let s = SweepSpec::clean_only();
+        assert_eq!(s.attack_cells().len(), 1);
+        let plan = s.plan(
+            &["A".to_string(), "B".to_string()],
+            &[("b".to_string(), "d".to_string())],
+        );
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+    }
+}

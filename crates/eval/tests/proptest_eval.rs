@@ -3,7 +3,7 @@
 //! [`calloc_eval::ResultTable`] aggregations.
 
 use calloc_baselines::KnnLocalizer;
-use calloc_eval::{evaluate, ResultRow, ResultTable};
+use calloc_eval::{evaluate, ResultRow, ResultTable, SweepSpec};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
 use proptest::prelude::*;
 
@@ -19,16 +19,7 @@ fn tiny_scenario(salt: u64, seed: u64) -> Scenario {
 }
 
 fn row(framework: &str, mean: f64, max: f64) -> ResultRow {
-    ResultRow {
-        framework: framework.to_string(),
-        building: "B1".to_string(),
-        device: "OP3".to_string(),
-        attack: "none".to_string(),
-        epsilon: 0.0,
-        phi: 0.0,
-        mean_error_m: mean,
-        max_error_m: max,
-    }
+    ResultRow::clean(0, framework, "B1", "OP3", mean, max)
 }
 
 proptest! {
@@ -125,5 +116,36 @@ proptest! {
         }
         let csv = table.to_csv();
         prop_assert_eq!(csv.trim_end().lines().count(), n + 1);
+    }
+
+    /// Sweep-plan enumeration is a pure cross-product: the cell count is
+    /// the product of every axis length (plus the clean cell per pair),
+    /// plan indices equal positions, and member/dataset indices stay in
+    /// range — for arbitrary grid sizes.
+    #[test]
+    fn sweep_plan_is_a_complete_cross_product(
+        n_members in 1usize..5,
+        n_datasets in 1usize..4,
+        n_eps in 1usize..4,
+        n_phi in 1usize..4,
+        clean in any::<bool>(),
+    ) {
+        let mut spec = SweepSpec::full_grid(
+            (0..n_eps).map(|i| 0.1 * (i + 1) as f64).collect(),
+            (0..n_phi).map(|i| 10.0 * (i + 1) as f64).collect(),
+        );
+        spec.include_clean = clean;
+        let members: Vec<String> = (0..n_members).map(|i| format!("M{i}")).collect();
+        let datasets: Vec<(String, String)> =
+            (0..n_datasets).map(|i| ("B1".to_string(), format!("D{i}"))).collect();
+        let plan = spec.plan(&members, &datasets);
+        let per_pair = usize::from(clean)
+            + spec.attacks.len() * spec.variants.len() * spec.targetings.len() * n_eps * n_phi;
+        prop_assert_eq!(plan.len(), n_members * n_datasets * per_pair);
+        for (i, cell) in plan.cells().iter().enumerate() {
+            prop_assert_eq!(cell.plan_index, i);
+            prop_assert!(cell.member < n_members);
+            prop_assert!(cell.dataset < n_datasets);
+        }
     }
 }

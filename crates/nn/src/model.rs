@@ -110,8 +110,9 @@ impl Sequential {
 /// (FGSM, PGD, MIM all consume exactly this).
 ///
 /// Implementations must be deterministic in evaluation mode so that attack
-/// crafting is reproducible.
-pub trait DifferentiableModel {
+/// crafting is reproducible, and (like [`Localizer`]) thread-safe so the
+/// sweep engine can share one gradient source across evaluation workers.
+pub trait DifferentiableModel: Send + Sync {
     /// Number of output classes.
     fn num_classes(&self) -> usize;
 

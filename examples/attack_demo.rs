@@ -1,14 +1,17 @@
 //! Attack anatomy: craft FGSM, PGD and MIM man-in-the-middle attacks
 //! against an undefended DNN localizer and inspect what the adversary
 //! actually changes (perturbation norms, targeted APs, error blow-up).
+//! The (attack × ε × ø × MITM variant) grid itself runs on the sweep
+//! engine (`calloc_eval::sweep`), the same subsystem behind the paper's
+//! figures.
 //!
 //! ```text
 //! cargo run --release --example attack_demo
 //! ```
 
-use calloc_attack::{craft, select_targets, AttackConfig, AttackKind, MitmAttack, Targeting};
+use calloc_attack::{craft, select_targets, AttackConfig, AttackKind, MitmVariant, Targeting};
 use calloc_baselines::{DnnConfig, DnnLocalizer};
-use calloc_nn::Localizer;
+use calloc_eval::{run_sweep, Localizer, SweepSpec};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
 use calloc_tensor::stats;
 
@@ -40,9 +43,11 @@ fn main() {
         &targets[..targets.len().min(10)]
     );
 
+    // Perturbation anatomy: what does each crafting algorithm's L∞ look
+    // like at its budget?
     println!(
-        "{:<6} {:>6} {:>6} | {:>10} {:>12}",
-        "attack", "eps", "phi", "L_inf", "error [m]"
+        "{:<6} {:>6} {:>6} | {:>10}",
+        "attack", "eps", "phi", "L_inf"
     );
     for kind in AttackKind::ALL {
         for (eps, phi) in [(0.025, 25.0), (0.025, 100.0), (0.125, 100.0)] {
@@ -50,28 +55,51 @@ fn main() {
             let model = victim.as_differentiable().expect("DNN is differentiable");
             let adv = craft(model, &test.x, &test.labels, &cfg);
             let linf = adv.sub(&test.x).map(f64::abs).max();
-            let err = stats::mean(&test.errors_meters(&victim.predict_classes(&adv)));
             println!(
-                "{:<6} {:>6.3} {:>6.0} | {:>10.3} {:>12.2}",
+                "{:<6} {:>6.3} {:>6.0} | {:>10.3}",
                 kind.name(),
                 eps,
                 phi,
-                linf,
-                err
+                linf
             );
         }
     }
 
-    // MITM semantics: manipulation vs spoofing.
-    let model = victim.as_differentiable().expect("differentiable");
-    let manipulation = MitmAttack::manipulation(AttackConfig::fgsm(0.025, 50.0));
-    let spoofing = MitmAttack::spoofing(AttackConfig::fgsm(0.025, 50.0), 13);
-    for (name, mitm) in [("manipulation", &manipulation), ("spoofing", &spoofing)] {
-        let adv = mitm.apply(model, &test.x, &test.labels);
-        let err = stats::mean(&test.errors_meters(&victim.predict_classes(&adv)));
-        let linf = adv.sub(&test.x).map(f64::abs).max();
-        println!("\nMITM {name:<13} L_inf {linf:.3}  mean error {err:.2} m");
+    // The error impact of the same grid — plus both MITM injection
+    // variants — as one declarative sweep. ε here is already in
+    // normalized units, so the calibration factor stays 1.
+    let mut sweep = SweepSpec::grid(vec![0.025, 0.125], vec![25.0, 100.0]);
+    sweep.variants = MitmVariant::ALL.to_vec();
+    let datasets = [("B2".to_string(), "OP3".to_string(), test)];
+    let members: [(&str, &dyn Localizer); 1] = [("DNN", &victim)];
+    let table = run_sweep(&members, None, &datasets, &sweep);
+
+    println!(
+        "\nsweep: {} cells (clean + {} kinds x {} variants x {} eps x {} phi)\n",
+        table.len(),
+        sweep.attacks.len(),
+        sweep.variants.len(),
+        sweep.epsilons.len(),
+        sweep.phis.len()
+    );
+    println!(
+        "{:<6} {:<13} {:>6} {:>6} | {:>10} {:>10}",
+        "attack", "variant", "eps", "phi", "mean [m]", "worst [m]"
+    );
+    for row in table.rows() {
+        println!(
+            "{:<6} {:<13} {:>6.3} {:>6.0} | {:>10.2} {:>10.2}",
+            row.attack, row.variant, row.epsilon, row.phi, row.mean_error_m, row.max_error_m
+        );
     }
-    println!("\nspoofing replaces targeted readings with counterfeit ones, so its");
+
+    let manipulation = table
+        .mean_where(|r| r.variant == "manipulation")
+        .expect("manipulation rows");
+    let spoofing = table
+        .mean_where(|r| r.variant == "spoofing")
+        .expect("spoofing rows");
+    println!("\nmean over the grid — manipulation {manipulation:.2} m, spoofing {spoofing:.2} m");
+    println!("spoofing replaces targeted readings with counterfeit ones, so its");
     println!("perturbation is not ε-bounded around the genuine signal — and it hurts more.");
 }

@@ -1,15 +1,15 @@
 //! Train the full framework suite (CALLOC + the four state-of-the-art
 //! comparison frameworks + the classical baselines) on one building and
-//! rank everyone clean and under attack — a single-building Fig. 6.
+//! rank everyone clean and under attack — a single-building Fig. 6,
+//! evaluated through the sweep engine.
 //!
 //! ```text
 //! cargo run --release --example baseline_comparison
 //! ```
 
-use calloc_attack::{AttackConfig, AttackKind};
-use calloc_eval::{evaluate, Suite, SuiteProfile};
+use calloc_attack::AttackKind;
+use calloc_eval::{Suite, SuiteProfile, SweepSpec};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
-use calloc_tensor::stats;
 
 fn main() {
     let spec = BuildingSpec {
@@ -30,37 +30,30 @@ fn main() {
         building.spec().id.name()
     );
 
-    let attack = AttackConfig::standard(AttackKind::Pgd, 0.075, 60.0); // paper ε=0.3, ø=60
+    // One PGD cell (paper ε=0.3, ø=60; ε already in normalized units
+    // here) plus the clean baseline, for every member on every device.
+    let mut sweep = SweepSpec::grid(vec![0.075], vec![60.0]);
+    sweep.attacks = vec![AttackKind::Pgd];
+    let datasets = Suite::scenario_datasets(&scenario, building.spec().id.name());
+    let table = suite.sweep(&datasets, &sweep);
+
     println!(
         "{:<9} {:>10} {:>12} {:>12}",
         "framework", "clean [m]", "PGD [m]", "worst [m]"
     );
     let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
     for member in &suite.members {
-        let mut clean = Vec::new();
-        let mut attacked = Vec::new();
-        let mut worst = 0.0f64;
-        for (_, test) in &scenario.test_per_device {
-            clean.push(
-                evaluate(member.model.as_ref(), test, None, None)
-                    .summary
-                    .mean,
-            );
-            let e = evaluate(
-                member.model.as_ref(),
-                test,
-                Some(&attack),
-                Some(suite.surrogate()),
-            );
-            attacked.push(e.summary.mean);
-            worst = worst.max(e.summary.max);
-        }
-        rows.push((
-            member.name.clone(),
-            stats::mean(&clean),
-            stats::mean(&attacked),
-            worst,
-        ));
+        let name = member.name.as_str();
+        let clean = table
+            .mean_where(|r| r.framework == name && r.attack == "none")
+            .expect("clean cell per member");
+        let attacked = table
+            .mean_where(|r| r.framework == name && r.attack == "PGD")
+            .expect("PGD cell per member");
+        let worst = table
+            .max_where(|r| r.framework == name && r.attack == "PGD")
+            .expect("PGD cell per member");
+        rows.push((member.name.clone(), clean, attacked, worst));
     }
     rows.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"));
     for (name, clean, attacked, worst) in rows {

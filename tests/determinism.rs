@@ -210,6 +210,65 @@ fn suite_training_is_thread_count_invariant() {
     );
 }
 
+/// The sweep engine's plan-index merge contract: the full attack-axis
+/// cross-product (all crafting kinds × both MITM variants × all targeting
+/// strategies × ε × ø grids plus the clean cell) over a quick-profile
+/// suite produces an **equal `ResultTable`** — same rows, same order,
+/// same CSV bytes — at every thread count.
+#[test]
+fn sweep_engine_is_thread_count_invariant() {
+    use calloc_eval::{Suite, SuiteProfile, SweepSpec};
+
+    let _guard = lock_knobs();
+    let building = Building::generate(small_spec(), 9);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 7);
+    let profile = SuiteProfile {
+        calloc: CallocConfig {
+            epochs_per_lesson: 2,
+            ..CallocConfig::fast()
+        },
+        lessons: 2,
+        include_nc: false,
+        include_sota: false,
+        include_classical: true, // covers the GPC Cholesky path
+        baseline_epochs: 4,
+        train_epsilon: 0.025,
+        seed: 3,
+    };
+    let spec = SweepSpec::full_grid(vec![0.1, 0.3], vec![50.0, 100.0]).with_seed(5);
+
+    par::set_min_work(1);
+    par::set_threads(1);
+    let suite = Suite::train(&scenario, &profile);
+    let datasets = Suite::scenario_datasets(&scenario, "B1");
+    let serial = suite.sweep(&datasets, &spec);
+    let mut parallel_tables = Vec::new();
+    for threads in [2usize, 4] {
+        par::set_threads(threads);
+        parallel_tables.push((threads, suite.sweep(&datasets, &spec)));
+    }
+    par::set_threads(0);
+    par::set_min_work(0);
+
+    let per_pair = 1 + 3 * 2 * 3 * 2 * 2;
+    assert_eq!(
+        serial.len(),
+        suite.members.len() * datasets.len() * per_pair,
+        "plan must cover the full cross-product"
+    );
+    for (threads, table) in &parallel_tables {
+        assert_eq!(
+            &serial, table,
+            "ResultTable diverges between 1 and {threads} threads"
+        );
+        assert_eq!(
+            serial.to_csv(),
+            table.to_csv(),
+            "CSV bytes diverge between 1 and {threads} threads"
+        );
+    }
+}
+
 /// Different seeds must actually change the realization — guards against a
 /// determinism test passing because the seed is ignored entirely.
 #[test]

@@ -1,0 +1,146 @@
+//! Golden-report regression tier: the exact CSV bytes of a quick-profile
+//! attack sweep are pinned in `tests/golden/quick_sweep.csv`.
+//!
+//! The sweep engine's contract is that a `ResultTable` is bit-identical
+//! for every `CALLOC_THREADS`; this suite locks the *whole* pipeline
+//! behind that promise — scenario simulation, suite training (CALLOC +
+//! the classical baselines, so the GPC Cholesky hot path is pinned too),
+//! attack crafting across every axis (3 kinds × 2 MITM variants ×
+//! 3 targeting strategies × ε × ø grids plus the clean baseline) and CSV
+//! serialization. Any change to any of those layers that moves a single
+//! byte fails here and must regenerate the golden file *as a reviewed
+//! artifact* (run the `#[ignore]`d `regenerate_golden_reports` test).
+//!
+//! CI runs this suite in every tier-1 leg (`CALLOC_THREADS` = 1, 2
+//! and 4), and the in-process test additionally compares thread counts
+//! 1 and 4 against the same bytes.
+
+use calloc::CallocConfig;
+use calloc_eval::{ResultTable, Suite, SuiteProfile, SweepSpec};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_tensor::par;
+use std::sync::{Mutex, OnceLock};
+
+/// Serializes tests that flip the process-global `par` knobs.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/quick_sweep.csv");
+
+fn golden_bytes() -> String {
+    std::fs::read_to_string(GOLDEN_PATH).expect(
+        "tests/golden/quick_sweep.csv is checked in; regenerate it with \
+         `cargo test --test golden_reports -- --ignored`",
+    )
+}
+
+/// The pinned scenario + suite. Trained once per process (training itself
+/// is thread-count invariant, so sharing it between the knob-flipping
+/// tests cannot leak state).
+fn scenario_and_suite() -> &'static (Scenario, Suite) {
+    static SUITE: OnceLock<(Scenario, Suite)> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        let spec = BuildingSpec {
+            path_length_m: 12,
+            num_aps: 16,
+            ..BuildingId::B1.spec()
+        };
+        let building = Building::generate(spec, 5);
+        let scenario = Scenario::generate(&building, &CollectionConfig::small(), 11);
+        let profile = SuiteProfile {
+            calloc: CallocConfig {
+                epochs_per_lesson: 4,
+                ..CallocConfig::fast()
+            },
+            lessons: 3,
+            include_nc: false,
+            include_sota: false,
+            include_classical: true, // KNN + GPC (Cholesky) + DNN
+            baseline_epochs: 10,
+            train_epsilon: 0.025,
+            seed: 4,
+        };
+        let suite = Suite::train(&scenario, &profile);
+        (scenario, suite)
+    })
+}
+
+/// The pinned quick-profile sweep: the full threat-model cross-product
+/// over a reduced (ε, ø) grid.
+fn quick_sweep() -> ResultTable {
+    let (scenario, suite) = scenario_and_suite();
+    let spec = SweepSpec::full_grid(vec![0.1, 0.5], vec![50.0, 100.0]).with_seed(9);
+    let datasets = Suite::scenario_datasets(scenario, "B1");
+    suite.sweep(&datasets, &spec)
+}
+
+#[test]
+fn quick_sweep_csv_matches_golden_at_ambient_threads() {
+    // No knob override: under CI this leg runs at CALLOC_THREADS ∈
+    // {1, 2, 4}, comparing the same golden bytes across processes.
+    let _guard = lock_knobs();
+    let csv = quick_sweep().to_csv();
+    assert_eq!(
+        csv,
+        golden_bytes(),
+        "sweep CSV diverged from tests/golden/quick_sweep.csv at the \
+         ambient thread count ({} workers)",
+        par::threads()
+    );
+}
+
+#[test]
+fn quick_sweep_csv_matches_golden_at_threads_1_and_4() {
+    let _guard = lock_knobs();
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let csv = quick_sweep().to_csv();
+        par::set_threads(0);
+        assert_eq!(
+            csv,
+            golden_bytes(),
+            "sweep CSV diverged from the golden file at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn golden_file_is_well_formed() {
+    let golden = golden_bytes();
+    let mut lines = golden.lines();
+    let header = lines.next().expect("non-empty golden file");
+    assert_eq!(
+        header,
+        "plan_index,framework,building,device,attack,variant,targeting,\
+         epsilon,phi,mean_error_m,max_error_m"
+    );
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        assert!(
+            line.starts_with(&format!("{i},")),
+            "row {i} does not carry its plan index: {line}"
+        );
+        assert_eq!(line.split(',').count(), 11, "row {i} column count");
+        rows += 1;
+    }
+    // 4 members × 2 devices × (1 clean + 3·2·3·2·2 attack cells)
+    assert_eq!(rows, 4 * 2 * (1 + 72));
+}
+
+/// Regenerates `tests/golden/quick_sweep.csv`. Ignored by default — run
+/// explicitly when a deliberate pipeline change moves the pinned bytes:
+///
+/// ```text
+/// cargo test --test golden_reports -- --ignored
+/// ```
+#[test]
+#[ignore = "writes the golden file; run explicitly after deliberate changes"]
+fn regenerate_golden_reports() {
+    let _guard = lock_knobs();
+    let csv = quick_sweep().to_csv();
+    std::fs::write(GOLDEN_PATH, &csv).expect("write golden CSV");
+    println!("wrote {GOLDEN_PATH} ({} bytes)", csv.len());
+}

@@ -1,8 +1,8 @@
 //! Integration tests of the evaluation harness across all frameworks.
 
 use calloc::CallocConfig;
-use calloc_attack::{AttackConfig, AttackKind};
-use calloc_eval::{evaluate, ResultRow, ResultTable, Suite, SuiteProfile};
+use calloc_attack::{AttackConfig, AttackKind, MitmVariant, Targeting};
+use calloc_eval::{evaluate, Suite, SuiteProfile, SweepSpec};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
 
 fn tiny_suite() -> (Scenario, Suite) {
@@ -55,28 +55,53 @@ fn every_framework_survives_every_attack_kind() {
 }
 
 #[test]
-fn result_table_round_trips_through_csv() {
+fn suite_sweep_covers_every_member_and_round_trips_through_csv() {
     let (scenario, suite) = tiny_suite();
-    let test = &scenario.test_per_device[0].1;
-    let mut table = ResultTable::new();
-    for member in &suite.members {
-        let eval = evaluate(member.model.as_ref(), test, None, None);
-        table.push(ResultRow {
-            framework: member.name.clone(),
-            building: "B2".into(),
-            device: "MOTO".into(),
-            attack: "none".into(),
-            epsilon: 0.0,
-            phi: 0.0,
-            mean_error_m: eval.summary.mean,
-            max_error_m: eval.summary.max,
-        });
+    let datasets = Suite::scenario_datasets(&scenario, "B2");
+    let spec = SweepSpec::clean_only();
+    let table = suite.sweep(&datasets, &spec);
+    // One clean cell per (member, device), in plan-index order.
+    assert_eq!(table.len(), suite.members.len() * datasets.len());
+    for (i, row) in table.rows().iter().enumerate() {
+        assert_eq!(row.plan_index, i);
+        assert_eq!(row.attack, "none");
+        assert!(row.mean_error_m.is_finite());
     }
     let csv = table.to_csv();
-    // header + one line per member
-    assert_eq!(csv.lines().count(), suite.members.len() + 1);
+    // header + one line per cell
+    assert_eq!(csv.lines().count(), table.len() + 1);
+    assert!(csv.starts_with("plan_index,framework,"));
     assert!(csv.contains("CALLOC"));
     assert!(csv.contains("WiDeep"));
+}
+
+#[test]
+fn full_grid_sweep_evaluates_every_axis_combination() {
+    let (scenario, suite) = tiny_suite();
+    let datasets = Suite::scenario_datasets(&scenario, "B2");
+    let spec = SweepSpec::full_grid(vec![0.05], vec![50.0]);
+    let table = suite.sweep(&datasets, &spec);
+    let per_pair = 1 + 3 * MitmVariant::ALL.len() * Targeting::ALL.len();
+    assert_eq!(table.len(), suite.members.len() * datasets.len() * per_pair);
+    // Every variant and targeting shows up, and all errors are sane.
+    for variant in MitmVariant::ALL {
+        assert!(
+            table.rows().iter().any(|r| r.variant == variant.name()),
+            "no rows for variant {}",
+            variant.name()
+        );
+    }
+    for targeting in Targeting::ALL {
+        assert!(
+            table.rows().iter().any(|r| r.targeting == targeting.name()),
+            "no rows for targeting {}",
+            targeting.name()
+        );
+    }
+    assert!(table
+        .rows()
+        .iter()
+        .all(|r| r.mean_error_m.is_finite() && r.mean_error_m >= 0.0));
 }
 
 #[test]
