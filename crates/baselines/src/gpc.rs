@@ -8,7 +8,7 @@
 //! giving white-box attack gradients.
 
 use calloc_nn::{DifferentiableModel, Localizer};
-use calloc_tensor::{linalg, Matrix};
+use calloc_tensor::{kernel, linalg, par, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters of the GPC baseline.
@@ -79,17 +79,12 @@ impl GpcLocalizer {
             y_train.iter().all(|&y| y < num_classes),
             "label out of range"
         );
-        let n = x_train.rows();
-        let mut kernel = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                let k = rbf(x_train.row(i), x_train.row(j), config.length_scale);
-                kernel.set(i, j, k);
-                kernel.set(j, i, k);
-            }
-        }
-        let kernel = linalg::add_diagonal(&kernel, config.noise);
-        let mut onehot = Matrix::zeros(n, num_classes);
+        // The symmetric Gram matrix, one triangle computed and mirrored —
+        // each element is the same ascending-column RBF the scalar loop
+        // computed, so the factorization input is unchanged bit-for-bit.
+        let gram = kernel::rbf_gram(&x_train, config.length_scale);
+        let kernel = linalg::add_diagonal(&gram, config.noise);
+        let mut onehot = Matrix::zeros(x_train.rows(), num_classes);
         for (i, &y) in y_train.iter().enumerate() {
             onehot.set(i, y, 1.0);
         }
@@ -103,24 +98,41 @@ impl GpcLocalizer {
     }
 
     /// Raw GP regression scores (`batch` x `num_classes`), before
-    /// sharpening.
+    /// sharpening: `k(x, X_train) · α`, computed as one batched
+    /// cross-kernel followed by a matrix product.
+    ///
+    /// The blocked matmul accumulates each output element over ascending
+    /// training indices exactly like the former scalar loop, so scores are
+    /// bit-identical to the seed path (enforced by `perf_baseline`).
     pub fn scores(&self, x: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(x.rows(), self.num_classes);
-        for r in 0..x.rows() {
-            for i in 0..self.x_train.rows() {
-                let k = rbf(x.row(r), self.x_train.row(i), self.config.length_scale);
-                for c in 0..self.num_classes {
-                    out.set(r, c, out.get(r, c) + k * self.alpha.get(i, c));
-                }
-            }
-        }
-        out
+        self.cross_kernel(x).matmul(&self.alpha)
     }
-}
 
-fn rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
-    let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
-    (-sq / (2.0 * length_scale * length_scale)).exp()
+    /// The batch × train RBF cross-kernel `k(x, X_train)`.
+    ///
+    /// This is the single most expensive piece of GPC inference; callers
+    /// that need both scores and gradients (see
+    /// [`DifferentiableModel::loss_and_input_grad`]) compute it **once**
+    /// and share it.
+    fn cross_kernel(&self, x: &Matrix) -> Matrix {
+        kernel::rbf_cross(x, &self.x_train, self.config.length_scale)
+    }
+
+    /// The stored training fingerprints.
+    pub fn x_train(&self) -> &Matrix {
+        &self.x_train
+    }
+
+    /// The fitted regression weights `α = (K + σ²I)⁻¹ Y_onehot`
+    /// (`n_train` × `num_classes`).
+    pub fn alpha(&self) -> &Matrix {
+        &self.alpha
+    }
+
+    /// The hyper-parameters this model was fitted with.
+    pub fn config(&self) -> GpcConfig {
+        self.config
+    }
 }
 
 impl DifferentiableModel for GpcLocalizer {
@@ -134,28 +146,73 @@ impl DifferentiableModel for GpcLocalizer {
 
     fn loss_and_input_grad(&self, x: &Matrix, targets: &[usize]) -> (f64, Matrix) {
         assert_eq!(targets.len(), x.rows(), "label count mismatch");
-        let logits = self.logits(x);
+        // The cross-kernel is computed ONCE and shared between the logits
+        // and the gradient — the seed path evaluated every RBF row twice
+        // per attack step.
+        let cross = self.cross_kernel(x);
+        let logits = cross.matmul(&self.alpha).scale(self.config.sharpness);
         let (loss, grad_logits) = calloc_nn::loss::cross_entropy(&logits, targets);
 
         // d logits_c / dx = sharpness · Σ_i α_ic · dk_i/dx,
         // dk_i/dx = k_i · (x_i − x) / ℓ²
         let ls2 = self.config.length_scale * self.config.length_scale;
-        let mut grad_x = Matrix::zeros(x.rows(), x.cols());
-        for r in 0..x.rows() {
-            for i in 0..self.x_train.rows() {
-                let k = rbf(x.row(r), self.x_train.row(i), self.config.length_scale);
-                // weight = Σ_c grad_logits_rc · sharpness · α_ic
-                let mut w = 0.0;
-                for c in 0..self.num_classes {
-                    w += grad_logits.get(r, c) * self.alpha.get(i, c);
+        let sharpness = self.config.sharpness;
+        let (rows, cols) = x.shape();
+        let mut grad_x = Matrix::zeros(rows, cols);
+        if rows == 0 || cols == 0 {
+            return (loss, grad_x);
+        }
+        // weights[r][i] = Σ_c grad_logits_rc · α_ic — the blocked `A·Bᵀ`
+        // kernel accumulates over ascending classes exactly like the former
+        // per-pair scalar dot.
+        let weights = grad_logits.matmul_transposed(&self.alpha);
+        let n_train = self.x_train.rows();
+        let (kd, wd) = (cross.as_slice(), weights.as_slice());
+        let (xtd, xd) = (self.x_train.as_slice(), x.as_slice());
+        // Rows are independent; per-row cost is train × dim.
+        let min_rows = par::min_rows_for(n_train.saturating_mul(2 * cols + 8));
+        par::par_row_chunks_mut(grad_x.as_mut_slice(), cols, min_rows, |first_row, chunk| {
+            for (rr, grow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = first_row + rr;
+                let krow = &kd[r * n_train..(r + 1) * n_train];
+                let wrow = &wd[r * n_train..(r + 1) * n_train];
+                let xrow = &xd[r * cols..(r + 1) * cols];
+                // The training loop is unrolled four wide to cut `grow`
+                // load/store traffic; the per-element left-associated
+                // chain keeps the additions in exact ascending-i order, so
+                // the result bits match adding one row at a time.
+                let mut i = 0;
+                while i + 4 <= n_train {
+                    let w0 = wrow[i] * (sharpness * krow[i] / ls2);
+                    let w1 = wrow[i + 1] * (sharpness * krow[i + 1] / ls2);
+                    let w2 = wrow[i + 2] * (sharpness * krow[i + 2] / ls2);
+                    let w3 = wrow[i + 3] * (sharpness * krow[i + 3] / ls2);
+                    let t0 = &xtd[i * cols..(i + 1) * cols];
+                    let t1 = &xtd[(i + 1) * cols..(i + 2) * cols];
+                    let t2 = &xtd[(i + 2) * cols..(i + 3) * cols];
+                    let t3 = &xtd[(i + 3) * cols..(i + 4) * cols];
+                    for (c, (gv, &xv)) in grow.iter_mut().zip(xrow).enumerate() {
+                        #[allow(clippy::assign_op_pattern)]
+                        {
+                            *gv = *gv
+                                + w0 * (t0[c] - xv)
+                                + w1 * (t1[c] - xv)
+                                + w2 * (t2[c] - xv)
+                                + w3 * (t3[c] - xv);
+                        }
+                    }
+                    i += 4;
                 }
-                w *= self.config.sharpness * k / ls2;
-                for col in 0..x.cols() {
-                    let delta = self.x_train.get(i, col) - x.get(r, col);
-                    grad_x.set(r, col, grad_x.get(r, col) + w * delta);
+                while i < n_train {
+                    let w = wrow[i] * (sharpness * krow[i] / ls2);
+                    let xtrow = &xtd[i * cols..(i + 1) * cols];
+                    for ((gv, &xt), &xv) in grow.iter_mut().zip(xtrow).zip(xrow) {
+                        *gv += w * (xt - xv);
+                    }
+                    i += 1;
                 }
             }
-        }
+        });
         (loss, grad_x)
     }
 }

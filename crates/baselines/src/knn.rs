@@ -2,7 +2,7 @@
 //! differentiable soft surrogate.
 
 use calloc_nn::{DifferentiableModel, Localizer};
-use calloc_tensor::Matrix;
+use calloc_tensor::{kernel, par, Matrix};
 
 /// Distance-weighted k-nearest-neighbours fingerprint matcher.
 ///
@@ -75,35 +75,36 @@ impl Localizer for KnnLocalizer {
     }
 
     fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows())
-            .map(|r| {
-                let q = x.row(r);
-                // (distance², train index) for all training rows
-                let mut dists: Vec<(f64, usize)> = (0..self.x_train.rows())
-                    .map(|i| {
-                        let d = self
-                            .x_train
-                            .row(i)
-                            .iter()
-                            .zip(q)
-                            .map(|(a, b)| (a - b).powi(2))
-                            .sum::<f64>();
-                        (d, i)
-                    })
-                    .collect();
-                dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
-                let mut votes = vec![0.0f64; self.num_classes];
-                for &(d, i) in dists.iter().take(self.k) {
-                    votes[self.y_train[i]] += 1.0 / (d.sqrt() + 1e-6);
-                }
-                votes
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite votes"))
-                    .map(|(c, _)| c)
-                    .unwrap_or(0)
-            })
-            .collect()
+        // One batched pairwise-distance pass, then a cheap per-row vote.
+        // `sq_dists` accumulates each distance in the same ascending-column
+        // order as the former per-query loop, and the stable sort on
+        // identical keys yields the identical neighbour order, so the
+        // predictions are unchanged bit-for-bit.
+        let sq = kernel::sq_dists(x, &self.x_train);
+        let n_train = self.x_train.rows();
+        // Roughly sort-dominated; weight a training row as ~32 work units.
+        let min_rows = par::min_rows_for(n_train.saturating_mul(32));
+        let chunks = par::par_chunks(x.rows(), min_rows, |range| {
+            range
+                .map(|r| {
+                    // (distance², train index) for all training rows
+                    let mut dists: Vec<(f64, usize)> =
+                        sq.row(r).iter().copied().zip(0..n_train).collect();
+                    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                    let mut votes = vec![0.0f64; self.num_classes];
+                    for &(d, i) in dists.iter().take(self.k) {
+                        votes[self.y_train[i]] += 1.0 / (d.sqrt() + 1e-6);
+                    }
+                    votes
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite votes"))
+                        .map(|(c, _)| c)
+                        .unwrap_or(0)
+                })
+                .collect::<Vec<usize>>()
+        });
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -141,18 +142,48 @@ impl SoftKnn {
         }
     }
 
-    /// Squared distances from query row `q` to every training row.
-    fn sq_dists(&self, q: &[f64]) -> Vec<f64> {
-        (0..self.x_train.rows())
-            .map(|i| {
-                self.x_train
-                    .row(i)
+    /// Batch × train squared distances to the training memory — one
+    /// batched pass over the shared pairwise primitive, bit-identical to
+    /// the former per-query scalar loop.
+    fn sq_dists(&self, x: &Matrix) -> Matrix {
+        kernel::sq_dists(x, &self.x_train)
+    }
+
+    /// Logits from a precomputed squared-distance matrix (see
+    /// [`SoftKnn::sq_dists`]): per row, a per-class log-sum-exp over the
+    /// training memory, stabilized by the global max exponent.
+    ///
+    /// Rows are independent and fan out on the row-parallel runtime; the
+    /// per-row arithmetic order is exactly the serial loop's.
+    fn logits_from_sq_dists(&self, sq: &Matrix) -> Matrix {
+        let mut logits = Matrix::zeros(sq.rows(), self.num_classes);
+        if sq.rows() == 0 {
+            return logits;
+        }
+        let nc = self.num_classes;
+        let n_train = self.x_train.rows();
+        let (dd, yt, tau) = (sq.as_slice(), &self.y_train, self.temperature);
+        // exp dominates; weight a training row as ~20 work units.
+        let min_rows = par::min_rows_for(n_train.saturating_mul(20));
+        par::par_row_chunks_mut(logits.as_mut_slice(), nc, min_rows, |first_row, chunk| {
+            for (rr, lrow) in chunk.chunks_exact_mut(nc).enumerate() {
+                let drow = &dd[(first_row + rr) * n_train..(first_row + rr + 1) * n_train];
+                // log-sum-exp per class, stabilized by the global max exponent
+                let m = drow
                     .iter()
-                    .zip(q)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum::<f64>()
-            })
-            .collect()
+                    .map(|&v| -v / tau)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let mut sums = vec![0.0f64; nc];
+                for (&di, &c) in drow.iter().zip(yt) {
+                    sums[c] += (-di / tau - m).exp();
+                }
+                for (l, &sum) in lrow.iter_mut().zip(&sums) {
+                    // classes with no training samples get a very low score
+                    *l = if sum > 0.0 { m + sum.ln() } else { -1e9 };
+                }
+            }
+        });
+        logits
     }
 }
 
@@ -162,60 +193,60 @@ impl DifferentiableModel for SoftKnn {
     }
 
     fn logits(&self, x: &Matrix) -> Matrix {
-        let mut logits = Matrix::zeros(x.rows(), self.num_classes);
-        for r in 0..x.rows() {
-            let d = self.sq_dists(x.row(r));
-            // log-sum-exp per class, stabilized by the global max exponent
-            let m = d
-                .iter()
-                .map(|&v| -v / self.temperature)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let mut sums = vec![0.0f64; self.num_classes];
-            for (i, &di) in d.iter().enumerate() {
-                sums[self.y_train[i]] += (-di / self.temperature - m).exp();
-            }
-            for (c, &sum) in sums.iter().enumerate() {
-                // classes with no training samples get a very low score
-                let s = if sum > 0.0 { m + sum.ln() } else { -1e9 };
-                logits.set(r, c, s);
-            }
-        }
-        logits
+        self.logits_from_sq_dists(&self.sq_dists(x))
     }
 
     fn loss_and_input_grad(&self, x: &Matrix, targets: &[usize]) -> (f64, Matrix) {
         assert_eq!(targets.len(), x.rows(), "label count mismatch");
-        let logits = self.logits(x);
+        // One batched distance pass shared between the logits and the
+        // gradient (the seed path recomputed every distance row twice).
+        let sq = self.sq_dists(x);
+        let logits = self.logits_from_sq_dists(&sq);
         let (loss, grad_logits) = calloc_nn::loss::cross_entropy(&logits, targets);
 
-        let mut grad_x = Matrix::zeros(x.rows(), x.cols());
-        for r in 0..x.rows() {
-            let q = x.row(r).to_vec();
-            let d = self.sq_dists(&q);
-            let m = d
-                .iter()
-                .map(|&v| -v / self.temperature)
-                .fold(f64::NEG_INFINITY, f64::max);
-            // per-class normalizers
-            let mut sums = vec![0.0f64; self.num_classes];
-            let mut exps = vec![0.0f64; d.len()];
-            for (i, &di) in d.iter().enumerate() {
-                exps[i] = (-di / self.temperature - m).exp();
-                sums[self.y_train[i]] += exps[i];
-            }
-            // ds_c/dx = Σ_{i∈c} (exp_i / sum_c) · (−2(x − x_i)/τ)
-            for (i, &ei) in exps.iter().enumerate() {
-                let c = self.y_train[i];
-                if sums[c] <= 0.0 {
-                    continue;
-                }
-                let w = grad_logits.get(r, c) * ei / sums[c] * (-2.0 / self.temperature);
-                for (col, &qv) in q.iter().enumerate() {
-                    let delta = qv - self.x_train.get(i, col);
-                    grad_x.set(r, col, grad_x.get(r, col) + w * delta);
-                }
-            }
+        let (rows, cols) = x.shape();
+        let mut grad_x = Matrix::zeros(rows, cols);
+        if rows == 0 || cols == 0 {
+            return (loss, grad_x);
         }
+        let nc = self.num_classes;
+        let n_train = self.x_train.rows();
+        let (dd, gld) = (sq.as_slice(), grad_logits.as_slice());
+        let (xtd, xd) = (self.x_train.as_slice(), x.as_slice());
+        let (yt, tau) = (&self.y_train, self.temperature);
+        // Rows are independent; exp + the delta loop dominate per row.
+        let min_rows = par::min_rows_for(n_train.saturating_mul(2 * cols + 20));
+        par::par_row_chunks_mut(grad_x.as_mut_slice(), cols, min_rows, |first_row, chunk| {
+            for (rr, grow) in chunk.chunks_exact_mut(cols).enumerate() {
+                let r = first_row + rr;
+                let drow = &dd[r * n_train..(r + 1) * n_train];
+                let glrow = &gld[r * nc..(r + 1) * nc];
+                let qrow = &xd[r * cols..(r + 1) * cols];
+                let m = drow
+                    .iter()
+                    .map(|&v| -v / tau)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                // per-class normalizers
+                let mut sums = vec![0.0f64; nc];
+                let mut exps = vec![0.0f64; n_train];
+                for ((e, &di), &c) in exps.iter_mut().zip(drow).zip(yt) {
+                    *e = (-di / tau - m).exp();
+                    sums[c] += *e;
+                }
+                // ds_c/dx = Σ_{i∈c} (exp_i / sum_c) · (−2(x − x_i)/τ)
+                for (i, &ei) in exps.iter().enumerate() {
+                    let c = yt[i];
+                    if sums[c] <= 0.0 {
+                        continue;
+                    }
+                    let w = glrow[c] * ei / sums[c] * (-2.0 / tau);
+                    let xtrow = &xtd[i * cols..(i + 1) * cols];
+                    for ((gv, &qv), &xt) in grow.iter_mut().zip(qrow).zip(xtrow) {
+                        *gv += w * (qv - xt);
+                    }
+                }
+            }
+        });
         (loss, grad_x)
     }
 }

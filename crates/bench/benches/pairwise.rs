@@ -1,0 +1,53 @@
+//! Pairwise kernel-distance primitive comparison: the seed's per-query
+//! scalar squared-distance loop vs. the batched row-parallel
+//! `kernel::sq_dists`, plus the fused `kernel::rbf_cross` (the GPC
+//! attack-step cross-kernel) serial and parallel, at sweep-cell sizes.
+//!
+//! `cargo run -p calloc-bench --release --bin perf_baseline` records the
+//! same comparison as a JSON snapshot (`BENCH_kernels.json`, sections
+//! `pairwise_dists` and `gpc_inference`).
+
+use calloc_bench::seed_sq_dists_reference;
+use calloc_tensor::{kernel, par, Matrix, Rng};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pairwise(c: &mut Criterion) {
+    for &(batch, train, dim) in &[(100usize, 150usize, 24usize), (200, 300, 40)] {
+        let mut rng = Rng::new((batch * train) as u64);
+        let a = Matrix::from_fn(batch, dim, |_, _| rng.uniform(0.0, 1.0));
+        let b = Matrix::from_fn(train, dim, |_, _| rng.uniform(0.0, 1.0));
+        let tag = format!("{batch}x{train}x{dim}");
+
+        c.bench_function(&format!("sq_dists_seed_{tag}"), |bch| {
+            bch.iter(|| seed_sq_dists_reference(black_box(&a), black_box(&b)))
+        });
+
+        par::set_threads(1);
+        c.bench_function(&format!("sq_dists_batched_serial_{tag}"), |bch| {
+            bch.iter(|| kernel::sq_dists(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("rbf_cross_serial_{tag}"), |bch| {
+            bch.iter(|| kernel::rbf_cross(black_box(&a), black_box(&b), black_box(0.5)))
+        });
+
+        par::set_threads(0); // CALLOC_THREADS / available parallelism
+        c.bench_function(&format!("sq_dists_batched_parallel_{tag}"), |bch| {
+            bch.iter(|| kernel::sq_dists(black_box(&a), black_box(&b)))
+        });
+        c.bench_function(&format!("rbf_cross_parallel_{tag}"), |bch| {
+            bch.iter(|| kernel::rbf_cross(black_box(&a), black_box(&b), black_box(0.5)))
+        });
+
+        c.bench_function(&format!("rbf_unfused_{tag}"), |bch| {
+            bch.iter(|| {
+                kernel::rbf_from_sq_dists(
+                    &kernel::sq_dists(black_box(&a), black_box(&b)),
+                    black_box(0.5),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_pairwise);
+criterion_main!(benches);

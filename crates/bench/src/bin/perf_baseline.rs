@@ -9,7 +9,12 @@
 //! The same comparison runs for the Cholesky factorization: the seed's
 //! unblocked kernel against the blocked right-looking one, serial and
 //! parallel (this is the GPC baseline's fit hot path, which dominated
-//! attack-sweep wall clock before the blocked kernel landed).
+//! attack-sweep wall clock before the blocked kernel landed); for the
+//! batched pairwise-distance primitives (`kernel::sq_dists` /
+//! `kernel::rbf_cross` against the seed's per-query scalar loop); and for
+//! GPC *inference* (`loss_and_input_grad` on the shared cross-kernel
+//! against the seed scalar path that evaluated every RBF row twice per
+//! attack step — the sweep-cell hot path since PR 3).
 //! Every variant's output is asserted bit-identical to the seed reference
 //! before it is timed — the determinism contract is checked, not assumed.
 //!
@@ -17,8 +22,13 @@
 //! cargo run -p calloc-bench --release --bin perf_baseline
 //! ```
 
-use calloc_bench::{seed_cholesky_reference, seed_matmul_reference};
-use calloc_tensor::{linalg, par, Matrix, Rng};
+use calloc_baselines::{GpcConfig, GpcLocalizer};
+use calloc_bench::{
+    assert_bits_eq, seed_cholesky_reference, seed_gpc_loss_and_input_grad_reference,
+    seed_gpc_scores_reference, seed_matmul_reference, seed_sq_dists_reference,
+};
+use calloc_nn::DifferentiableModel;
+use calloc_tensor::{kernel, linalg, par, Matrix, Rng};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -136,12 +146,150 @@ fn main() {
         chol_rows.push(row);
     }
 
+    // --- Batched pairwise-distance primitives vs the seed scalar loop ---
+    let mut pair_rows = Vec::new();
+    for &(batch, train, dim) in &[(100usize, 150usize, 24usize), (200, 300, 40)] {
+        let mut rng = Rng::new(0xD157 ^ (batch * train) as u64);
+        let a = Matrix::from_fn(batch, dim, |_, _| rng.uniform(0.0, 1.0));
+        let b = Matrix::from_fn(train, dim, |_, _| rng.uniform(0.0, 1.0));
+
+        let reference = seed_sq_dists_reference(&a, &b);
+        par::set_threads(1);
+        assert_bits_eq(
+            &reference,
+            &kernel::sq_dists(&a, &b),
+            &format!("batched sq_dists diverges from seed at {batch}x{train}x{dim}"),
+        );
+        par::set_threads(0);
+        assert_bits_eq(
+            &reference,
+            &kernel::sq_dists(&a, &b),
+            &format!("parallel sq_dists diverges from seed at {batch}x{train}x{dim}"),
+        );
+        assert_bits_eq(
+            &kernel::rbf_cross(&a, &b, 0.5),
+            &kernel::rbf_from_sq_dists(&kernel::sq_dists(&a, &b), 0.5),
+            &format!("fused rbf_cross diverges from the composition at {batch}x{train}x{dim}"),
+        );
+
+        let seed_ms = best_ms(reps, || seed_sq_dists_reference(&a, &b));
+        par::set_threads(1);
+        let batched_serial_ms = best_ms(reps, || kernel::sq_dists(&a, &b));
+        par::set_threads(0);
+        let parallel_ms = best_ms(reps, || kernel::sq_dists(&a, &b));
+        let rbf_cross_ms = best_ms(reps, || kernel::rbf_cross(&a, &b, 0.5));
+
+        println!(
+            "pairwise {batch}x{train}x{dim}: seed {seed_ms:.3} ms | batched(serial) \
+             {batched_serial_ms:.3} ms ({:.2}x) | parallel({threads}t) {parallel_ms:.3} ms ({:.2}x)",
+            seed_ms / batched_serial_ms,
+            seed_ms / parallel_ms,
+        );
+
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"batch\": {batch}, \"train\": {train}, \"dim\": {dim}, \
+             \"seed_ms\": {seed_ms:.4}, \"batched_serial_ms\": {batched_serial_ms:.4}, \
+             \"parallel_ms\": {parallel_ms:.4}, \"serial_speedup\": {:.3}, \
+             \"parallel_speedup\": {:.3}, \"rbf_cross_ms\": {rbf_cross_ms:.4}}}",
+            seed_ms / batched_serial_ms,
+            seed_ms / parallel_ms,
+        )
+        .expect("write to string");
+        pair_rows.push(row);
+    }
+
+    // --- GPC inference (the attack-step hot path) vs the seed scalar path ---
+    let mut gpc_rows = Vec::new();
+    for &(train, batch, dim, classes) in
+        &[(150usize, 100usize, 24usize, 12usize), (300, 200, 40, 24)]
+    {
+        let mut rng = Rng::new(0x69C ^ train as u64);
+        let x_train = Matrix::from_fn(train, dim, |_, _| rng.uniform(0.0, 1.0));
+        let y_train: Vec<usize> = (0..train).map(|i| i % classes).collect();
+        let config = GpcConfig::default();
+        let gpc = GpcLocalizer::fit(x_train, y_train, classes, config).expect("SPD kernel");
+        let x = Matrix::from_fn(batch, dim, |_, _| rng.uniform(0.0, 1.0));
+        let targets: Vec<usize> = (0..batch).map(|i| (i * 7) % classes).collect();
+
+        let scores_ref =
+            seed_gpc_scores_reference(gpc.x_train(), gpc.alpha(), config.length_scale, &x);
+        let (loss_ref, grad_ref) = seed_gpc_loss_and_input_grad_reference(
+            gpc.x_train(),
+            gpc.alpha(),
+            config,
+            &x,
+            &targets,
+        );
+        for thread_setting in [1usize, 0] {
+            par::set_threads(thread_setting);
+            assert_bits_eq(
+                &scores_ref,
+                &gpc.scores(&x),
+                &format!(
+                    "batched GPC scores diverge from seed at {train}x{batch} \
+                     (threads {thread_setting})"
+                ),
+            );
+            let (loss, grad) = gpc.loss_and_input_grad(&x, &targets);
+            assert_eq!(
+                loss_ref.to_bits(),
+                loss.to_bits(),
+                "GPC loss diverges from seed at {train}x{batch} (threads {thread_setting})"
+            );
+            assert_bits_eq(
+                &grad_ref,
+                &grad,
+                &format!(
+                    "GPC input grad diverges from seed at {train}x{batch} \
+                     (threads {thread_setting})"
+                ),
+            );
+        }
+        par::set_threads(0);
+
+        let seed_ms = best_ms(reps, || {
+            seed_gpc_loss_and_input_grad_reference(gpc.x_train(), gpc.alpha(), config, &x, &targets)
+        });
+        par::set_threads(1);
+        let batched_serial_ms = best_ms(reps, || gpc.loss_and_input_grad(&x, &targets));
+        par::set_threads(0);
+        let parallel_ms = best_ms(reps, || gpc.loss_and_input_grad(&x, &targets));
+        let scores_ms = best_ms(reps, || gpc.scores(&x));
+
+        println!(
+            "gpc_inference {train}train x {batch}batch x {dim}d x {classes}c: seed {seed_ms:.3} ms \
+             | batched(serial) {batched_serial_ms:.3} ms ({:.2}x) | parallel({threads}t) \
+             {parallel_ms:.3} ms ({:.2}x)",
+            seed_ms / batched_serial_ms,
+            seed_ms / parallel_ms,
+        );
+
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"train\": {train}, \"batch\": {batch}, \"dim\": {dim}, \
+             \"classes\": {classes}, \"seed_ms\": {seed_ms:.4}, \
+             \"batched_serial_ms\": {batched_serial_ms:.4}, \"parallel_ms\": {parallel_ms:.4}, \
+             \"serial_speedup\": {:.3}, \"parallel_speedup\": {:.3}, \
+             \"scores_ms\": {scores_ms:.4}}}",
+            seed_ms / batched_serial_ms,
+            seed_ms / parallel_ms,
+        )
+        .expect("write to string");
+        gpc_rows.push(row);
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
          \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ],\n  \
-         \"cholesky\": [\n{}\n  ]\n}}\n",
+         \"cholesky\": [\n{}\n  ],\n  \"pairwise_dists\": [\n{}\n  ],\n  \
+         \"gpc_inference\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
-        chol_rows.join(",\n")
+        chol_rows.join(",\n"),
+        pair_rows.join(",\n"),
+        gpc_rows.join(",\n")
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json ({threads} worker threads, {available} cores available)");

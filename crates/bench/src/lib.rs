@@ -208,6 +208,117 @@ pub fn seed_cholesky_reference(a: &Matrix) -> Result<Matrix, TensorError> {
     Ok(l)
 }
 
+/// Asserts raw-bit matrix equality (unlike `assert_eq!` on `Matrix`, this
+/// distinguishes `0.0` from `-0.0`) — the shared assertion behind every
+/// seed-reference bit-identity check in this crate (`perf_baseline` and
+/// the unit tests below).
+///
+/// # Panics
+///
+/// Panics with `context` if the shapes differ or any element's bit
+/// pattern does.
+pub fn assert_bits_eq(a: &Matrix, b: &Matrix, context: &str) {
+    assert_eq!(a.shape(), b.shape(), "{context}: shapes differ");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{context}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// The seed repository's scalar RBF row kernel, preserved verbatim as part
+/// of the GPC inference reference below.
+fn seed_rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
+    let sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum();
+    (-sq / (2.0 * length_scale * length_scale)).exp()
+}
+
+/// The seed repository's scalar pairwise squared-distance loop (the shape
+/// of `SoftKnn::sq_dists` applied per query row), preserved verbatim as
+/// the baseline for the `pairwise_dists` section of the `perf_baseline`
+/// JSON snapshot — `calloc_tensor::kernel::sq_dists` must stay
+/// bit-identical to it.
+pub fn seed_sq_dists_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for r in 0..a.rows() {
+        let q = a.row(r);
+        for i in 0..b.rows() {
+            let d = b
+                .row(i)
+                .iter()
+                .zip(q)
+                .map(|(p, v)| (p - v).powi(2))
+                .sum::<f64>();
+            out.set(r, i, d);
+        }
+    }
+    out
+}
+
+/// The seed repository's serial scalar GPC scores loop
+/// (`GpcLocalizer::scores` before the batched kernel-distance engine),
+/// preserved verbatim: one RBF row per (query, training) pair, classes
+/// accumulated per element in ascending training order.
+pub fn seed_gpc_scores_reference(
+    x_train: &Matrix,
+    alpha: &Matrix,
+    length_scale: f64,
+    x: &Matrix,
+) -> Matrix {
+    let num_classes = alpha.cols();
+    let mut out = Matrix::zeros(x.rows(), num_classes);
+    for r in 0..x.rows() {
+        for i in 0..x_train.rows() {
+            let k = seed_rbf(x.row(r), x_train.row(i), length_scale);
+            for c in 0..num_classes {
+                out.set(r, c, out.get(r, c) + k * alpha.get(i, c));
+            }
+        }
+    }
+    out
+}
+
+/// The seed repository's serial scalar GPC `loss_and_input_grad` (before
+/// the batched kernel-distance engine), preserved verbatim as the baseline
+/// for the `gpc_inference` section of the `perf_baseline` JSON snapshot.
+/// Note it evaluates the RBF cross-kernel **twice** per call — once inside
+/// the logits and again in the gradient loop — which is exactly the
+/// redundancy the shared-cross-kernel rewrite removed; the rewrite must
+/// nevertheless reproduce these bits exactly.
+pub fn seed_gpc_loss_and_input_grad_reference(
+    x_train: &Matrix,
+    alpha: &Matrix,
+    config: calloc_baselines::GpcConfig,
+    x: &Matrix,
+    targets: &[usize],
+) -> (f64, Matrix) {
+    assert_eq!(targets.len(), x.rows(), "label count mismatch");
+    let logits =
+        seed_gpc_scores_reference(x_train, alpha, config.length_scale, x).scale(config.sharpness);
+    let (loss, grad_logits) = calloc_nn::loss::cross_entropy(&logits, targets);
+
+    let num_classes = alpha.cols();
+    let ls2 = config.length_scale * config.length_scale;
+    let mut grad_x = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        for i in 0..x_train.rows() {
+            let k = seed_rbf(x.row(r), x_train.row(i), config.length_scale);
+            let mut w = 0.0;
+            for c in 0..num_classes {
+                w += grad_logits.get(r, c) * alpha.get(i, c);
+            }
+            w *= config.sharpness * k / ls2;
+            for col in 0..x.cols() {
+                let delta = x_train.get(i, col) - x.get(r, col);
+                grad_x.set(r, col, grad_x.get(r, col) + w * delta);
+            }
+        }
+    }
+    (loss, grad_x)
+}
+
 /// The seed repository's matmul kernel (naive i-k-j triple loop with its
 /// per-element `a == 0.0` skip), preserved verbatim as the shared baseline
 /// for the `matmul` criterion bench and the `perf_baseline` JSON snapshot
@@ -269,9 +380,52 @@ mod tests {
         let a = linalg::add_diagonal(&b.matmul(&b.transpose()), 5.0);
         let seed = seed_cholesky_reference(&a).expect("spd");
         let blocked = linalg::cholesky(&a).expect("spd");
-        for (i, (x, y)) in seed.as_slice().iter().zip(blocked.as_slice()).enumerate() {
-            assert_eq!(x.to_bits(), y.to_bits(), "element {i} diverges from seed");
-        }
+        assert_bits_eq(&seed, &blocked, "blocked cholesky diverges from seed");
+    }
+
+    #[test]
+    fn batched_sq_dists_is_bit_identical_to_seed_reference() {
+        use calloc_tensor::{kernel, Rng};
+        let mut rng = Rng::new(21);
+        let a = Matrix::from_fn(23, 17, |_, _| rng.uniform(0.0, 1.0));
+        let b = Matrix::from_fn(31, 17, |_, _| rng.uniform(0.0, 1.0));
+        let seed = seed_sq_dists_reference(&a, &b);
+        let batched = kernel::sq_dists(&a, &b);
+        assert_bits_eq(&seed, &batched, "batched sq_dists diverges from seed");
+    }
+
+    #[test]
+    fn batched_gpc_inference_is_bit_identical_to_seed_reference() {
+        use calloc_baselines::{GpcConfig, GpcLocalizer};
+        use calloc_nn::DifferentiableModel;
+        use calloc_tensor::Rng;
+        let mut rng = Rng::new(33);
+        let classes = 5;
+        let x_train = Matrix::from_fn(40, 8, |_, _| rng.uniform(0.0, 1.0));
+        let y_train: Vec<usize> = (0..40).map(|i| i % classes).collect();
+        let config = GpcConfig::default();
+        let gpc = GpcLocalizer::fit(x_train, y_train, classes, config).expect("fit");
+        let x = Matrix::from_fn(13, 8, |_, _| rng.uniform(0.0, 1.0));
+        let targets: Vec<usize> = (0..13).map(|i| (i * 2) % classes).collect();
+
+        let seed_scores =
+            seed_gpc_scores_reference(gpc.x_train(), gpc.alpha(), config.length_scale, &x);
+        assert_bits_eq(
+            &seed_scores,
+            &gpc.scores(&x),
+            "batched GPC scores diverge from seed",
+        );
+
+        let (seed_loss, seed_grad) = seed_gpc_loss_and_input_grad_reference(
+            gpc.x_train(),
+            gpc.alpha(),
+            config,
+            &x,
+            &targets,
+        );
+        let (loss, grad) = gpc.loss_and_input_grad(&x, &targets);
+        assert_eq!(seed_loss.to_bits(), loss.to_bits(), "loss diverges");
+        assert_bits_eq(&seed_grad, &grad, "GPC input grad diverges from seed");
     }
 
     #[test]

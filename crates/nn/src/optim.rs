@@ -5,6 +5,52 @@ use calloc_tensor::Matrix;
 use crate::layer::{Layer, LayerGrad};
 use crate::model::Sequential;
 
+/// One SGD-with-momentum update over contiguous parameter slices:
+/// per element `v = v·μ − g·lr`, then `p = p + v` — the exact expressions
+/// (and evaluation order) of the former `Matrix`-temporary formulation,
+/// without allocating the four intermediates per step.
+fn sgd_momentum_step(
+    param: &mut [f64],
+    velocity: &mut [f64],
+    grad: &[f64],
+    momentum: f64,
+    lr: f64,
+) {
+    for ((p, v), &g) in param.iter_mut().zip(velocity.iter_mut()).zip(grad) {
+        *v = *v * momentum - g * lr;
+        *p += *v;
+    }
+}
+
+/// One Adam update over contiguous parameter slices, bit-identical per
+/// element to the former `Matrix`-temporary formulation:
+/// `m = m·β₁ + g·(1−β₁)`, `v = v·β₂ + (g·g)·(1−β₂)`,
+/// `p −= lr·(m/bc₁) / (√(v/bc₂) + ε)`.
+#[allow(clippy::too_many_arguments)]
+fn adam_step(
+    param: &mut [f64],
+    m: &mut [f64],
+    v: &mut [f64],
+    grad: &[f64],
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    lr: f64,
+    bc1: f64,
+    bc2: f64,
+) {
+    for (((p, mv), vv), &g) in param
+        .iter_mut()
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+        .zip(grad)
+    {
+        *mv = *mv * beta1 + g * (1.0 - beta1);
+        *vv = *vv * beta2 + (g * g) * (1.0 - beta2);
+        *p -= lr * (*mv / bc1) / ((*vv / bc2).sqrt() + epsilon);
+    }
+}
+
 /// An optimizer updates a [`Sequential`] network in place from per-layer
 /// gradients (the output of [`Sequential::backward`]).
 ///
@@ -62,10 +108,20 @@ impl Optimizer for Sgd {
                         Matrix::zeros(gb.rows(), gb.cols()),
                     )
                 });
-                *vw = vw.scale(self.momentum).sub(&gw.scale(self.learning_rate));
-                *vb = vb.scale(self.momentum).sub(&gb.scale(self.learning_rate));
-                d.w = d.w.add(vw);
-                d.b = d.b.add(vb);
+                sgd_momentum_step(
+                    d.w.as_mut_slice(),
+                    vw.as_mut_slice(),
+                    gw.as_slice(),
+                    self.momentum,
+                    self.learning_rate,
+                );
+                sgd_momentum_step(
+                    d.b.as_mut_slice(),
+                    vb.as_mut_slice(),
+                    gb.as_slice(),
+                    self.momentum,
+                    self.learning_rate,
+                );
             } else {
                 d.w.axpy(-self.learning_rate, gw);
                 d.b.axpy(-self.learning_rate, gb);
@@ -137,27 +193,30 @@ impl Optimizer for Adam {
                 vb: Matrix::zeros(gb.rows(), gb.cols()),
             });
 
-            st.mw = st.mw.scale(self.beta1).add(&gw.scale(1.0 - self.beta1));
-            st.vw = st
-                .vw
-                .scale(self.beta2)
-                .add(&gw.map(|g| g * g).scale(1.0 - self.beta2));
-            st.mb = st.mb.scale(self.beta1).add(&gb.scale(1.0 - self.beta1));
-            st.vb = st
-                .vb
-                .scale(self.beta2)
-                .add(&gb.map(|g| g * g).scale(1.0 - self.beta2));
-
-            let lr = self.learning_rate;
-            let eps = self.epsilon;
-            let upd_w = st
-                .mw
-                .zip_map(&st.vw, |m, v| lr * (m / bc1) / ((v / bc2).sqrt() + eps));
-            let upd_b = st
-                .mb
-                .zip_map(&st.vb, |m, v| lr * (m / bc1) / ((v / bc2).sqrt() + eps));
-            d.w = d.w.sub(&upd_w);
-            d.b = d.b.sub(&upd_b);
+            adam_step(
+                d.w.as_mut_slice(),
+                st.mw.as_mut_slice(),
+                st.vw.as_mut_slice(),
+                gw.as_slice(),
+                self.beta1,
+                self.beta2,
+                self.epsilon,
+                self.learning_rate,
+                bc1,
+                bc2,
+            );
+            adam_step(
+                d.b.as_mut_slice(),
+                st.mb.as_mut_slice(),
+                st.vb.as_mut_slice(),
+                gb.as_slice(),
+                self.beta1,
+                self.beta2,
+                self.epsilon,
+                self.learning_rate,
+                bc1,
+                bc2,
+            );
         }
     }
 
@@ -224,16 +283,18 @@ impl ParamAdam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        self.m = self.m.scale(self.beta1).add(&grad.scale(1.0 - self.beta1));
-        self.v = self
-            .v
-            .scale(self.beta2)
-            .add(&grad.map(|g| g * g).scale(1.0 - self.beta2));
-        let eps = self.epsilon;
-        let update = self.m.zip_map(&self.v, |m, v| {
-            learning_rate * (m / bc1) / ((v / bc2).sqrt() + eps)
-        });
-        *param = param.sub(&update);
+        adam_step(
+            param.as_mut_slice(),
+            self.m.as_mut_slice(),
+            self.v.as_mut_slice(),
+            grad.as_slice(),
+            self.beta1,
+            self.beta2,
+            self.epsilon,
+            learning_rate,
+            bc1,
+            bc2,
+        );
     }
 
     /// Resets the state to step zero.
@@ -297,6 +358,58 @@ mod tests {
         adam.reset();
         assert_eq!(adam.t, 0);
         assert!(adam.moments.is_empty());
+    }
+
+    /// The vectorized slice updates must be bit-identical per element to
+    /// the former `Matrix`-temporary formulation (the goldens pin trained
+    /// models, so a single rounding change here would surface as a sweep
+    /// CSV diff).
+    #[test]
+    fn slice_updates_match_matrix_formulation_bitwise() {
+        let mut rng = Rng::new(17);
+        let rand = |rng: &mut Rng, n: usize| -> Vec<f64> {
+            (0..n).map(|_| rng.normal(0.0, 1.0)).collect()
+        };
+        let n = 37;
+        let (lr, momentum) = (0.05, 0.9);
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        let (bc1, bc2) = (1.0 - beta1 * beta1, 1.0 - beta2 * beta2);
+
+        let p0 = rand(&mut rng, n);
+        let v0 = rand(&mut rng, n);
+        let g = rand(&mut rng, n);
+
+        // SGD momentum: v' = v·μ − g·lr, p' = p + v'.
+        let vm = Matrix::row_vector(&v0)
+            .scale(momentum)
+            .sub(&Matrix::row_vector(&g).scale(lr));
+        let pm = Matrix::row_vector(&p0).add(&vm);
+        let (mut p, mut v) = (p0.clone(), v0.clone());
+        sgd_momentum_step(&mut p, &mut v, &g, momentum, lr);
+        for i in 0..n {
+            assert_eq!(v[i].to_bits(), vm.get(0, i).to_bits(), "velocity {i}");
+            assert_eq!(p[i].to_bits(), pm.get(0, i).to_bits(), "param {i}");
+        }
+
+        // Adam: the scale/add/zip_map chain of the former implementation.
+        let m0 = rand(&mut rng, n);
+        let w0 = rand(&mut rng, n);
+        let v0 = rand(&mut rng, n).iter().map(|x| x * x).collect::<Vec<_>>();
+        let mm = Matrix::row_vector(&m0)
+            .scale(beta1)
+            .add(&Matrix::row_vector(&g).scale(1.0 - beta1));
+        let vv = Matrix::row_vector(&v0)
+            .scale(beta2)
+            .add(&Matrix::row_vector(&g).map(|g| g * g).scale(1.0 - beta2));
+        let upd = mm.zip_map(&vv, |m, v| lr * (m / bc1) / ((v / bc2).sqrt() + eps));
+        let wm = Matrix::row_vector(&w0).sub(&upd);
+        let (mut w, mut m, mut v) = (w0.clone(), m0.clone(), v0.clone());
+        adam_step(&mut w, &mut m, &mut v, &g, beta1, beta2, eps, lr, bc1, bc2);
+        for i in 0..n {
+            assert_eq!(m[i].to_bits(), mm.get(0, i).to_bits(), "moment1 {i}");
+            assert_eq!(v[i].to_bits(), vv.get(0, i).to_bits(), "moment2 {i}");
+            assert_eq!(w[i].to_bits(), wm.get(0, i).to_bits(), "param {i}");
+        }
     }
 
     #[test]

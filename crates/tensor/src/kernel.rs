@@ -1,0 +1,313 @@
+//! Batched pairwise kernel-distance primitives.
+//!
+//! Every kernel-method baseline in the reproduction (GPC, WiDeep's GPC
+//! head, soft-KNN, hard KNN) reduces to the same pairwise computation: the
+//! matrix of squared Euclidean distances between a batch of query rows and
+//! a bank of training rows, optionally pushed through an RBF. Before this
+//! module existed that computation was hand-rolled as a serial scalar loop
+//! in three places and recomputed twice per attack step on the GPC hot
+//! path; the batched primitives here turn it into row-parallel,
+//! slice-streaming work while preserving the exact result bits.
+//!
+//! # Bit-identity contract
+//!
+//! Each output element `(r, i)` accumulates its squared distance
+//! `Σ_t (a[r][t] − b[i][t])²` **element-wise in ascending column order
+//! `t`**, left-associated from `f64::Sum`'s `-0.0` seed — precisely the
+//! operation sequence of
+//! the scalar loops these primitives replaced (IEEE-754 negation before
+//! squaring is exact, so the `a−b` vs `b−a` orientation of the historical
+//! call sites cannot change a bit). Rows fan out over
+//! [`par::par_row_chunks_mut`] under the contiguous-chunk /
+//! index-order-merge contract, so results are bit-identical for every
+//! `CALLOC_THREADS` value. `crates/tensor/tests/proptest_pairwise.rs`
+//! enforces both properties.
+//!
+//! # Example
+//!
+//! ```
+//! use calloc_tensor::{kernel, Matrix};
+//!
+//! let queries = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0]]);
+//! let train = Matrix::from_rows(&[vec![0.0, 0.0]]);
+//! let sq = kernel::sq_dists(&queries, &train);
+//! assert_eq!(sq.get(0, 0), 0.0);
+//! assert_eq!(sq.get(1, 0), 25.0);
+//! let k = kernel::rbf_cross(&queries, &train, 5.0);
+//! assert_eq!(k.get(0, 0), 1.0); // exp(0)
+//! ```
+
+use crate::par;
+use crate::Matrix;
+
+/// Squared Euclidean distance between two equally-long rows, accumulated
+/// element-wise in ascending column order (left-associated, from
+/// `f64::Sum`'s `-0.0` seed) — the shared inner loop of every primitive in
+/// this module.
+#[inline]
+fn row_sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>()
+}
+
+/// The batch × train matrix of squared Euclidean distances:
+/// `out[r][i] = ‖a.row(r) − b.row(i)‖²`.
+///
+/// Row-parallel over the rows of `a`; each element accumulates in
+/// ascending column order, so the result is bit-identical to the scalar
+/// per-row loops for every thread count.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different column counts.
+pub fn sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
+    pairwise(a, b, |sq| sq)
+}
+
+/// Maps a matrix of squared distances through the RBF
+/// `k = exp(−sq / (2ℓ²))`, element-wise and row-parallel.
+///
+/// The per-element expression is exactly the one the scalar GPC kernel
+/// used (`(-sq / (2.0 * ℓ * ℓ)).exp()`), so composing
+/// [`sq_dists`] with this function is bit-identical to [`rbf_cross`].
+pub fn rbf_from_sq_dists(sq: &Matrix, length_scale: f64) -> Matrix {
+    let denom = 2.0 * length_scale * length_scale;
+    let mut out = sq.clone();
+    let cols = sq.cols();
+    if cols == 0 || sq.rows() == 0 {
+        return out;
+    }
+    // exp dominates; weight an element as ~16 work units.
+    let min_rows = par::min_rows_for(cols.saturating_mul(16));
+    par::par_row_chunks_mut(out.as_mut_slice(), cols, min_rows, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v = (-*v / denom).exp();
+        }
+    });
+    out
+}
+
+/// The fused batch × train RBF cross-kernel
+/// `out[r][i] = exp(−‖a.row(r) − b.row(i)‖² / (2ℓ²))`, computed in one
+/// row-parallel pass without materializing the squared distances.
+///
+/// Bit-identical to `rbf_from_sq_dists(&sq_dists(a, b), ℓ)` — the squared
+/// distance accumulates in ascending column order and is pushed through
+/// the same `exp` expression per element.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different column counts.
+pub fn rbf_cross(a: &Matrix, b: &Matrix, length_scale: f64) -> Matrix {
+    let denom = 2.0 * length_scale * length_scale;
+    pairwise(a, b, move |sq| (-sq / denom).exp())
+}
+
+/// The symmetric n × n RBF Gram matrix `out[i][j] = exp(−‖xᵢ − xⱼ‖² /
+/// (2ℓ²))` of a single row bank — `rbf_cross(x, x, ℓ)` computed at half
+/// the kernel evaluations: each row fills its lower triangle (diagonal
+/// included) and the strict upper triangle is mirrored afterwards.
+///
+/// Bit-identical to `rbf_cross(x, x, ℓ)`: the mirrored `(j, i)` element
+/// equals the directly-computed one because IEEE-754 negation before
+/// squaring is exact — which is also why the triangular-plus-mirror GPC
+/// fit loop this replaces produced the same bits.
+pub fn rbf_gram(x: &Matrix, length_scale: f64) -> Matrix {
+    let denom = 2.0 * length_scale * length_scale;
+    let f = move |sq: f64| (-sq / denom).exp();
+    let (n, d) = x.shape();
+    let mut out = Matrix::zeros(n, n);
+    if n == 0 {
+        return out;
+    }
+    let xd = x.as_slice();
+    // Triangular fill: the average row carries half the full-row work.
+    let min_rows = par::min_rows_for(n.saturating_mul(3 * d + 16) / 2);
+    par::par_row_chunks_mut(out.as_mut_slice(), n, min_rows, |first_row, chunk| {
+        for (rr, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let r = first_row + rr;
+            let arow = &xd[r * d..(r + 1) * d];
+            fill_pairwise_row(arow, xd, d, &mut orow[..=r], &f);
+        }
+    });
+    // Mirror the strict lower triangle onto the upper (pure data
+    // movement, bit-exact by construction).
+    for i in 1..n {
+        for j in 0..i {
+            let v = out.get(i, j);
+            out.set(j, i, v);
+        }
+    }
+    out
+}
+
+/// Fills `orow[i] = f(sq_dist(arow, bank_i))` for the first `orow.len()`
+/// rows of the bank — the shared inner loop of [`pairwise`] (full rows)
+/// and [`rbf_gram`] (lower-triangular rows).
+///
+/// The bank loop is unrolled four wide purely to overlap the four
+/// *independent* per-element accumulation chains (a single chain is
+/// FP-add-latency-bound); each output element still sums its own columns
+/// strictly ascending and left-associated, so the unroll is invisible in
+/// the result bits.
+fn fill_pairwise_row(
+    arow: &[f64],
+    bd: &[f64],
+    d: usize,
+    orow: &mut [f64],
+    f: &impl Fn(f64) -> f64,
+) {
+    let n = orow.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let b0 = &bd[i * d..(i + 1) * d];
+        let b1 = &bd[(i + 1) * d..(i + 2) * d];
+        let b2 = &bd[(i + 2) * d..(i + 3) * d];
+        let b3 = &bd[(i + 3) * d..(i + 4) * d];
+        // `f64::Sum` folds from `-0.0` (so an empty sum is `-0.0`); the
+        // unrolled chains must start there too or zero-width rows diverge
+        // from the scalar reference by a sign bit.
+        let (mut s0, mut s1, mut s2, mut s3) = (-0.0f64, -0.0f64, -0.0f64, -0.0f64);
+        for (t, &av) in arow.iter().enumerate() {
+            s0 += (av - b0[t]).powi(2);
+            s1 += (av - b1[t]).powi(2);
+            s2 += (av - b2[t]).powi(2);
+            s3 += (av - b3[t]).powi(2);
+        }
+        orow[i] = f(s0);
+        orow[i + 1] = f(s1);
+        orow[i + 2] = f(s2);
+        orow[i + 3] = f(s3);
+        i += 4;
+    }
+    while i < n {
+        let brow = &bd[i * d..(i + 1) * d];
+        orow[i] = f(row_sq_dist(arow, brow));
+        i += 1;
+    }
+}
+
+/// Shared row-parallel driver: fills `out[r][i] = f(sq_dist(a_r, b_i))`.
+fn pairwise(a: &Matrix, b: &Matrix, f: impl Fn(f64) -> f64 + Sync) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "pairwise kernel: query width {} must equal train width {}",
+        a.cols(),
+        b.cols()
+    );
+    let (m, n, d) = (a.rows(), b.rows(), a.cols());
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    // ~3 flops per inner element plus the per-element map (exp ~ 16).
+    let min_rows = par::min_rows_for(n.saturating_mul(3 * d + 16));
+    par::par_row_chunks_mut(out.as_mut_slice(), n, min_rows, |first_row, chunk| {
+        for (rr, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let arow = &ad[(first_row + rr) * d..(first_row + rr + 1) * d];
+            fill_pairwise_row(arow, bd, d, orow, &f);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Rng::new(seed);
+        Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0))
+    }
+
+    #[test]
+    fn sq_dists_matches_hand_computed_values() {
+        let a = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 0.0], vec![-1.0, 2.0]]);
+        let d = sq_dists(&a, &b);
+        assert_eq!(d.shape(), (2, 3));
+        assert_eq!(d.get(0, 0), 0.0);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(0, 2), 5.0);
+        assert_eq!(d.get(1, 0), 5.0);
+        assert_eq!(d.get(1, 1), 4.0);
+        assert_eq!(d.get(1, 2), 4.0);
+    }
+
+    #[test]
+    fn sq_dists_is_symmetric_in_orientation() {
+        // (a-b)² == (b-a)² exactly in IEEE-754, so swapping the operands
+        // transposes the result bit-for-bit.
+        let a = rand_matrix(5, 7, 1);
+        let b = rand_matrix(4, 7, 2);
+        let ab = sq_dists(&a, &b);
+        let ba = sq_dists(&b, &a);
+        for r in 0..5 {
+            for i in 0..4 {
+                assert_eq!(ab.get(r, i).to_bits(), ba.get(i, r).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rbf_cross_equals_composition() {
+        let a = rand_matrix(6, 9, 3);
+        let b = rand_matrix(5, 9, 4);
+        let fused = rbf_cross(&a, &b, 0.37);
+        let composed = rbf_from_sq_dists(&sq_dists(&a, &b), 0.37);
+        for (x, y) in fused.as_slice().iter().zip(composed.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn rbf_gram_matches_rbf_cross_bitwise() {
+        // Sizes straddling the 4-wide unroll boundary of the triangular
+        // fill (rows 0..n each fill 1..=r entries).
+        for n in [1usize, 2, 3, 4, 5, 9, 17] {
+            let x = rand_matrix(n, 6, 7 + n as u64);
+            let gram = rbf_gram(&x, 0.42);
+            let cross = rbf_cross(&x, &x, 0.42);
+            for (i, (a, b)) in gram.as_slice().iter().zip(cross.as_slice()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n}: element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rbf_of_zero_distance_is_one() {
+        let a = Matrix::from_rows(&[vec![0.3, -0.7]]);
+        let k = rbf_cross(&a, &a, 0.5);
+        assert_eq!(k.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_width_rows_have_zero_distance() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(2, 0);
+        let d = sq_dists(&a, &b);
+        assert_eq!(d, Matrix::zeros(3, 2));
+        // exp(-0 / 2ℓ²) = 1 for every pair.
+        assert_eq!(rbf_cross(&a, &b, 1.0), Matrix::filled(3, 2, 1.0));
+    }
+
+    #[test]
+    fn empty_batch_or_bank_yields_empty_result() {
+        assert_eq!(
+            sq_dists(&Matrix::zeros(0, 4), &Matrix::zeros(3, 4)).shape(),
+            (0, 3)
+        );
+        assert_eq!(
+            sq_dists(&Matrix::zeros(3, 4), &Matrix::zeros(0, 4)).shape(),
+            (3, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pairwise kernel")]
+    fn mismatched_widths_panic() {
+        let _ = sq_dists(&Matrix::zeros(2, 3), &Matrix::zeros(2, 4));
+    }
+}

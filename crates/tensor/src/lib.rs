@@ -16,6 +16,9 @@
 //!   (Box–Muller), permutation and subset-sampling helpers.
 //! * [`linalg`] — Cholesky factorization and triangular solves used by the
 //!   Gaussian-process baseline.
+//! * [`kernel`] — batched pairwise squared-distance / RBF cross-kernel
+//!   primitives behind the kernel-method baselines (GPC, soft-KNN, KNN);
+//!   row-parallel and bit-identical to the scalar loops they replaced.
 //! * [`stats`] — descriptive statistics (mean, std, percentiles) used by the
 //!   evaluation harness.
 //! * [`par`] — the deterministic parallel compute runtime (`CALLOC_THREADS`
@@ -40,6 +43,7 @@
 mod matrix;
 mod rng;
 
+pub mod kernel;
 pub mod linalg;
 pub mod par;
 pub mod stats;

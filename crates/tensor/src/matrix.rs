@@ -764,16 +764,28 @@ impl Matrix {
     }
 
     /// Row-wise log-softmax (numerically stable).
+    ///
+    /// Rows are independent, so the kernel is row-chunk-parallel like
+    /// [`Matrix::softmax_rows`]; the per-row arithmetic order is unchanged
+    /// from the serial loop, so results are bit-identical for every thread
+    /// count.
     pub fn log_softmax_rows(&self) -> Matrix {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
-            let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
-            for v in row.iter_mut() {
-                *v -= lse;
-            }
+        let cols = self.cols;
+        if cols == 0 || self.rows == 0 {
+            return out;
         }
+        // exp dominates; weight an element as ~16 work units.
+        let min_rows = par::min_rows_for(cols.saturating_mul(16));
+        par::par_row_chunks_mut(&mut out.data, cols, min_rows, |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols) {
+                let m = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let lse = m + row.iter().map(|&v| (v - m).exp()).sum::<f64>().ln();
+                for v in row.iter_mut() {
+                    *v -= lse;
+                }
+            }
+        });
         out
     }
 

@@ -1,0 +1,155 @@
+//! Property tests for the batched pairwise kernel-distance primitives
+//! (`calloc_tensor::kernel`): the batched, unrolled, row-parallel kernels
+//! must be **bit-identical** to the scalar per-pair loops they replaced,
+//! across random shapes, seeds and thread counts.
+//!
+//! Like `proptest_parallel.rs`, the tests force the parallel code path on
+//! tiny inputs by dropping the per-chunk work floor
+//! (`par::set_min_work(1)`) and compare `CALLOC_THREADS`-style settings
+//! 1, 2, 3 and 8 via `par::set_threads`; the knobs are process-global, so
+//! every test takes a shared lock.
+
+use calloc_tensor::{kernel, par, Matrix, Rng};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.normal(0.0, 1.0))
+}
+
+/// True raw-bit equality (distinguishes `0.0` from `-0.0`).
+fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// The scalar reference: one squared distance per (query, bank) pair,
+/// accumulated element-wise in ascending column order — the loop shape the
+/// batched primitives replaced in the GPC and KNN baselines.
+fn scalar_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
+    Matrix::from_fn(a.rows(), b.rows(), |r, i| {
+        a.row(r)
+            .iter()
+            .zip(b.row(i))
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f64>()
+    })
+}
+
+/// The scalar RBF reference (the former `calloc_baselines::gpc::rbf`).
+fn scalar_rbf_cross(a: &Matrix, b: &Matrix, length_scale: f64) -> Matrix {
+    let sq = scalar_sq_dists(a, b);
+    sq.map(|v| (-v / (2.0 * length_scale * length_scale)).exp())
+}
+
+/// Runs `f` serially, then at several worker budgets with the work floor
+/// dropped to one flop, asserting every run is bitwise equal to
+/// `reference`.
+fn assert_matches_reference_at_all_thread_counts(
+    reference: &Matrix,
+    f: impl Fn() -> Matrix,
+) -> Result<(), proptest::prelude::TestCaseError> {
+    par::set_min_work(1);
+    for threads in [1usize, 2, 3, 8] {
+        par::set_threads(threads);
+        let batched = f();
+        par::set_threads(0);
+        par::set_min_work(0);
+        prop_assert!(
+            bits_eq(reference, &batched),
+            "diverged from the scalar reference at {} threads",
+            threads
+        );
+        par::set_min_work(1);
+    }
+    par::set_threads(0);
+    par::set_min_work(0);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn batched_sq_dists_is_bit_identical_to_scalar(
+        m in 1usize..24, n in 1usize..24, d in 1usize..40, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, d, seed);
+        let b = rand_matrix(n, d, seed ^ 0x9E37_79B9);
+        let reference = scalar_sq_dists(&a, &b);
+        assert_matches_reference_at_all_thread_counts(&reference, || kernel::sq_dists(&a, &b))?;
+    }
+
+    #[test]
+    fn batched_rbf_cross_is_bit_identical_to_scalar(
+        m in 1usize..20, n in 1usize..20, d in 1usize..32,
+        ls in 0.05f64..2.0, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, d, seed);
+        let b = rand_matrix(n, d, seed ^ 0xDEAD_BEEF);
+        let reference = scalar_rbf_cross(&a, &b, ls);
+        assert_matches_reference_at_all_thread_counts(
+            &reference,
+            || kernel::rbf_cross(&a, &b, ls),
+        )?;
+    }
+
+    #[test]
+    fn rbf_from_sq_dists_matches_fused_kernel(
+        m in 1usize..20, n in 1usize..20, d in 1usize..32,
+        ls in 0.05f64..2.0, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(m, d, seed);
+        let b = rand_matrix(n, d, seed ^ 0x5151_5151);
+        let fused = kernel::rbf_cross(&a, &b, ls);
+        assert_matches_reference_at_all_thread_counts(
+            &fused,
+            || kernel::rbf_from_sq_dists(&kernel::sq_dists(&a, &b), ls),
+        )?;
+    }
+
+    #[test]
+    fn rbf_gram_is_bit_identical_to_scalar_cross(
+        n in 1usize..24, d in 1usize..24, ls in 0.05f64..2.0, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let x = rand_matrix(n, d, seed);
+        let reference = scalar_rbf_cross(&x, &x, ls);
+        assert_matches_reference_at_all_thread_counts(&reference, || kernel::rbf_gram(&x, ls))?;
+    }
+
+    #[test]
+    fn sq_dists_unroll_is_invisible_across_bank_sizes(
+        // Bank sizes straddling the 4-wide unroll boundary, including the
+        // pure-remainder (< 4) and exact-multiple cases.
+        n in 1usize..13, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(7, 9, seed);
+        let b = rand_matrix(n, 9, seed ^ 0xABCD);
+        prop_assert!(bits_eq(&scalar_sq_dists(&a, &b), &kernel::sq_dists(&a, &b)));
+    }
+}
+
+#[test]
+fn zero_width_rows_match_scalar_reference() {
+    let _guard = lock_knobs();
+    let a = Matrix::zeros(5, 0);
+    let b = Matrix::zeros(6, 0);
+    assert!(bits_eq(&scalar_sq_dists(&a, &b), &kernel::sq_dists(&a, &b)));
+    assert!(bits_eq(
+        &scalar_rbf_cross(&a, &b, 0.5),
+        &kernel::rbf_cross(&a, &b, 0.5)
+    ));
+}

@@ -100,6 +100,15 @@ proptest! {
     }
 
     #[test]
+    fn parallel_log_softmax_is_bit_identical(
+        rows in 1usize..40, cols in 1usize..40, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let a = rand_matrix(rows, cols, seed);
+        assert_thread_count_invariant(|| a.log_softmax_rows())?;
+    }
+
+    #[test]
     fn parallel_transpose_is_bit_identical(
         rows in 1usize..70, cols in 1usize..70, seed in any::<u64>()
     ) {

@@ -210,6 +210,57 @@ fn suite_training_is_thread_count_invariant() {
     );
 }
 
+/// GPC inference rides on the batched kernel-distance engine
+/// (`calloc_tensor::kernel` cross-kernel + row-parallel gradient): scores,
+/// predictions and the white-box input gradient must be bit-identical for
+/// every thread count, with the work floor dropped so every row fan-out
+/// engages at test sizes.
+#[test]
+fn gpc_inference_is_thread_count_invariant() {
+    use calloc_baselines::{GpcConfig, GpcLocalizer};
+    use calloc_nn::DifferentiableModel;
+    use calloc_tensor::{Matrix, Rng};
+
+    let _guard = lock_knobs();
+    let mut rng = Rng::new(41);
+    let classes = 4;
+    let x_train = Matrix::from_fn(33, 6, |_, _| rng.uniform(0.0, 1.0));
+    let y_train: Vec<usize> = (0..33).map(|i| i % classes).collect();
+    let gpc =
+        GpcLocalizer::fit(x_train, y_train, classes, GpcConfig::default()).expect("SPD kernel");
+    let x = Matrix::from_fn(11, 6, |_, _| rng.uniform(0.0, 1.0));
+    let targets: Vec<usize> = (0..11).map(|i| (i * 3) % classes).collect();
+
+    par::set_min_work(1);
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 4] {
+        par::set_threads(threads);
+        let (loss, grad) = gpc.loss_and_input_grad(&x, &targets);
+        runs.push((threads, gpc.scores(&x), loss, grad));
+    }
+    par::set_threads(0);
+    par::set_min_work(0);
+
+    let (_, ref scores1, loss1, ref grad1) = runs[0];
+    for (threads, scores, loss, grad) in &runs[1..] {
+        assert_matrix_bits_eq(
+            scores1,
+            scores,
+            &format!("GPC scores diverge between 1 and {threads} threads"),
+        );
+        assert_eq!(
+            loss1.to_bits(),
+            loss.to_bits(),
+            "GPC loss diverges between 1 and {threads} threads"
+        );
+        assert_matrix_bits_eq(
+            grad1,
+            grad,
+            &format!("GPC input gradient diverges between 1 and {threads} threads"),
+        );
+    }
+}
+
 /// The sweep engine's plan-index merge contract: the full attack-axis
 /// cross-product (all crafting kinds × both MITM variants × all targeting
 /// strategies × ε × ø grids plus the clean cell) over a quick-profile
