@@ -3,12 +3,14 @@
 //! attack), averaged over the ε (0.1–0.5) and ø (10–100) grids — trained on
 //! OP3, tested on all devices.
 //!
-//! Each building's grid runs through the sweep engine; the per-attack
-//! heatmaps are pivots of the one merged `ResultTable`.
+//! The building axis is one declarative scenario grid
+//! (`calloc_bench::scenario_grid`, generated in parallel); each cell's
+//! attack grid runs through the sweep engine; the per-attack heatmaps are
+//! pivots of the one merged `ResultTable`.
 
 use calloc::CallocTrainer;
 use calloc::Curriculum;
-use calloc_bench::{attacks, buildings, scenario_for, suite_profile, Profile};
+use calloc_bench::{attacks, scenario_grid, suite_profile, Profile};
 use calloc_eval::{ascii_heatmap, run_sweep, Localizer, ResultTable, Suite};
 
 fn main() {
@@ -19,22 +21,23 @@ fn main() {
     );
     let suite = suite_profile(profile);
     let spec = calloc_bench::sweep_spec(profile);
+    let set = scenario_grid(profile).with_seeds(vec![42]).generate();
 
     let mut table = ResultTable::new();
     let mut building_names = Vec::new();
-    // All buildings collect the same device suite; the first building's
-    // dataset labels fix the heatmap column order.
+    // All cells collect the same device suite; the first cell's dataset
+    // labels fix the heatmap column order.
     let mut device_names = Vec::new();
-    for (i, b) in buildings(profile).iter().enumerate() {
-        let scenario = scenario_for(b, 42 + i as u64);
+    for index in 0..set.len() {
+        let scenario = set.scenario(index);
         let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
             suite.lessons.max(2),
             suite.train_epsilon,
         ));
         let model = trainer.fit(&scenario.train).model;
-        eprintln!("trained CALLOC on {}", b.spec().id.name());
-        let name = b.spec().id.name().to_string();
-        let datasets = Suite::scenario_datasets(&scenario, &name);
+        let name = set.building_name(index).to_string();
+        eprintln!("trained CALLOC on {name}");
+        let datasets = Suite::set_datasets(&set, index);
         if device_names.is_empty() {
             device_names = datasets.iter().map(|(_, d, _)| d.clone()).collect();
         }

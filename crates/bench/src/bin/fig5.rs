@@ -8,7 +8,7 @@
 
 use calloc::{CallocTrainer, Curriculum};
 use calloc_baselines::{DnnConfig, DnnLocalizer};
-use calloc_bench::{attacks, buildings, epsilon_grid, scenario_for, suite_profile, Profile};
+use calloc_bench::{attacks, epsilon_grid, scenario_grid, suite_profile, Profile};
 use calloc_eval::{run_sweep, Localizer, ResultTable, Suite};
 
 fn main() {
@@ -20,10 +20,11 @@ fn main() {
     let suite = suite_profile(profile);
     let spec = calloc_bench::sweep_spec(profile);
     let eps_grid = epsilon_grid(profile);
+    let set = scenario_grid(profile).with_seeds(vec![77]).generate();
 
     let mut table = ResultTable::new();
-    for (i, b) in buildings(profile).iter().enumerate() {
-        let scenario = scenario_for(b, 77 + i as u64);
+    for index in 0..set.len() {
+        let scenario = set.scenario(index);
         let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
             suite.lessons.max(2),
             suite.train_epsilon,
@@ -43,8 +44,8 @@ fn main() {
                 ..Default::default()
             },
         );
-        eprintln!("trained CALLOC + NC on {}", b.spec().id.name());
-        let datasets = Suite::scenario_datasets(&scenario, b.spec().id.name());
+        eprintln!("trained CALLOC + NC on {}", set.building_name(index));
+        let datasets = Suite::set_datasets(&set, index);
         let members: [(&str, &dyn Localizer); 2] = [("CALLOC", &with), ("NC", &without)];
         table.extend(run_sweep(
             &members,

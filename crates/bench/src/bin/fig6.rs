@@ -11,7 +11,7 @@
 //! `CALLOC_THREADS` workers and merged in plan-index order, so the CSV at
 //! the end is bit-identical for every thread count.
 
-use calloc_bench::{buildings, epsilon_grid, phi_grid_fig7, scenario_for, suite_profile, Profile};
+use calloc_bench::{epsilon_grid, phi_grid_fig7, scenario_grid, suite_profile, Profile};
 use calloc_eval::{ResultTable, Suite, SweepSpec};
 
 fn main() {
@@ -24,13 +24,14 @@ fn main() {
     let mut spec = calloc_bench::sweep_spec(profile);
     spec.epsilons = epsilon_grid(profile);
     spec.phis = phi_grid_fig7(profile);
+    let set = scenario_grid(profile).with_seeds(vec![1000]).generate();
 
     let mut table = ResultTable::new();
-    for (i, b) in buildings(profile).iter().enumerate() {
-        let scenario = scenario_for(b, 1000 + i as u64);
-        let suite = Suite::train(&scenario, &sp);
-        eprintln!("trained suite on {}", b.spec().id.name());
-        let datasets = Suite::scenario_datasets(&scenario, b.spec().id.name());
+    for index in 0..set.len() {
+        let scenario = set.scenario(index);
+        let suite = Suite::train(scenario, &sp);
+        eprintln!("trained suite on {}", set.building_name(index));
+        let datasets = Suite::set_datasets(&set, index);
         table.extend(suite.sweep(&datasets, &spec));
     }
 

@@ -9,7 +9,7 @@
 //! series is a `mean_where` slice of the merged table.
 
 use calloc_attack::AttackKind;
-use calloc_bench::{buildings, phi_grid_fig7, scenario_for, suite_profile, Profile};
+use calloc_bench::{phi_grid_fig7, scenario_grid, suite_profile, Profile};
 use calloc_eval::{ResultTable, Suite};
 
 fn main() {
@@ -24,13 +24,14 @@ fn main() {
     spec.attacks = vec![AttackKind::Fgsm];
     spec.epsilons = vec![0.1];
     spec.phis = phis.clone();
+    let set = scenario_grid(profile).with_seeds(vec![2000]).generate();
 
     let mut table = ResultTable::new();
-    for (i, b) in buildings(profile).iter().enumerate() {
-        let scenario = scenario_for(b, 2000 + i as u64);
-        let suite = Suite::train(&scenario, &sp);
-        eprintln!("trained suite on {}", b.spec().id.name());
-        let datasets = Suite::scenario_datasets(&scenario, b.spec().id.name());
+    for index in 0..set.len() {
+        let scenario = set.scenario(index);
+        let suite = Suite::train(scenario, &sp);
+        eprintln!("trained suite on {}", set.building_name(index));
+        let datasets = Suite::set_datasets(&set, index);
         table.extend(suite.sweep(&datasets, &spec));
     }
 

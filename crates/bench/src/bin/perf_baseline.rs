@@ -14,7 +14,10 @@
 //! `kernel::rbf_cross` against the seed's per-query scalar loop); and for
 //! GPC *inference* (`loss_and_input_grad` on the shared cross-kernel
 //! against the seed scalar path that evaluated every RBF row twice per
-//! attack step — the sweep-cell hot path since PR 3).
+//! attack step — the sweep-cell hot path since PR 3); and for scenario
+//! generation (the session-parallel `Scenario::generate` and the
+//! `ScenarioSpec` grid engine against the seed's serial collector,
+//! preserved verbatim as `calloc_bench::seed_scenario_generate_reference`).
 //! Every variant's output is asserted bit-identical to the seed reference
 //! before it is timed — the determinism contract is checked, not assumed.
 //!
@@ -25,9 +28,11 @@
 use calloc_baselines::{GpcConfig, GpcLocalizer};
 use calloc_bench::{
     assert_bits_eq, seed_cholesky_reference, seed_gpc_loss_and_input_grad_reference,
-    seed_gpc_scores_reference, seed_matmul_reference, seed_sq_dists_reference,
+    seed_gpc_scores_reference, seed_matmul_reference, seed_scenario_generate_reference,
+    seed_sq_dists_reference,
 };
 use calloc_nn::DifferentiableModel;
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario, ScenarioSpec};
 use calloc_tensor::{kernel, linalg, par, Matrix, Rng};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -281,15 +286,103 @@ fn main() {
         gpc_rows.push(row);
     }
 
+    // --- Scenario generation: session-parallel collector + grid engine
+    //     vs the seed serial path (preserved verbatim in calloc-bench) ---
+    let mut scen_rows = Vec::new();
+    for &(path_m, aps) in &[(24usize, 40usize), (48, 80)] {
+        let bspec = BuildingSpec {
+            path_length_m: path_m,
+            num_aps: aps,
+            ..BuildingId::B1.spec()
+        };
+        let building = Building::generate(bspec, 0);
+        let config = CollectionConfig::paper();
+        let sessions = config.test_devices.len() + 1;
+
+        let reference = seed_scenario_generate_reference(&building, &config, 42);
+        for thread_setting in [1usize, 0] {
+            par::set_threads(thread_setting);
+            let generated = Scenario::generate(&building, &config, 42);
+            assert_bits_eq(
+                &reference.train.x,
+                &generated.train.x,
+                &format!(
+                    "scenario survey diverges from seed at {path_m}m (threads {thread_setting})"
+                ),
+            );
+            for ((dr, tr), (dg, tg)) in reference
+                .test_per_device
+                .iter()
+                .zip(&generated.test_per_device)
+            {
+                assert_eq!(dr, dg, "device order diverges at {path_m}m");
+                assert_bits_eq(
+                    &tr.x,
+                    &tg.x,
+                    &format!(
+                        "{} session diverges from seed at {path_m}m (threads {thread_setting})",
+                        dr.acronym
+                    ),
+                );
+            }
+        }
+        par::set_threads(0);
+
+        let seed_ms = best_ms(reps, || {
+            seed_scenario_generate_reference(&building, &config, 42)
+        });
+        par::set_threads(1);
+        let serial_ms = best_ms(reps, || Scenario::generate(&building, &config, 42));
+        par::set_threads(0);
+        let parallel_ms = best_ms(reps, || Scenario::generate(&building, &config, 42));
+
+        println!(
+            "scenario {path_m}rp x {aps}ap x {sessions}sessions: seed {seed_ms:.3} ms | \
+             serial {serial_ms:.3} ms ({:.2}x) | parallel({threads}t) {parallel_ms:.3} ms ({:.2}x)",
+            seed_ms / serial_ms,
+            seed_ms / parallel_ms,
+        );
+
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"rps\": {path_m}, \"aps\": {aps}, \"sessions\": {sessions}, \
+             \"seed_ms\": {seed_ms:.4}, \"serial_ms\": {serial_ms:.4}, \
+             \"parallel_ms\": {parallel_ms:.4}, \"serial_speedup\": {:.3}, \
+             \"parallel_speedup\": {:.3}}}",
+            seed_ms / serial_ms,
+            seed_ms / parallel_ms,
+        )
+        .expect("write to string");
+        scen_rows.push(row);
+    }
+
+    // The grid engine: a quick-profile ScenarioSpec fanned out over cells.
+    let grid = ScenarioSpec::quick().with_seeds(vec![1, 2]);
+    let grid_cells = grid.plan().len();
+    par::set_threads(1);
+    let grid_serial_ms = best_ms(reps, || grid.generate());
+    par::set_threads(0);
+    let grid_parallel_ms = best_ms(reps, || grid.generate());
+    println!(
+        "scenario_grid {grid_cells} cells: serial {grid_serial_ms:.3} ms | \
+         parallel({threads}t) {grid_parallel_ms:.3} ms ({:.2}x)",
+        grid_serial_ms / grid_parallel_ms,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
          \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ],\n  \
          \"cholesky\": [\n{}\n  ],\n  \"pairwise_dists\": [\n{}\n  ],\n  \
-         \"gpc_inference\": [\n{}\n  ]\n}}\n",
+         \"gpc_inference\": [\n{}\n  ],\n  \"scenario_generation\": [\n{}\n  ],\n  \
+         \"scenario_grid\": {{\"cells\": {grid_cells}, \"serial_ms\": {grid_serial_ms:.4}, \
+         \"parallel_ms\": {grid_parallel_ms:.4}, \"speedup\": {:.3}}}\n}}\n",
         rows.join(",\n"),
         chol_rows.join(",\n"),
         pair_rows.join(",\n"),
-        gpc_rows.join(",\n")
+        gpc_rows.join(",\n"),
+        scen_rows.join(",\n"),
+        grid_serial_ms / grid_parallel_ms,
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json ({threads} worker threads, {available} cores available)");

@@ -29,8 +29,11 @@ use calloc::CallocConfig;
 
 use calloc_attack::AttackKind;
 use calloc_eval::{SuiteProfile, SweepSpec};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
-use calloc_tensor::{Matrix, TensorError};
+use calloc_sim::{
+    normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, Scenario, ScenarioSpec,
+    RSS_FLOOR_DBM,
+};
+use calloc_tensor::{Matrix, Rng, TensorError};
 
 /// Calibration of the paper's ε to our normalized RSS units.
 ///
@@ -105,6 +108,18 @@ pub fn buildings(profile: Profile) -> Vec<Building> {
 /// OP3 reference, all six devices).
 pub fn scenario_for(building: &Building, seed: u64) -> Scenario {
     Scenario::generate(building, &CollectionConfig::paper(), seed)
+}
+
+/// The declarative scenario grid of this profile: the same buildings as
+/// [`buildings`] under the paper protocol, as a `ScenarioSpec` whose cells
+/// the figure binaries generate in parallel (`Full` → the five Table II
+/// buildings, `Quick` → the two shrunken ones). Binaries override the seed
+/// axis per experiment with `with_seeds`.
+pub fn scenario_grid(profile: Profile) -> ScenarioSpec {
+    match profile {
+        Profile::Full => ScenarioSpec::paper(),
+        Profile::Quick => ScenarioSpec::quick(),
+    }
 }
 
 /// The framework-suite training profile for this fidelity.
@@ -344,6 +359,117 @@ pub fn seed_matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Between-phase environment change of one online session, as realized by
+/// the seed scenario generator below (verbatim copy of the simulator's
+/// private `PhaseDrift`).
+struct SeedPhaseDrift {
+    ap_drift_db: Vec<f64>,
+    reshadow_db: Matrix,
+}
+
+impl SeedPhaseDrift {
+    fn none(n_rp: usize, n_ap: usize) -> Self {
+        SeedPhaseDrift {
+            ap_drift_db: vec![0.0; n_ap],
+            reshadow_db: Matrix::zeros(n_rp, n_ap),
+        }
+    }
+
+    fn sample(n_rp: usize, n_ap: usize, drift_std: f64, reshadow_std: f64, rng: &mut Rng) -> Self {
+        SeedPhaseDrift {
+            ap_drift_db: (0..n_ap).map(|_| rng.normal(0.0, drift_std)).collect(),
+            reshadow_db: Matrix::from_fn(n_rp, n_ap, |_, _| rng.normal(0.0, reshadow_std)),
+        }
+    }
+}
+
+/// The seed repository's per-session collection loop, preserved verbatim
+/// as part of the scenario-generation reference below.
+fn seed_collect(
+    building: &Building,
+    propagation: &calloc_sim::PropagationModel,
+    device: &calloc_sim::DeviceProfile,
+    per_rp: usize,
+    drift: &SeedPhaseDrift,
+    rng: &mut Rng,
+) -> calloc_sim::Dataset {
+    let n_rp = building.num_rps();
+    let n_ap = building.num_aps();
+    let mut x = Matrix::zeros(n_rp * per_rp, n_ap);
+    let mut labels = Vec::with_capacity(n_rp * per_rp);
+    let mut row = 0;
+    for rp in 0..n_rp {
+        for _ in 0..per_rp {
+            for ap in 0..n_ap {
+                let truth = propagation.measure_dbm(building, rp, ap, rng);
+                let shifted = if truth > RSS_FLOOR_DBM {
+                    (truth + drift.ap_drift_db[ap] + drift.reshadow_db.get(rp, ap))
+                        .clamp(RSS_FLOOR_DBM, 0.0)
+                } else {
+                    truth
+                };
+                let observed = device.observe(shifted, rng);
+                x.set(row, ap, normalize_rss(observed));
+            }
+            labels.push(rp);
+            row += 1;
+        }
+    }
+    calloc_sim::Dataset::new(x, labels, building.rp_positions().to_vec())
+}
+
+/// The seed repository's serial `Scenario::generate` (before the
+/// session-parallel fan-out), preserved verbatim as the baseline for the
+/// `scenario_generation` section of the `perf_baseline` JSON snapshot —
+/// the parallel generator (and therefore every `ScenarioSet` cell) must
+/// stay **bit-identical** to it for matching `(building, config, seed)`
+/// triples, which is also what keeps `tests/golden/quick_sweep.csv`
+/// byte-stable across the scenario-grid redesign.
+pub fn seed_scenario_generate_reference(
+    building: &Building,
+    config: &CollectionConfig,
+    seed: u64,
+) -> Scenario {
+    let mut rng = Rng::new(seed ^ building.spec().seed.rotate_left(17));
+    let no_drift = SeedPhaseDrift::none(building.num_rps(), building.num_aps());
+    let train = seed_collect(
+        building,
+        &config.propagation,
+        &config.reference_device,
+        config.train_fingerprints_per_rp,
+        &no_drift,
+        &mut rng.fork(1),
+    );
+    let test_per_device = config
+        .test_devices
+        .iter()
+        .enumerate()
+        .map(|(i, device)| {
+            let mut session_rng = rng.fork(100 + i as u64);
+            let drift = SeedPhaseDrift::sample(
+                building.num_rps(),
+                building.num_aps(),
+                config.temporal_drift_std_db,
+                config.reshadow_std_db,
+                &mut session_rng,
+            );
+            let ds = seed_collect(
+                building,
+                &config.propagation,
+                device,
+                config.test_fingerprints_per_rp,
+                &drift,
+                &mut session_rng,
+            );
+            (device.clone(), ds)
+        })
+        .collect();
+    Scenario {
+        train,
+        test_per_device,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -426,6 +552,63 @@ mod tests {
         let (loss, grad) = gpc.loss_and_input_grad(&x, &targets);
         assert_eq!(seed_loss.to_bits(), loss.to_bits(), "loss diverges");
         assert_bits_eq(&seed_grad, &grad, "GPC input grad diverges from seed");
+    }
+
+    #[test]
+    fn parallel_scenario_generate_is_bit_identical_to_seed_reference() {
+        use calloc_tensor::par;
+        let spec = BuildingSpec {
+            path_length_m: 12,
+            num_aps: 14,
+            ..BuildingId::B3.spec()
+        };
+        let building = Building::generate(spec, 3);
+        let config = CollectionConfig::small();
+        let reference = seed_scenario_generate_reference(&building, &config, 17);
+        for threads in [1usize, 4] {
+            par::set_threads(threads);
+            let generated = Scenario::generate(&building, &config, 17);
+            par::set_threads(0);
+            assert_bits_eq(
+                &reference.train.x,
+                &generated.train.x,
+                &format!("train survey diverges from seed at {threads} threads"),
+            );
+            assert_eq!(reference.train.labels, generated.train.labels);
+            for ((dr, tr), (dg, tg)) in reference
+                .test_per_device
+                .iter()
+                .zip(&generated.test_per_device)
+            {
+                assert_eq!(dr, dg, "device order diverges at {threads} threads");
+                assert_bits_eq(
+                    &tr.x,
+                    &tg.x,
+                    &format!(
+                        "{} session diverges from seed at {threads} threads",
+                        dr.acronym
+                    ),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_grid_matches_profile_buildings() {
+        for profile in [Profile::Quick, Profile::Full] {
+            let grid = scenario_grid(profile);
+            let direct = buildings(profile);
+            assert_eq!(grid.buildings.len(), direct.len());
+            let planned = grid.plan();
+            for (a, b) in planned.buildings().iter().zip(&direct) {
+                assert_eq!(a.spec(), b.spec(), "{profile:?}");
+                assert_eq!(a.ap_positions(), b.ap_positions(), "{profile:?}");
+            }
+            assert_eq!(
+                grid.base.train_fingerprints_per_rp,
+                CollectionConfig::paper().train_fingerprints_per_rp
+            );
+        }
     }
 
     #[test]

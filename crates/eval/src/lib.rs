@@ -41,7 +41,7 @@ pub mod sweep;
 pub use metrics::{attacked_inputs, evaluate, evaluate_mitm, AttackedInputs, Evaluation};
 pub use report::{ascii_heatmap, csv_table, markdown_table, ResultRow, ResultTable};
 pub use suite::{Suite, SuiteMember, SuiteProfile};
-pub use sweep::{run_sweep, AttackCell, SweepCell, SweepPlan, SweepSpec};
+pub use sweep::{run_env_sweep, run_sweep, AttackCell, SweepCell, SweepPlan, SweepSpec};
 
 // Re-export what experiment binaries usually need alongside the harness.
 pub use calloc_nn::{DifferentiableModel, Localizer};

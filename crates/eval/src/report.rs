@@ -19,6 +19,14 @@ pub struct ResultRow {
     pub building: String,
     /// Device acronym, or empty if aggregated.
     pub device: String,
+    /// Environment drift multiplier the row's dataset was collected under
+    /// (`1.0` = the baseline environment; see
+    /// `calloc_sim::EnvLevel::uniform` and
+    /// [`crate::SweepSpec`]`::env_multipliers`). Serialized as the
+    /// `env_mult` CSV column **only when some row actually swept the
+    /// axis** — tables whose every row is baseline keep the historical
+    /// 11-column layout, so pre-axis golden CSVs stay byte-identical.
+    pub env_multiplier: f64,
     /// Attack name ("FGSM"/"PGD"/"MIM"), or "none".
     pub attack: String,
     /// MITM injection mechanism ("manipulation"/"spoofing"), or empty for
@@ -53,6 +61,7 @@ impl ResultRow {
             framework: framework.into(),
             building: building.into(),
             device: device.into(),
+            env_multiplier: 1.0,
             attack: "none".into(),
             variant: String::new(),
             targeting: String::new(),
@@ -62,12 +71,24 @@ impl ResultRow {
             max_error_m,
         }
     }
+
+    /// Returns a copy with the given environment drift multiplier.
+    pub fn with_env_multiplier(mut self, env_multiplier: f64) -> Self {
+        self.env_multiplier = env_multiplier;
+        self
+    }
 }
 
 /// A flat collection of experiment results with export helpers.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResultTable {
     rows: Vec<ResultRow>,
+    /// Whether this table was produced with a swept environment axis (set
+    /// by the sweep engine when `SweepSpec::env_multipliers` is not the
+    /// baseline singleton). The flag makes the CSV schema **sticky**:
+    /// slices of an environment-swept table keep the `env_mult` column
+    /// even when every surviving row happens to be baseline.
+    env_swept: bool,
 }
 
 impl ResultTable {
@@ -83,9 +104,26 @@ impl ResultTable {
 
     /// Moves every row of `other` into this table (in order) — how the
     /// figure binaries merge one sweep table per building into a single
-    /// report without cloning rows.
+    /// report without cloning rows. A swept environment axis on either
+    /// side marks the merged table as swept.
     pub fn extend(&mut self, other: ResultTable) {
         self.rows.extend(other.rows);
+        self.env_swept |= other.env_swept;
+    }
+
+    /// Marks this table as produced under a swept environment axis, so
+    /// [`to_csv`](Self::to_csv) emits the `env_mult` column regardless of
+    /// the surviving row values — see [`env_swept`](Self::env_swept).
+    pub fn mark_env_swept(&mut self) {
+        self.env_swept = true;
+    }
+
+    /// Whether this table (or any table merged into it) was produced with
+    /// a swept environment axis. Preserved by
+    /// [`filtered`](Self::filtered), so slices serialize with the same
+    /// schema as their parent.
+    pub fn env_swept(&self) -> bool {
+        self.env_swept
     }
 
     /// Borrow all rows.
@@ -114,10 +152,12 @@ impl ResultTable {
     }
 
     /// A new table holding clones of the rows matching `pred` (plan
-    /// indices are preserved, so provenance survives slicing).
+    /// indices and the environment-axis flag are preserved, so both
+    /// provenance and the CSV schema survive slicing).
     pub fn filtered(&self, pred: impl Fn(&ResultRow) -> bool) -> ResultTable {
         ResultTable {
             rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+            env_swept: self.env_swept,
         }
     }
 
@@ -184,32 +224,56 @@ impl ResultTable {
     }
 
     /// Serializes the table to CSV (with header).
+    ///
+    /// The environment axis is labelled as an `env_mult` column (after
+    /// `device`) iff the table is [`env_swept`](Self::env_swept) or some
+    /// row carries a non-baseline multiplier; an all-baseline,
+    /// never-swept table keeps the historical 11-column layout byte for
+    /// byte. Because the flag is sticky through `filtered`/`extend`,
+    /// every slice of one sweep serializes with one schema.
     pub fn to_csv(&self) -> String {
-        csv_table(&self.rows)
+        csv_rows(&self.rows, self.env_swept)
     }
 }
 
 /// Serializes rows to CSV (with header).
+///
+/// The environment axis is labelled as an `env_mult` column (after
+/// `device`) **iff** some row carries a non-baseline multiplier; an
+/// all-baseline row set keeps the historical 11-column layout byte for
+/// byte (see [`ResultRow::env_multiplier`]). Prefer
+/// [`ResultTable::to_csv`], whose schema is additionally sticky under
+/// slicing.
 pub fn csv_table(rows: &[ResultRow]) -> String {
-    let mut out = String::from(
-        "plan_index,framework,building,device,attack,variant,targeting,\
-         epsilon,phi,mean_error_m,max_error_m\n",
-    );
+    csv_rows(rows, false)
+}
+
+fn csv_rows(rows: &[ResultRow], env_swept: bool) -> String {
+    let with_env = env_swept || rows.iter().any(|r| r.env_multiplier != 1.0);
+    let mut out = if with_env {
+        String::from(
+            "plan_index,framework,building,device,env_mult,attack,variant,\
+             targeting,epsilon,phi,mean_error_m,max_error_m\n",
+        )
+    } else {
+        String::from(
+            "plan_index,framework,building,device,attack,variant,targeting,\
+             epsilon,phi,mean_error_m,max_error_m\n",
+        )
+    };
     for r in rows {
+        let _ = write!(
+            out,
+            "{},{},{},{},",
+            r.plan_index, r.framework, r.building, r.device
+        );
+        if with_env {
+            let _ = write!(out, "{},", r.env_multiplier);
+        }
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{},{},{:.4},{:.4}",
-            r.plan_index,
-            r.framework,
-            r.building,
-            r.device,
-            r.attack,
-            r.variant,
-            r.targeting,
-            r.epsilon,
-            r.phi,
-            r.mean_error_m,
-            r.max_error_m
+            "{},{},{},{},{},{:.4},{:.4}",
+            r.attack, r.variant, r.targeting, r.epsilon, r.phi, r.mean_error_m, r.max_error_m
         );
     }
     out
@@ -302,6 +366,7 @@ mod tests {
             framework: framework.into(),
             building: "Building 1".into(),
             device: "OP3".into(),
+            env_multiplier: 1.0,
             attack: "FGSM".into(),
             variant: "manipulation".into(),
             targeting: "strongest".into(),
@@ -321,6 +386,63 @@ mod tests {
         assert!(
             lines[1].starts_with("0,CALLOC,Building 1,OP3,FGSM,manipulation,strongest,0.1,50,1.5")
         );
+    }
+
+    #[test]
+    fn csv_keeps_historical_layout_for_baseline_environments() {
+        // An all-baseline table must serialize without the env_mult column
+        // — this is what keeps pre-axis golden CSVs byte-identical.
+        let csv = csv_table(&[row("CALLOC", 1.5, 4.0).with_env_multiplier(1.0)]);
+        assert!(!csv.contains("env_mult"));
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 11);
+    }
+
+    #[test]
+    fn env_schema_is_sticky_under_slicing() {
+        // A baseline-only slice of an env-swept table must keep the
+        // 12-column schema — two CSVs of the same sweep may never
+        // disagree on layout.
+        let mut t = ResultTable::new();
+        t.mark_env_swept();
+        t.push(row("CALLOC", 1.5, 4.0));
+        t.push(row("CALLOC", 2.5, 6.0).with_env_multiplier(2.0));
+        let baseline_slice = t.filtered(|r| r.env_multiplier == 1.0);
+        assert!(baseline_slice.env_swept(), "filtered must keep the flag");
+        assert!(baseline_slice
+            .to_csv()
+            .lines()
+            .all(|l| l.split(',').count() == 12));
+        // extend() propagates the flag into merged tables.
+        let mut merged = ResultTable::new();
+        merged.extend(baseline_slice);
+        assert!(merged.env_swept());
+        // A never-swept, all-baseline table keeps the historical layout.
+        let mut plain = ResultTable::new();
+        plain.push(row("CALLOC", 1.5, 4.0));
+        assert!(!plain.env_swept());
+        assert_eq!(
+            plain.to_csv().lines().next().unwrap().split(',').count(),
+            11
+        );
+    }
+
+    #[test]
+    fn csv_labels_a_swept_environment_axis() {
+        let rows = [
+            row("CALLOC", 1.5, 4.0),
+            row("CALLOC", 2.5, 6.0).with_env_multiplier(2.0),
+        ];
+        let csv = csv_table(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "plan_index,framework,building,device,env_mult,attack,variant,\
+             targeting,epsilon,phi,mean_error_m,max_error_m"
+        );
+        // Every row gains the column, including baseline ones.
+        assert!(lines[1].starts_with("0,CALLOC,Building 1,OP3,1,FGSM,"));
+        assert!(lines[2].starts_with("0,CALLOC,Building 1,OP3,2,FGSM,"));
+        assert!(lines.iter().all(|l| l.split(',').count() == 12));
     }
 
     #[test]

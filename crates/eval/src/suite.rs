@@ -7,11 +7,11 @@ use calloc_baselines::{
     GpcLocalizer, KnnLocalizer, SangriaConfig, SangriaLocalizer, WiDeepConfig, WiDeepLocalizer,
 };
 use calloc_nn::{DifferentiableModel, Localizer, Sequential};
-use calloc_sim::{Dataset, Scenario};
+use calloc_sim::{Dataset, Scenario, ScenarioSet};
 use calloc_tensor::par;
 
 use crate::report::ResultTable;
-use crate::sweep::{run_sweep, SweepSpec};
+use crate::sweep::{run_env_sweep, run_sweep, SweepSpec};
 
 /// One trained framework in the suite.
 pub struct SuiteMember {
@@ -323,6 +323,33 @@ impl Suite {
         run_sweep(&members, Some(self.surrogate()), datasets, spec)
     }
 
+    /// Runs an environment-robustness × attack sweep over every trained
+    /// member: `scenarios[e]` must be the suite's collection protocol
+    /// re-generated under `spec.env_multipliers[e]` (a
+    /// `calloc_sim::ScenarioSpec::single(..).with_environments(..)` grid
+    /// produces the list, with the baseline sharing the training survey
+    /// bit for bit), and every cell with environment index `e` evaluates
+    /// on `scenarios[e]`'s test sets — one table where environment and
+    /// attack robustness compose. See [`run_env_sweep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenarios.len() != spec.env_multipliers.len()` or the
+    /// scenarios disagree on their device lists.
+    pub fn env_sweep(
+        &self,
+        building: &str,
+        scenarios: &[&Scenario],
+        spec: &SweepSpec,
+    ) -> ResultTable {
+        let members: Vec<(&str, &dyn Localizer)> = self
+            .members
+            .iter()
+            .map(|m| (m.name.as_str(), m.model.as_ref()))
+            .collect();
+        run_env_sweep(&members, Some(self.surrogate()), building, scenarios, spec)
+    }
+
     /// The sweep datasets of a scenario: every per-device test set,
     /// labelled with `building` and the device acronym, in collection
     /// order.
@@ -335,6 +362,17 @@ impl Suite {
             .iter()
             .map(|(d, t)| (building.to_string(), d.acronym.clone(), t))
             .collect()
+    }
+
+    /// The sweep datasets of one [`ScenarioSet`] entry: the entry's
+    /// per-device test sets labelled with its building's Table II name —
+    /// how the figure binaries view a generated grid cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the set.
+    pub fn set_datasets(set: &ScenarioSet, index: usize) -> Vec<(String, String, &Dataset)> {
+        Self::scenario_datasets(set.scenario(index), set.building_name(index))
     }
 }
 

@@ -9,14 +9,15 @@
 //! ```
 //!
 //! * [`SweepSpec`] declares the axes: attack kinds × ε grid × ø grid ×
-//!   targeting strategies × MITM variants, plus an optional clean
-//!   baseline cell and the ε calibration factor.
+//!   targeting strategies × MITM variants × environment drift multipliers,
+//!   plus an optional clean baseline cell and the ε calibration factor.
 //! * [`SweepSpec::plan`] crosses those axes with the members and datasets
 //!   under evaluation and flattens the whole cross-product into one work
 //!   list of [`SweepCell`]s, each carrying its **plan index** — its
 //!   position in the canonical enumeration order (member-major, then
-//!   dataset, then attack cell; clean first when requested, then
-//!   kind → variant → targeting → ε → ø, each axis in spec order).
+//!   dataset, then environment level, then attack cell; clean first when
+//!   requested, then kind → variant → targeting → ε → ø, each axis in
+//!   spec order).
 //! * [`SweepPlan::run`] evaluates the cells on
 //!   [`calloc_tensor::par::par_chunks`] — contiguous chunks of the work
 //!   list fan out to worker threads — and merges the resulting rows **in
@@ -40,10 +41,27 @@
 //! existing plan prefixes stable within a cell block), label the axis in
 //! [`ResultRow`] so CSV rows stay self-describing, and regenerate the
 //! golden CSVs — their diff is the review artifact for the new axis.
+//!
+//! # Adding an environment axis
+//!
+//! Environment axes select the **data** a cell evaluates on, not the
+//! adversary, so they wrap the clean + attack block instead of nesting
+//! inside it (the clean baseline must sweep the environment too — pure
+//! environment robustness, Fig. 3-style, is an attack-free workload).
+//! The rule mirrors the attack-axis rule: a field on [`SweepSpec`] with a
+//! baseline singleton default (`env_multipliers = [1.0]`, keeping every
+//! existing plan and golden CSV byte-identical), an index on
+//! [`SweepCell`] enumerated **between the dataset axis and the attack
+//! block**, an expanded dataset slot list for [`SweepPlan::run`]
+//! (dataset-major, environment innermost — see [`run_env_sweep`] for how
+//! slots are built from re-collected scenarios), a label on
+//! [`ResultRow`] (the `env_mult` CSV column, emitted only when the axis
+//! is actually swept), and a pinned golden of its own
+//! (`tests/golden/env_sweep.csv`).
 
 use calloc_attack::{AttackConfig, AttackKind, MitmAttack, MitmVariant, Targeting};
 use calloc_nn::{DifferentiableModel, Localizer};
-use calloc_sim::Dataset;
+use calloc_sim::{Dataset, Scenario};
 use calloc_tensor::par;
 
 use crate::metrics::evaluate_mitm;
@@ -63,6 +81,15 @@ pub struct SweepSpec {
     pub epsilons: Vec<f64>,
     /// ø grid (percentage of targeted APs), innermost attack axis.
     pub phis: Vec<f64>,
+    /// Environment drift-multiplier grid: each entry evaluates the cell on
+    /// a dataset re-collected with the between-phase drift scaled by the
+    /// multiplier (`calloc_sim::EnvLevel::uniform`). The singleton `[1.0]`
+    /// (every constructor's default) is the baseline environment and
+    /// leaves plans and CSVs unchanged; see [`run_env_sweep`] for how the
+    /// per-environment datasets are supplied. Must be non-empty —
+    /// [`SweepSpec::plan`] rejects an empty axis (it would annihilate
+    /// every cell, clean ones included).
+    pub env_multipliers: Vec<f64>,
     /// Calibration factor mapping paper ε to normalized attack units
     /// (crafting uses `ε · epsilon_unit`; `calloc-bench` passes its
     /// `EPSILON_UNIT`, direct users of normalized units keep `1.0`).
@@ -83,6 +110,7 @@ impl SweepSpec {
             targetings: vec![Targeting::Strongest],
             epsilons: Vec::new(),
             phis: Vec::new(),
+            env_multipliers: vec![1.0],
             epsilon_unit: 1.0,
             include_clean: true,
             seed: 0,
@@ -99,6 +127,7 @@ impl SweepSpec {
             targetings: vec![Targeting::Strongest],
             epsilons,
             phis,
+            env_multipliers: vec![1.0],
             epsilon_unit: 1.0,
             include_clean: true,
             seed: 0,
@@ -115,6 +144,7 @@ impl SweepSpec {
             targetings: Targeting::ALL.to_vec(),
             epsilons,
             phis,
+            env_multipliers: vec![1.0],
             epsilon_unit: 1.0,
             include_clean: true,
             seed: 0,
@@ -130,6 +160,12 @@ impl SweepSpec {
     /// Returns a copy with the given targeting/decoy seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given environment drift-multiplier grid.
+    pub fn with_env_multipliers(mut self, env_multipliers: Vec<f64>) -> Self {
+        self.env_multipliers = env_multipliers;
         self
     }
 
@@ -161,25 +197,42 @@ impl SweepSpec {
         cells
     }
 
-    /// Crosses the attack cells with members and datasets into a flat,
-    /// plan-indexed work list.
+    /// Crosses the attack cells with members, datasets and environment
+    /// levels into a flat, plan-indexed work list.
     ///
     /// `members` are framework names in figure order; `datasets` are
-    /// `(building, device)` labels in evaluation order. The plan is pure
-    /// data — models and fingerprints are only needed at
-    /// [`SweepPlan::run`] time.
+    /// `(building, device)` labels in evaluation order. The enumeration is
+    /// member-major, then dataset, then environment level, then the
+    /// clean + attack block — with the singleton baseline axis
+    /// (`env_multipliers == [1.0]`) it is exactly the historical
+    /// member → dataset → attack order. The plan is pure data — models and
+    /// fingerprints are only needed at [`SweepPlan::run`] time.
+    /// # Panics
+    ///
+    /// Panics if `env_multipliers` is empty — an empty environment axis
+    /// would annihilate every cell (including clean ones); spell the
+    /// baseline as `[1.0]`.
     pub fn plan(&self, members: &[String], datasets: &[(String, String)]) -> SweepPlan {
+        assert!(
+            !self.env_multipliers.is_empty(),
+            "env_multipliers must not be empty — use [1.0] for the baseline environment"
+        );
         let attack_cells = self.attack_cells();
-        let mut cells = Vec::with_capacity(members.len() * datasets.len() * attack_cells.len());
+        let mut cells = Vec::with_capacity(
+            members.len() * datasets.len() * self.env_multipliers.len() * attack_cells.len(),
+        );
         for member in 0..members.len() {
             for dataset in 0..datasets.len() {
-                for attack in &attack_cells {
-                    cells.push(SweepCell {
-                        plan_index: cells.len(),
-                        member,
-                        dataset,
-                        attack: attack.clone(),
-                    });
+                for env in 0..self.env_multipliers.len() {
+                    for attack in &attack_cells {
+                        cells.push(SweepCell {
+                            plan_index: cells.len(),
+                            member,
+                            dataset,
+                            env,
+                            attack: attack.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -233,6 +286,9 @@ pub struct SweepCell {
     pub member: usize,
     /// Index into the plan's dataset list.
     pub dataset: usize,
+    /// Index into the spec's [`SweepSpec::env_multipliers`] grid: which
+    /// environment realization of the dataset this cell evaluates.
+    pub env: usize,
     /// The attack axes point, or `None` for the clean baseline.
     pub attack: Option<AttackCell>,
 }
@@ -283,15 +339,20 @@ impl SweepPlan {
     /// the work list) and the rows are merged in plan-index order, so the
     /// returned table is bit-identical for every thread count.
     ///
-    /// `models` and `datasets` must parallel the member and dataset label
-    /// lists the plan was built from. The `surrogate` (usually
-    /// [`crate::Suite::surrogate`]) transfer-attacks non-differentiable
-    /// members; pass `None` to skip attacks on them.
+    /// `models` must parallel the member label list. `datasets` holds one
+    /// slot per (dataset label, environment level) pair, **dataset-major
+    /// with the environment innermost**: slot `d · n_env + e` is the
+    /// `d`-th labelled dataset as re-collected under
+    /// `spec.env_multipliers[e]`. With the default baseline singleton this
+    /// degenerates to exactly one slot per label — the historical
+    /// contract. The `surrogate` (usually [`crate::Suite::surrogate`])
+    /// transfer-attacks non-differentiable members; pass `None` to skip
+    /// attacks on them.
     ///
     /// # Panics
     ///
     /// Panics if `models` / `datasets` lengths disagree with the plan's
-    /// label lists, or if any dataset is empty.
+    /// label lists (× environment levels), or if any dataset is empty.
     pub fn run(
         &self,
         models: &[&dyn Localizer],
@@ -305,8 +366,8 @@ impl SweepPlan {
         );
         assert_eq!(
             datasets.len(),
-            self.datasets.len(),
-            "dataset count does not match the planned label list"
+            self.datasets.len() * self.spec.env_multipliers.len(),
+            "dataset slot count must be one per (label, environment level)"
         );
         let rows = par::par_chunks(self.cells.len(), 1, |range| {
             range
@@ -314,6 +375,12 @@ impl SweepPlan {
                 .collect::<Vec<ResultRow>>()
         });
         let mut table = ResultTable::new();
+        // A non-baseline environment axis fixes the CSV schema for the
+        // whole table (and, through `filtered`, all its slices), so an
+        // env-swept table cannot silently lose its `env_mult` column.
+        if self.spec.env_multipliers != [1.0] {
+            table.mark_env_swept();
+        }
         for row in rows.into_iter().flatten() {
             table.push(row);
         }
@@ -329,7 +396,9 @@ impl SweepPlan {
         datasets: &[&Dataset],
     ) -> ResultRow {
         let model = models[cell.member];
-        let data = datasets[cell.dataset];
+        let n_env = self.spec.env_multipliers.len();
+        let data = datasets[cell.dataset * n_env + cell.env];
+        let env_multiplier = self.spec.env_multipliers[cell.env];
         let (building, device) = &self.datasets[cell.dataset];
         let framework = &self.members[cell.member];
         match &cell.attack {
@@ -343,6 +412,7 @@ impl SweepPlan {
                     eval.summary.mean,
                     eval.summary.max,
                 )
+                .with_env_multiplier(env_multiplier)
             }
             Some(attack) => {
                 let mitm = attack.to_attack(self.spec.epsilon_unit, self.spec.seed);
@@ -352,6 +422,7 @@ impl SweepPlan {
                     framework: framework.clone(),
                     building: building.clone(),
                     device: device.clone(),
+                    env_multiplier,
                     attack: attack.kind.name().into(),
                     variant: attack.variant.name().into(),
                     targeting: attack.targeting.name().into(),
@@ -384,6 +455,63 @@ pub fn run_sweep(
         .collect();
     let models: Vec<&dyn Localizer> = members.iter().map(|(_, m)| *m).collect();
     let data: Vec<&Dataset> = datasets.iter().map(|(_, _, d)| *d).collect();
+    spec.plan(&names, &labels).run(&models, surrogate, &data)
+}
+
+/// Plans and runs an environment-robustness sweep in one call: like
+/// [`run_sweep`], but the dataset axis is expanded over
+/// `spec.env_multipliers`. `scenarios[e]` must hold the collection
+/// protocol re-generated under the `e`-th drift multiplier
+/// (`calloc_sim::EnvLevel::uniform(spec.env_multipliers[e])` applied to
+/// the same `(building, config, seed)` — a
+/// `calloc_sim::ScenarioSpec::single(..).with_environments(..)` grid
+/// produces exactly this list); every cell with environment index `e`
+/// then evaluates on `scenarios[e]`'s per-device test sets. The dataset
+/// labels are `(building, device-acronym)` in collection order, so
+/// environment and attack robustness land in one table.
+///
+/// # Panics
+///
+/// Panics if `scenarios.len() != spec.env_multipliers.len()`, if the
+/// scenarios disagree on their collected device lists, or if any dataset
+/// is empty.
+pub fn run_env_sweep(
+    members: &[(&str, &dyn Localizer)],
+    surrogate: Option<&dyn DifferentiableModel>,
+    building: &str,
+    scenarios: &[&Scenario],
+    spec: &SweepSpec,
+) -> ResultTable {
+    assert_eq!(
+        scenarios.len(),
+        spec.env_multipliers.len(),
+        "one scenario per environment multiplier"
+    );
+    assert!(
+        !scenarios.is_empty(),
+        "an environment sweep needs at least one scenario"
+    );
+    let acronyms = scenarios[0].device_acronyms();
+    for s in &scenarios[1..] {
+        assert_eq!(
+            s.device_acronyms(),
+            acronyms,
+            "every environment realization must collect the same device list"
+        );
+    }
+    let names: Vec<String> = members.iter().map(|(n, _)| (*n).into()).collect();
+    let labels: Vec<(String, String)> = acronyms
+        .iter()
+        .map(|a| (building.to_string(), (*a).to_string()))
+        .collect();
+    let models: Vec<&dyn Localizer> = members.iter().map(|(_, m)| *m).collect();
+    // Dataset-major, environment-innermost slot layout — the run() contract.
+    let mut data: Vec<&Dataset> = Vec::with_capacity(labels.len() * scenarios.len());
+    for device in 0..acronyms.len() {
+        for scenario in scenarios {
+            data.push(&scenario.test_per_device[device].1);
+        }
+    }
     spec.plan(&names, &labels).run(&models, surrogate, &data)
 }
 
@@ -488,6 +616,94 @@ mod tests {
         assert!((mitm.config.epsilon - 0.1).abs() < 1e-12);
         assert_eq!(mitm.config.seed, 7);
         assert_eq!(cell.epsilon, 0.4, "rows report paper units");
+    }
+
+    #[test]
+    fn env_axis_wraps_the_clean_and_attack_block() {
+        let s = SweepSpec::grid(vec![0.1], vec![50.0]).with_env_multipliers(vec![1.0, 2.0]);
+        let members = vec!["KNN".to_string()];
+        let datasets = vec![("B1".to_string(), "OP3".to_string())];
+        let plan = s.plan(&members, &datasets);
+        // 2 environments × (clean + 3 kinds × 1 × 1 × 1 ε × 1 ø)
+        let per_env = 1 + 3;
+        assert_eq!(plan.len(), 2 * per_env);
+        // Environment wraps the block: a full clean+attack block per level,
+        // so the clean baseline is swept across environments too.
+        assert!(plan.cells()[..per_env].iter().all(|c| c.env == 0));
+        assert!(plan.cells()[per_env..].iter().all(|c| c.env == 1));
+        assert!(plan.cells()[0].attack.is_none());
+        assert!(plan.cells()[per_env].attack.is_none());
+    }
+
+    #[test]
+    fn env_sweep_evaluates_each_level_on_its_own_scenario() {
+        use calloc_sim::{EnvLevel, ScenarioSpec};
+
+        let bspec = BuildingSpec {
+            path_length_m: 10,
+            num_aps: 12,
+            ..BuildingId::B1.spec()
+        };
+        let set = ScenarioSpec::single(bspec, 2, CollectionConfig::small(), 3)
+            .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(3.0)])
+            .generate();
+        let baseline = set.scenario(0);
+        let knn = KnnLocalizer::fit(
+            baseline.train.x.clone(),
+            baseline.train.labels.clone(),
+            baseline.train.num_classes(),
+            3,
+        );
+        let spec = SweepSpec::clean_only().with_env_multipliers(vec![1.0, 3.0]);
+        let scenarios: Vec<&Scenario> = set.scenarios().iter().collect();
+        let table = run_env_sweep(&[("KNN", &knn)], None, "B1", &scenarios, &spec);
+
+        // 1 member × 2 devices × 2 environments × 1 clean cell.
+        assert_eq!(table.len(), 4);
+        for (i, row) in table.rows().iter().enumerate() {
+            assert_eq!(row.plan_index, i, "rows merged in plan order");
+            assert_eq!(row.attack, "none");
+        }
+        // Environment is inner to the dataset axis: per device, the
+        // baseline row precedes the drift×3 row.
+        let envs: Vec<f64> = table.rows().iter().map(|r| r.env_multiplier).collect();
+        assert_eq!(envs, vec![1.0, 3.0, 1.0, 3.0]);
+        // The CSV labels the swept axis.
+        let csv = table.to_csv();
+        assert!(csv.lines().next().unwrap().contains("env_mult"));
+        // The harsher environment is a genuinely different dataset, and
+        // (for a survey-matching KNN) a harder one on average.
+        let base_mean = table.mean_where(|r| r.env_multiplier == 1.0).unwrap();
+        let harsh_mean = table.mean_where(|r| r.env_multiplier == 3.0).unwrap();
+        assert_ne!(base_mean.to_bits(), harsh_mean.to_bits());
+        assert!(
+            harsh_mean > base_mean * 0.8,
+            "drift x3 should not make localization easier: {base_mean} -> {harsh_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "env_multipliers must not be empty")]
+    fn plan_rejects_an_empty_environment_axis() {
+        let s = SweepSpec::grid(vec![0.1], vec![50.0]).with_env_multipliers(Vec::new());
+        s.plan(
+            &["KNN".to_string()],
+            &[("B1".to_string(), "OP3".to_string())],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one scenario per environment multiplier")]
+    fn env_sweep_rejects_scenario_count_mismatch() {
+        let scenario = tiny_scenario();
+        let knn = KnnLocalizer::fit(
+            scenario.train.x.clone(),
+            scenario.train.labels.clone(),
+            scenario.train.num_classes(),
+            3,
+        );
+        let spec = SweepSpec::clean_only().with_env_multipliers(vec![1.0, 2.0]);
+        run_env_sweep(&[("KNN", &knn)], None, "B1", &[&scenario], &spec);
     }
 
     #[test]

@@ -119,33 +119,37 @@ proptest! {
     }
 
     /// Sweep-plan enumeration is a pure cross-product: the cell count is
-    /// the product of every axis length (plus the clean cell per pair),
-    /// plan indices equal positions, and member/dataset indices stay in
-    /// range — for arbitrary grid sizes.
+    /// the product of every axis length (plus the clean cell per pair,
+    /// times the environment levels), plan indices equal positions, and
+    /// member/dataset/environment indices stay in range — for arbitrary
+    /// grid sizes.
     #[test]
     fn sweep_plan_is_a_complete_cross_product(
         n_members in 1usize..5,
         n_datasets in 1usize..4,
         n_eps in 1usize..4,
         n_phi in 1usize..4,
+        n_env in 1usize..3,
         clean in any::<bool>(),
     ) {
         let mut spec = SweepSpec::full_grid(
             (0..n_eps).map(|i| 0.1 * (i + 1) as f64).collect(),
             (0..n_phi).map(|i| 10.0 * (i + 1) as f64).collect(),
-        );
+        )
+        .with_env_multipliers((0..n_env).map(|i| 1.0 + i as f64).collect());
         spec.include_clean = clean;
         let members: Vec<String> = (0..n_members).map(|i| format!("M{i}")).collect();
         let datasets: Vec<(String, String)> =
             (0..n_datasets).map(|i| ("B1".to_string(), format!("D{i}"))).collect();
         let plan = spec.plan(&members, &datasets);
-        let per_pair = usize::from(clean)
+        let per_block = usize::from(clean)
             + spec.attacks.len() * spec.variants.len() * spec.targetings.len() * n_eps * n_phi;
-        prop_assert_eq!(plan.len(), n_members * n_datasets * per_pair);
+        prop_assert_eq!(plan.len(), n_members * n_datasets * n_env * per_block);
         for (i, cell) in plan.cells().iter().enumerate() {
             prop_assert_eq!(cell.plan_index, i);
             prop_assert!(cell.member < n_members);
             prop_assert!(cell.dataset < n_datasets);
+            prop_assert!(cell.env < n_env);
         }
     }
 }

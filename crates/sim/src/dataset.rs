@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// * `labels` — the RP class of each row.
 /// * `rp_positions` — RP coordinates in meters, indexed by class label;
 ///   used to convert a misclassification into a localization error.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
     /// Normalized fingerprints (rows) by APs (columns).
     pub x: Matrix,

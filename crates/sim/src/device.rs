@@ -99,6 +99,25 @@ impl DeviceProfile {
         ]
     }
 
+    /// Looks up a Table I device by its figure acronym (case-sensitive,
+    /// first match — the paper devices all carry distinct acronyms).
+    /// Returns `None` for acronyms outside Table I.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use calloc_sim::DeviceProfile;
+    ///
+    /// let moto = DeviceProfile::by_acronym("MOTO").unwrap();
+    /// assert_eq!(moto.manufacturer, "Motorola");
+    /// assert!(DeviceProfile::by_acronym("PIXEL").is_none());
+    /// ```
+    pub fn by_acronym(acronym: &str) -> Option<DeviceProfile> {
+        Self::paper_devices()
+            .into_iter()
+            .find(|d| d.acronym == acronym)
+    }
+
     /// The OnePlus 3 — the reference training device (identity transfer up
     /// to 1 dB quantization and a small noise term).
     pub fn reference() -> DeviceProfile {
@@ -154,6 +173,23 @@ mod tests {
         assert_eq!(d.len(), 6);
         let acr: Vec<&str> = d.iter().map(|p| p.acronym.as_str()).collect();
         assert_eq!(acr, vec!["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]);
+    }
+
+    #[test]
+    fn by_acronym_matches_table_order() {
+        for want in DeviceProfile::paper_devices() {
+            let got = DeviceProfile::by_acronym(&want.acronym).expect("Table I acronym");
+            assert_eq!(got, want);
+        }
+        assert_eq!(
+            DeviceProfile::by_acronym("MOTO"),
+            Some(DeviceProfile::paper_devices()[4].clone())
+        );
+        assert!(
+            DeviceProfile::by_acronym("moto").is_none(),
+            "case-sensitive"
+        );
+        assert!(DeviceProfile::by_acronym("PIXEL").is_none());
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //!   field, with the OnePlus 3 (OP3) as the reference capture device;
 //! * the paper's collection protocol: reference points at 1 m granularity
 //!   along a path, 5 training fingerprints per RP captured with OP3 and 1
-//!   test fingerprint per RP per device.
+//!   test fingerprint per RP per device;
+//! * **declarative scenario grids** ([`ScenarioSpec`] → [`ScenarioPlan`] →
+//!   [`ScenarioSet`]): buildings × survey densities × device sets ×
+//!   environment levels × seeds, generated in parallel and merged in
+//!   plan-index order, so a grid is bit-identical at every
+//!   `CALLOC_THREADS` (see the [`ScenarioSpec`] docs for the grammar and
+//!   the plan-index merge contract).
 //!
 //! # Example
 //!
@@ -28,17 +34,35 @@
 //! assert_eq!(scenario.train.num_classes(), building.num_rps());
 //! assert_eq!(scenario.test_per_device.len(), 6);
 //! ```
+//!
+//! The same collection as a (one-cell) declarative grid — grids of any
+//! size generate in parallel with bit-identical results:
+//!
+//! ```
+//! use calloc_sim::{BuildingId, CollectionConfig, EnvLevel, ScenarioSpec};
+//!
+//! let mut spec = BuildingId::B1.spec();
+//! spec.path_length_m = 10;
+//! spec.num_aps = 8;
+//! let set = ScenarioSpec::single(spec, 7, CollectionConfig::small(), 7)
+//!     .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)])
+//!     .generate();
+//! assert_eq!(set.len(), 2);
+//! assert_eq!(set.scenario(0).train, set.scenario(1).train);
+//! ```
 
 #![deny(missing_docs)]
 
 mod building;
 mod dataset;
 mod device;
+mod grid;
 mod propagation;
 mod scenario;
 
 pub use building::{Building, BuildingId, BuildingSpec, Material};
 pub use dataset::Dataset;
 pub use device::DeviceProfile;
+pub use grid::{EnvLevel, ScenarioCell, ScenarioPlan, ScenarioSet, ScenarioSpec, SurveyDensity};
 pub use propagation::{normalize_rss, PropagationModel, RSS_FLOOR_DBM, RSS_MAX_DBM};
 pub use scenario::{CollectionConfig, Scenario};

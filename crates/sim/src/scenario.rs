@@ -1,6 +1,30 @@
 //! End-to-end data collection scenarios following the paper's protocol.
+//!
+//! [`Scenario::generate`] is the single-scenario entry point; grids of
+//! scenarios (buildings × survey densities × device sets × environment
+//! levels × seeds) are declared with [`crate::ScenarioSpec`] and generated
+//! in parallel by [`crate::ScenarioPlan::generate`].
+//!
+//! # Parallelism and the session merge contract
+//!
+//! A scenario is a set of independent *collection sessions*: the offline
+//! survey (reference device, no drift) plus one online session per test
+//! device, each under its own realization of between-phase drift. Every
+//! session consumes its own forked RNG stream (the forks are drawn from
+//! the scenario RNG serially, in session order, exactly as the original
+//! serial implementation did), so the sessions fan out onto
+//! [`calloc_tensor::par::par_run`] workers and are merged back in session
+//! order — the collected scenario is **bit-identical to the historical
+//! serial implementation at every `CALLOC_THREADS`**.
+//!
+//! Parallelism deliberately stops at session granularity: within one
+//! session the measurement loop threads a single RNG stream through the
+//! RPs (each draw count is data-dependent), so splitting it per RP would
+//! require per-RP forks and change every pinned realization — the golden
+//! regression tier (`tests/golden/quick_sweep.csv`) forbids that. Grids
+//! scale across cells instead (see [`crate::ScenarioPlan`]).
 
-use calloc_tensor::{Matrix, Rng};
+use calloc_tensor::{par, Matrix, Rng};
 use serde::{Deserialize, Serialize};
 
 use crate::building::Building;
@@ -46,14 +70,17 @@ impl CollectionConfig {
     }
 
     /// A faster protocol for unit tests and examples: fewer fingerprints
-    /// and only the reference + one heterogeneous device.
+    /// and only the reference + one heterogeneous device (the MOTO, the
+    /// most distorting transfer function of Table I).
     pub fn small() -> Self {
-        let devices = DeviceProfile::paper_devices();
         CollectionConfig {
             train_fingerprints_per_rp: 3,
             test_fingerprints_per_rp: 1,
             reference_device: DeviceProfile::reference(),
-            test_devices: vec![devices[4].clone(), DeviceProfile::reference()],
+            test_devices: vec![
+                DeviceProfile::by_acronym("MOTO").expect("MOTO is a Table I device"),
+                DeviceProfile::reference(),
+            ],
             propagation: PropagationModel::default(),
             temporal_drift_std_db: 4.0,
             reshadow_std_db: 2.5,
@@ -63,7 +90,7 @@ impl CollectionConfig {
 
 /// A fully collected offline/online scenario for one building: one training
 /// set (reference device) and one test set per device.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Training fingerprints (offline phase, reference device).
     pub train: Dataset,
@@ -75,26 +102,43 @@ pub struct Scenario {
 impl Scenario {
     /// Collects a complete scenario for `building`, reproducibly from
     /// `seed`.
+    ///
+    /// The offline survey and the per-device online sessions run in
+    /// parallel on up to `calloc_tensor::par::threads()` workers and are
+    /// merged in session order; each session owns a forked RNG stream, so
+    /// the result is bit-identical for every thread count — and
+    /// bit-identical to the historical serial implementation (see the
+    /// [module docs](self)).
     pub fn generate(building: &Building, config: &CollectionConfig, seed: u64) -> Self {
         let mut rng = Rng::new(seed ^ building.spec().seed.rotate_left(17));
+        // Fork every session stream up front, in the order the serial
+        // implementation consumed them: the offline survey first, then one
+        // stream per online device session. Each fork draws exactly one
+        // word from the scenario RNG, so the stream assignment is
+        // independent of how the sessions are later scheduled.
+        let mut train_rng = rng.fork(1);
+        let session_rngs: Vec<Rng> = (0..config.test_devices.len())
+            .map(|i| rng.fork(100 + i as u64))
+            .collect();
+
         // Offline phase: no drift — the survey defines the reference field.
         let no_drift = PhaseDrift::none(building.num_rps(), building.num_aps());
-        let train = collect(
-            building,
-            &config.propagation,
-            &config.reference_device,
-            config.train_fingerprints_per_rp,
-            &no_drift,
-            &mut rng.fork(1),
-        );
+        let mut jobs: Vec<Box<dyn FnOnce() -> Dataset + Send + '_>> =
+            Vec::with_capacity(config.test_devices.len() + 1);
+        jobs.push(Box::new(move || {
+            collect(
+                building,
+                &config.propagation,
+                &config.reference_device,
+                config.train_fingerprints_per_rp,
+                &no_drift,
+                &mut train_rng,
+            )
+        }));
         // Online phase: every device session happens later, under its own
         // realization of AP power drift and re-shadowing.
-        let test_per_device = config
-            .test_devices
-            .iter()
-            .enumerate()
-            .map(|(i, device)| {
-                let mut session_rng = rng.fork(100 + i as u64);
+        for (device, mut session_rng) in config.test_devices.iter().zip(session_rngs) {
+            jobs.push(Box::new(move || {
                 let drift = PhaseDrift::sample(
                     building.num_rps(),
                     building.num_aps(),
@@ -102,17 +146,20 @@ impl Scenario {
                     config.reshadow_std_db,
                     &mut session_rng,
                 );
-                let ds = collect(
+                collect(
                     building,
                     &config.propagation,
                     device,
                     config.test_fingerprints_per_rp,
                     &drift,
                     &mut session_rng,
-                );
-                (device.clone(), ds)
-            })
-            .collect();
+                )
+            }));
+        }
+
+        let mut sessions = par::par_run(jobs).into_iter();
+        let train = sessions.next().expect("the first job is the survey");
+        let test_per_device = config.test_devices.iter().cloned().zip(sessions).collect();
         Scenario {
             train,
             test_per_device,
@@ -120,11 +167,27 @@ impl Scenario {
     }
 
     /// The test dataset for a device acronym, if collected.
+    ///
+    /// Device lists may repeat an acronym (e.g. the same phone model used
+    /// for two online sessions); this returns the **first** matching
+    /// session, in [`CollectionConfig::test_devices`] order. Use
+    /// [`Scenario::device_acronyms`] to enumerate every collected session
+    /// instead of probing acronym strings.
     pub fn test_for(&self, acronym: &str) -> Option<&Dataset> {
         self.test_per_device
             .iter()
             .find(|(d, _)| d.acronym == acronym)
             .map(|(_, ds)| ds)
+    }
+
+    /// The acronyms of every collected test device, in session
+    /// ([`CollectionConfig::test_devices`]) order — duplicates included,
+    /// so the indices align with [`Scenario::test_per_device`].
+    pub fn device_acronyms(&self) -> Vec<&str> {
+        self.test_per_device
+            .iter()
+            .map(|(d, _)| d.acronym.as_str())
+            .collect()
     }
 }
 
@@ -280,5 +343,36 @@ mod tests {
     fn test_for_unknown_device_is_none() {
         let (_, s) = scenario();
         assert!(s.test_for("PIXEL").is_none());
+    }
+
+    #[test]
+    fn test_for_duplicate_acronym_returns_first_session() {
+        // Two online sessions with the same phone model: each gets its own
+        // drift realization, so their datasets differ — `test_for` must
+        // resolve the ambiguity to the first session, by contract.
+        let b = Building::generate(BuildingId::B1.spec(), 2);
+        let mut config = CollectionConfig::small();
+        config.test_devices = vec![DeviceProfile::reference(), DeviceProfile::reference()];
+        let s = Scenario::generate(&b, &config, 6);
+        assert_ne!(
+            s.test_per_device[0].1.x, s.test_per_device[1].1.x,
+            "sessions must see independent drift"
+        );
+        let first = s.test_for("OP3").expect("OP3 collected");
+        assert_eq!(first.x, s.test_per_device[0].1.x, "first match wins");
+    }
+
+    #[test]
+    fn device_acronyms_follow_session_order() {
+        let (_, s) = scenario();
+        assert_eq!(
+            s.device_acronyms(),
+            vec!["BLU", "HTC", "S7", "LG", "MOTO", "OP3"]
+        );
+        let b = Building::generate(BuildingId::B1.spec(), 2);
+        let mut config = CollectionConfig::small();
+        config.test_devices = vec![DeviceProfile::reference(), DeviceProfile::reference()];
+        let s = Scenario::generate(&b, &config, 6);
+        assert_eq!(s.device_acronyms(), vec!["OP3", "OP3"], "duplicates kept");
     }
 }

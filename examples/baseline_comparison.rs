@@ -9,7 +9,7 @@
 
 use calloc_attack::AttackKind;
 use calloc_eval::{Suite, SuiteProfile, SweepSpec};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_sim::{BuildingId, BuildingSpec, CollectionConfig, ScenarioSpec};
 
 fn main() {
     let spec = BuildingSpec {
@@ -17,24 +17,24 @@ fn main() {
         num_aps: 40,
         ..BuildingId::B3.spec()
     };
-    let building = Building::generate(spec, 17);
-    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 23);
+    let set = ScenarioSpec::single(spec, 17, CollectionConfig::paper(), 23).generate();
+    let scenario = set.scenario(0);
 
     let mut profile = SuiteProfile::quick();
     profile.include_classical = true;
     profile.include_nc = true;
-    let suite = Suite::train(&scenario, &profile);
+    let suite = Suite::train(scenario, &profile);
     println!(
         "trained {} frameworks on {}\n",
         suite.members.len(),
-        building.spec().id.name()
+        set.building_name(0)
     );
 
     // One PGD cell (paper ε=0.3, ø=60; ε already in normalized units
     // here) plus the clean baseline, for every member on every device.
     let mut sweep = SweepSpec::grid(vec![0.075], vec![60.0]);
     sweep.attacks = vec![AttackKind::Pgd];
-    let datasets = Suite::scenario_datasets(&scenario, building.spec().id.name());
+    let datasets = Suite::set_datasets(&set, 0);
     let table = suite.sweep(&datasets, &sweep);
 
     println!(

@@ -8,7 +8,7 @@
 
 use calloc::{CallocConfig, CallocTrainer, Curriculum, Localizer};
 use calloc_attack::{craft, AttackConfig, AttackKind};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_sim::{BuildingId, BuildingSpec, CollectionConfig, ScenarioSpec};
 use calloc_tensor::stats;
 
 fn main() {
@@ -17,8 +17,8 @@ fn main() {
         num_aps: 44,
         ..BuildingId::B4.spec()
     };
-    let building = Building::generate(spec, 21);
-    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 33);
+    let set = ScenarioSpec::single(spec, 21, CollectionConfig::paper(), 33).generate();
+    let scenario = set.scenario(0);
 
     let trainer = CallocTrainer::new(CallocConfig {
         embedding_dim: 64,

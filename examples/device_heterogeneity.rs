@@ -9,7 +9,7 @@
 
 use calloc::{CallocConfig, CallocTrainer, Curriculum, Localizer};
 use calloc_baselines::KnnLocalizer;
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_sim::{BuildingId, BuildingSpec, CollectionConfig, ScenarioSpec};
 use calloc_tensor::stats;
 
 fn main() {
@@ -18,8 +18,8 @@ fn main() {
         num_aps: 48,
         ..BuildingId::B5.spec()
     };
-    let building = Building::generate(spec, 11);
-    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 5);
+    let set = ScenarioSpec::single(spec, 11, CollectionConfig::paper(), 5).generate();
+    let scenario = set.scenario(0);
     println!("training data comes from OP3 only; testing on all six Table I devices\n");
 
     let knn = KnnLocalizer::fit(

@@ -8,20 +8,21 @@
 
 use calloc::{CallocConfig, CallocTrainer, Curriculum, Localizer};
 use calloc_attack::{craft, AttackConfig};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_sim::{BuildingId, BuildingSpec, CollectionConfig, ScenarioSpec};
 use calloc_tensor::stats;
 
 fn main() {
     // 1. A (shrunken) paper building and the paper's survey protocol:
     //    5 offline fingerprints per RP with OP3, 1 online fingerprint per
-    //    RP per device.
+    //    RP per device — declared as a (one-cell) scenario grid.
     let spec = BuildingSpec {
         path_length_m: 30,
         num_aps: 48,
         ..BuildingId::B1.spec()
     };
-    let building = Building::generate(spec, 7);
-    let scenario = Scenario::generate(&building, &CollectionConfig::paper(), 42);
+    let set = ScenarioSpec::single(spec, 7, CollectionConfig::paper(), 42).generate();
+    let building = set.building_for(0);
+    let scenario = set.scenario(0);
     println!(
         "surveyed {} ({} APs, {} reference points, {} train fingerprints)",
         building.spec().id.name(),

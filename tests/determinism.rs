@@ -320,6 +320,86 @@ fn sweep_engine_is_thread_count_invariant() {
     }
 }
 
+/// The scenario-grid engine's plan-index merge contract: a
+/// `ScenarioSpec` grid (buildings × densities × device sets ×
+/// environments × seeds) generates **bit-identical** scenario sets at
+/// every thread count, and a one-cell grid is bit-identical to the direct
+/// `Scenario::generate` call — the session-level fan-out inside a single
+/// generation is covered by the same comparison (a one-cell plan leaves
+/// the thread budget to the sessions).
+#[test]
+fn scenario_grid_is_thread_count_invariant() {
+    use calloc_sim::{EnvLevel, ScenarioSpec};
+
+    let _guard = lock_knobs();
+    let spec = ScenarioSpec::from_base(
+        vec![
+            small_spec(),
+            BuildingSpec {
+                path_length_m: 11,
+                num_aps: 13,
+                ..BuildingId::B5.spec()
+            },
+        ],
+        9,
+        CollectionConfig::small(),
+        vec![123, 124],
+    )
+    .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)]);
+    let single = ScenarioSpec::single(small_spec(), 9, CollectionConfig::small(), 123);
+
+    par::set_min_work(1);
+    par::set_threads(1);
+    let serial = spec.generate();
+    let serial_single = single.generate();
+    assert_eq!(serial.len(), 2 * 2 * 2);
+    let mut parallel_runs = Vec::new();
+    for threads in [2usize, 4] {
+        par::set_threads(threads);
+        parallel_runs.push((threads, spec.generate(), single.generate()));
+    }
+    par::set_threads(0);
+    par::set_min_work(0);
+
+    let direct = Scenario::generate(
+        &Building::generate(small_spec(), 9),
+        &CollectionConfig::small(),
+        123,
+    );
+    assert_eq!(
+        serial_single.scenario(0),
+        &direct,
+        "one-cell grid must match the direct call"
+    );
+    for (threads, set, set_single) in &parallel_runs {
+        assert_eq!(serial.len(), set.len());
+        for i in 0..serial.len() {
+            let (a, b) = (serial.scenario(i), set.scenario(i));
+            assert_matrix_bits_eq(
+                &a.train.x,
+                &b.train.x,
+                &format!("grid cell {i} survey diverges between 1 and {threads} threads"),
+            );
+            assert_eq!(a.train.labels, b.train.labels);
+            for ((da, ta), (_, tb)) in a.test_per_device.iter().zip(&b.test_per_device) {
+                assert_matrix_bits_eq(
+                    &ta.x,
+                    &tb.x,
+                    &format!(
+                        "grid cell {i} {} session diverges between 1 and {threads} threads",
+                        da.acronym
+                    ),
+                );
+            }
+        }
+        assert_matrix_bits_eq(
+            &serial_single.scenario(0).train.x,
+            &set_single.scenario(0).train.x,
+            &format!("single-cell survey diverges between 1 and {threads} threads"),
+        );
+    }
+}
+
 /// Different seeds must actually change the realization — guards against a
 /// determinism test passing because the seed is ignored entirely.
 #[test]

@@ -1,23 +1,30 @@
 //! Golden-report regression tier: the exact CSV bytes of a quick-profile
-//! attack sweep are pinned in `tests/golden/quick_sweep.csv`.
+//! attack sweep are pinned in `tests/golden/quick_sweep.csv`, and of a
+//! quick-profile environment-axis sweep (drift multipliers 1 and 2,
+//! datasets re-collected through the scenario-grid engine) in
+//! `tests/golden/env_sweep.csv`.
 //!
 //! The sweep engine's contract is that a `ResultTable` is bit-identical
 //! for every `CALLOC_THREADS`; this suite locks the *whole* pipeline
-//! behind that promise — scenario simulation, suite training (CALLOC +
-//! the classical baselines, so the GPC Cholesky hot path is pinned too),
-//! attack crafting across every axis (3 kinds × 2 MITM variants ×
-//! 3 targeting strategies × ε × ø grids plus the clean baseline) and CSV
-//! serialization. Any change to any of those layers that moves a single
-//! byte fails here and must regenerate the golden file *as a reviewed
-//! artifact* (run the `#[ignore]`d `regenerate_golden_reports` test).
+//! behind that promise — scenario simulation (incl. the parallel
+//! scenario-grid engine feeding the environment sweep), suite training
+//! (CALLOC + the classical baselines, so the GPC Cholesky hot path is
+//! pinned too), attack crafting across every axis (3 kinds × 2 MITM
+//! variants × 3 targeting strategies × ε × ø grids plus the clean
+//! baseline) and CSV serialization. Any change to any of those layers
+//! that moves a single byte fails here and must regenerate the golden
+//! files *as a reviewed artifact* (run the `#[ignore]`d
+//! `regenerate_golden_reports` test).
 //!
-//! CI runs this suite in every tier-1 leg (`CALLOC_THREADS` = 1, 2
-//! and 4), and the in-process test additionally compares thread counts
+//! CI runs this suite in every tier-1 leg (`CALLOC_THREADS` = 1, 2, 3
+//! and 4), and the in-process tests additionally compare thread counts
 //! 1 and 4 against the same bytes.
 
 use calloc::CallocConfig;
 use calloc_eval::{ResultTable, Suite, SuiteProfile, SweepSpec};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_sim::{
+    Building, BuildingId, BuildingSpec, CollectionConfig, EnvLevel, Scenario, ScenarioSpec,
+};
 use calloc_tensor::par;
 use std::sync::{Mutex, OnceLock};
 
@@ -29,6 +36,7 @@ fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
 }
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/quick_sweep.csv");
+const ENV_GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/env_sweep.csv");
 
 fn golden_bytes() -> String {
     std::fs::read_to_string(GOLDEN_PATH).expect(
@@ -37,18 +45,29 @@ fn golden_bytes() -> String {
     )
 }
 
+fn env_golden_bytes() -> String {
+    std::fs::read_to_string(ENV_GOLDEN_PATH).expect(
+        "tests/golden/env_sweep.csv is checked in; regenerate it with \
+         `cargo test --test golden_reports -- --ignored`",
+    )
+}
+
+/// The pinned building realization shared by both goldens.
+fn pinned_building_spec() -> BuildingSpec {
+    BuildingSpec {
+        path_length_m: 12,
+        num_aps: 16,
+        ..BuildingId::B1.spec()
+    }
+}
+
 /// The pinned scenario + suite. Trained once per process (training itself
 /// is thread-count invariant, so sharing it between the knob-flipping
 /// tests cannot leak state).
 fn scenario_and_suite() -> &'static (Scenario, Suite) {
     static SUITE: OnceLock<(Scenario, Suite)> = OnceLock::new();
     SUITE.get_or_init(|| {
-        let spec = BuildingSpec {
-            path_length_m: 12,
-            num_aps: 16,
-            ..BuildingId::B1.spec()
-        };
-        let building = Building::generate(spec, 5);
+        let building = Building::generate(pinned_building_spec(), 5);
         let scenario = Scenario::generate(&building, &CollectionConfig::small(), 11);
         let profile = SuiteProfile {
             calloc: CallocConfig {
@@ -75,6 +94,23 @@ fn quick_sweep() -> ResultTable {
     let spec = SweepSpec::full_grid(vec![0.1, 0.5], vec![50.0, 100.0]).with_seed(9);
     let datasets = Suite::scenario_datasets(scenario, "B1");
     suite.sweep(&datasets, &spec)
+}
+
+/// The pinned environment-axis sweep: the same suite evaluated under
+/// drift multipliers 1 and 2, the per-environment datasets re-collected
+/// through the scenario-grid engine (whose baseline cell is bit-identical
+/// to the pinned scenario above), crossed with the default attack grid at
+/// one (ε, ø) point.
+fn env_sweep() -> ResultTable {
+    let (_, suite) = scenario_and_suite();
+    let set = ScenarioSpec::single(pinned_building_spec(), 5, CollectionConfig::small(), 11)
+        .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)])
+        .generate();
+    let scenarios: Vec<&Scenario> = set.scenarios().iter().collect();
+    let spec = SweepSpec::grid(vec![0.1], vec![100.0])
+        .with_seed(9)
+        .with_env_multipliers(vec![1.0, 2.0]);
+    suite.env_sweep("B1", &scenarios, &spec)
 }
 
 #[test]
@@ -130,17 +166,91 @@ fn golden_file_is_well_formed() {
     assert_eq!(rows, 4 * 2 * (1 + 72));
 }
 
-/// Regenerates `tests/golden/quick_sweep.csv`. Ignored by default — run
-/// explicitly when a deliberate pipeline change moves the pinned bytes:
+#[test]
+fn env_sweep_csv_matches_golden_at_ambient_threads() {
+    // No knob override: under CI this leg runs at CALLOC_THREADS ∈
+    // {1, 2, 3, 4}, comparing the same golden bytes across processes.
+    let _guard = lock_knobs();
+    let csv = env_sweep().to_csv();
+    assert_eq!(
+        csv,
+        env_golden_bytes(),
+        "environment sweep CSV diverged from tests/golden/env_sweep.csv at \
+         the ambient thread count ({} workers)",
+        par::threads()
+    );
+}
+
+#[test]
+fn env_sweep_csv_matches_golden_at_threads_1_and_4() {
+    let _guard = lock_knobs();
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let csv = env_sweep().to_csv();
+        par::set_threads(0);
+        assert_eq!(
+            csv,
+            env_golden_bytes(),
+            "environment sweep CSV diverged from the golden file at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn env_golden_file_is_well_formed() {
+    let golden = env_golden_bytes();
+    let mut lines = golden.lines();
+    let header = lines.next().expect("non-empty golden file");
+    assert_eq!(
+        header,
+        "plan_index,framework,building,device,env_mult,attack,variant,\
+         targeting,epsilon,phi,mean_error_m,max_error_m"
+    );
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        assert!(
+            line.starts_with(&format!("{i},")),
+            "row {i} does not carry its plan index: {line}"
+        );
+        assert_eq!(line.split(',').count(), 12, "row {i} column count");
+        rows += 1;
+    }
+    // 4 members × 2 devices × 2 environments × (1 clean + 3·1·1·1·1)
+    assert_eq!(rows, 4 * 2 * 2 * (1 + 3));
+}
+
+#[test]
+fn env_grid_baseline_cell_matches_pinned_scenario() {
+    // The environment grid's baseline cell must reproduce the pinned
+    // scenario bit for bit — the grid engine adds axes, not randomness.
+    let (scenario, _) = scenario_and_suite();
+    let set = ScenarioSpec::single(pinned_building_spec(), 5, CollectionConfig::small(), 11)
+        .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)])
+        .generate();
+    assert_eq!(set.scenario(0), scenario);
+    // The harsher environment shares the survey but not the sessions.
+    assert_eq!(set.scenario(1).train, scenario.train);
+    assert_ne!(
+        set.scenario(1).test_per_device[0].1.x,
+        scenario.test_per_device[0].1.x
+    );
+}
+
+/// Regenerates `tests/golden/quick_sweep.csv` and
+/// `tests/golden/env_sweep.csv`. Ignored by default — run explicitly when
+/// a deliberate pipeline change moves the pinned bytes:
 ///
 /// ```text
 /// cargo test --test golden_reports -- --ignored
 /// ```
 #[test]
-#[ignore = "writes the golden file; run explicitly after deliberate changes"]
+#[ignore = "writes the golden files; run explicitly after deliberate changes"]
 fn regenerate_golden_reports() {
     let _guard = lock_knobs();
     let csv = quick_sweep().to_csv();
     std::fs::write(GOLDEN_PATH, &csv).expect("write golden CSV");
     println!("wrote {GOLDEN_PATH} ({} bytes)", csv.len());
+    let env_csv = env_sweep().to_csv();
+    std::fs::write(ENV_GOLDEN_PATH, &env_csv).expect("write env golden CSV");
+    println!("wrote {ENV_GOLDEN_PATH} ({} bytes)", env_csv.len());
 }
