@@ -18,8 +18,13 @@
 //! generation (the session-parallel `Scenario::generate` and the
 //! `ScenarioSpec` grid engine against the seed's serial collector,
 //! preserved verbatim as `calloc_bench::seed_scenario_generate_reference`).
-//! Every variant's output is asserted bit-identical to the seed reference
-//! before it is timed — the determinism contract is checked, not assumed.
+//! The `pool` section profiles the worker pool itself: the budget nested
+//! fan-outs actually observe (asserted > 1 — the pre-pool runtime
+//! collapsed them to serial), a sweep-shaped mixed-cost work list whose
+//! straggler cell exercises work reclaiming, and an outer fan-out of
+//! row-parallel kernels. Every variant's output is asserted bit-identical
+//! to the seed reference before it is timed — the determinism contract is
+//! checked, not assumed.
 //!
 //! ```bash
 //! cargo run -p calloc-bench --release --bin perf_baseline
@@ -370,19 +375,96 @@ fn main() {
         grid_serial_ms / grid_parallel_ms,
     );
 
+    // --- The worker pool itself: nested fan-out budget and the
+    //     work-reclaiming straggler profile ---
+    // A job running inside a fan-out must see the full configured budget
+    // (the pre-pool runtime collapsed nested fan-outs to a budget of 1) —
+    // asserted here at an explicit budget so the check is meaningful even
+    // on a single-core runner.
+    let nested_budget = {
+        let _t = par::ThreadGuard::new(4);
+        par::par_run(
+            (0..4)
+                .map(|_| Box::new(par::threads) as Box<dyn FnOnce() -> usize + Send>)
+                .collect(),
+        )
+        .into_iter()
+        .min()
+        .expect("four probe jobs")
+    };
+    assert!(
+        nested_budget > 1,
+        "a job inside a fan-out must see the configured budget, got {nested_budget}"
+    );
+
+    // Sweep-shaped mixed-cost work list: one straggler cell (a large
+    // matmul, the GPC-heavy sweep cell) among many cheap ones. Under the
+    // old static chunking the straggler's chunk-mates idled; with work
+    // reclaiming the cheap cells drain around it. Speedup is ~1.0x on a
+    // single-core runner and grows with available cores.
+    let mut rng = Rng::new(0xF001);
+    let big_a = Matrix::from_fn(256, 256, |_, _| rng.normal(0.0, 1.0));
+    let big_b = Matrix::from_fn(256, 256, |_, _| rng.normal(0.0, 1.0));
+    let small_a = Matrix::from_fn(64, 64, |_, _| rng.normal(0.0, 1.0));
+    let small_b = Matrix::from_fn(64, 64, |_, _| rng.normal(0.0, 1.0));
+    let straggler_jobs = || {
+        let mut jobs: Vec<Box<dyn FnOnce() -> Matrix + Send>> = Vec::new();
+        let (ba, bb, sa, sb) = (&big_a, &big_b, &small_a, &small_b);
+        jobs.push(Box::new(move || ba.matmul(bb)));
+        for _ in 0..15 {
+            jobs.push(Box::new(move || sa.matmul(sb)));
+        }
+        jobs
+    };
+    par::set_threads(1);
+    let straggler_serial_ms = best_ms(reps, || par::par_run(straggler_jobs()));
+    par::set_threads(0);
+    let straggler_parallel_ms = best_ms(reps, || par::par_run(straggler_jobs()));
+
+    // Nested fan-out wall clock: an outer par_run whose jobs are
+    // themselves row-parallel matmuls (the grid-cell → session → kernel
+    // shape the sweep and grid engines produce).
+    let nested_run = || {
+        let (ba, bb) = (&big_a, &big_b);
+        let jobs: Vec<Box<dyn FnOnce() -> Matrix + Send>> = (0..4)
+            .map(|_| Box::new(move || ba.matmul(bb)) as _)
+            .collect();
+        par::par_run(jobs)
+    };
+    par::set_threads(1);
+    let nested_serial_ms = best_ms(reps, nested_run);
+    par::set_threads(0);
+    let nested_parallel_ms = best_ms(reps, nested_run);
+
+    println!(
+        "pool: nested budget {nested_budget} (of 4) | straggler sweep serial \
+         {straggler_serial_ms:.3} ms, parallel({threads}t) {straggler_parallel_ms:.3} ms ({:.2}x) \
+         | nested fan-out serial {nested_serial_ms:.3} ms, parallel {nested_parallel_ms:.3} ms \
+         ({:.2}x)",
+        straggler_serial_ms / straggler_parallel_ms,
+        nested_serial_ms / nested_parallel_ms,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
          \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ],\n  \
          \"cholesky\": [\n{}\n  ],\n  \"pairwise_dists\": [\n{}\n  ],\n  \
          \"gpc_inference\": [\n{}\n  ],\n  \"scenario_generation\": [\n{}\n  ],\n  \
          \"scenario_grid\": {{\"cells\": {grid_cells}, \"serial_ms\": {grid_serial_ms:.4}, \
-         \"parallel_ms\": {grid_parallel_ms:.4}, \"speedup\": {:.3}}}\n}}\n",
+         \"parallel_ms\": {grid_parallel_ms:.4}, \"speedup\": {:.3}}},\n  \
+         \"pool\": {{\"nested_budget\": {nested_budget}, \
+         \"straggler_serial_ms\": {straggler_serial_ms:.4}, \
+         \"straggler_parallel_ms\": {straggler_parallel_ms:.4}, \
+         \"straggler_speedup\": {:.3}, \"nested_serial_ms\": {nested_serial_ms:.4}, \
+         \"nested_parallel_ms\": {nested_parallel_ms:.4}, \"nested_speedup\": {:.3}}}\n}}\n",
         rows.join(",\n"),
         chol_rows.join(",\n"),
         pair_rows.join(",\n"),
         gpc_rows.join(",\n"),
         scen_rows.join(",\n"),
         grid_serial_ms / grid_parallel_ms,
+        straggler_serial_ms / straggler_parallel_ms,
+        nested_serial_ms / nested_parallel_ms,
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("wrote BENCH_kernels.json ({threads} worker threads, {available} cores available)");

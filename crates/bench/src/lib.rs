@@ -565,10 +565,10 @@ mod tests {
         let building = Building::generate(spec, 3);
         let config = CollectionConfig::small();
         let reference = seed_scenario_generate_reference(&building, &config, 17);
+        let _threads = par::ThreadGuard::new(1);
         for threads in [1usize, 4] {
             par::set_threads(threads);
             let generated = Scenario::generate(&building, &config, 17);
-            par::set_threads(0);
             assert_bits_eq(
                 &reference.train.x,
                 &generated.train.x,

@@ -96,8 +96,10 @@ type MemberJob<'a> = (
 );
 
 /// One result of the suite's flat training fan-out: every framework and
-/// the surrogate train in a *single* `par_run` (nesting fan-outs would
-/// collapse the inner one to its serial fallback).
+/// the surrogate train in a single `par_run`. Member jobs may fan out
+/// further (the worker pool gives nested fan-outs the full configured
+/// budget); keeping this level flat just keeps the merge order trivially
+/// the figure order.
 enum Trained {
     /// A comparison-suite member, in figure order.
     Member(Box<dyn Localizer>),

@@ -19,9 +19,10 @@
 //!   requested, then kind → variant → targeting → ε → ø, each axis in
 //!   spec order).
 //! * [`SweepPlan::run`] evaluates the cells on
-//!   [`calloc_tensor::par::par_chunks`] — contiguous chunks of the work
-//!   list fan out to worker threads — and merges the resulting rows **in
-//!   plan-index order**.
+//!   [`calloc_tensor::par::par_chunks`] — the work list is split into
+//!   contiguous chunks that idle pool workers reclaim off a shared queue
+//!   (a straggling GPC-heavy chunk no longer idles the rest of the pool)
+//!   — and merges the resulting rows **in plan-index order**.
 //!
 //! # The plan-index merge contract
 //!
@@ -335,9 +336,9 @@ impl SweepPlan {
     }
 
     /// Executes the plan: every cell is evaluated (fanned out on
-    /// [`par::par_chunks`], up to `CALLOC_THREADS` contiguous chunks of
-    /// the work list) and the rows are merged in plan-index order, so the
-    /// returned table is bit-identical for every thread count.
+    /// [`par::par_chunks`]: contiguous chunks of the work list reclaimed
+    /// by idle pool workers) and the rows are merged in plan-index order,
+    /// so the returned table is bit-identical for every thread count.
     ///
     /// `models` must parallel the member label list. `datasets` holds one
     /// slot per (dataset label, environment level) pair, **dataset-major

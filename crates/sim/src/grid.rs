@@ -22,9 +22,11 @@
 //!   in the canonical enumeration order (building-major, then density,
 //!   then device set, then environment, seed innermost).
 //! * [`ScenarioPlan::generate`] collects every cell on
-//!   [`calloc_tensor::par::par_chunks`] — contiguous chunks of the work
-//!   list fan out to worker threads — and merges the scenarios **in
-//!   plan-index order**.
+//!   [`calloc_tensor::par::par_chunks`] — the work list is split into
+//!   contiguous chunks that idle pool workers reclaim off a shared queue
+//!   — and merges the scenarios **in plan-index order**. The session
+//!   fan-out inside each cell draws the full configured budget too
+//!   (nested fan-outs no longer collapse to serial).
 //!
 //! # The plan-index merge contract
 //!
@@ -418,12 +420,12 @@ impl ScenarioPlan {
     }
 
     /// Executes the plan: every cell is collected (fanned out on
-    /// [`par::par_chunks`], up to `CALLOC_THREADS` contiguous chunks of
-    /// the work list) and the scenarios are merged in plan-index order, so
-    /// the returned set is bit-identical for every thread count. Workers
-    /// collecting a cell are marked as fan-out jobs, so the session-level
-    /// parallelism inside [`Scenario::generate`] stays serial there
-    /// (single-cell plans still get it).
+    /// [`par::par_chunks`]: contiguous chunks of the work list reclaimed
+    /// by idle pool workers) and the scenarios are merged in plan-index
+    /// order, so the returned set is bit-identical for every thread
+    /// count. The session-level fan-out inside [`Scenario::generate`]
+    /// sees the full configured budget as well — the pool schedules
+    /// nested fan-outs instead of collapsing them to serial.
     pub fn generate(self) -> ScenarioSet {
         let scenarios: Vec<Scenario> = par::par_chunks(self.cells.len(), 1, |range| {
             range

@@ -15,7 +15,10 @@
 //! serial implementation did), so the sessions fan out onto
 //! [`calloc_tensor::par::par_run`] workers and are merged back in session
 //! order — the collected scenario is **bit-identical to the historical
-//! serial implementation at every `CALLOC_THREADS`**.
+//! serial implementation at every `CALLOC_THREADS`**. This fan-out draws
+//! the full configured budget even when the scenario itself is one cell
+//! of a parallel grid: the pool schedules nested fan-outs rather than
+//! collapsing them to serial.
 //!
 //! Parallelism deliberately stops at session granularity: within one
 //! session the measurement loop threads a single RNG stream through the

@@ -79,8 +79,10 @@ fn scenario_set_is_bit_identical_across_thread_counts() {
     )
     .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)]);
 
-    par::set_min_work(1);
-    par::set_threads(1);
+    // RAII guards: a failed assertion below must not leak the overrides
+    // into the rest of the process.
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let serial = spec.generate();
     assert_eq!(serial.len(), 8);
     for threads in [2usize, 3, 8] {
@@ -96,8 +98,6 @@ fn scenario_set_is_bit_identical_across_thread_counts() {
             );
         }
     }
-    par::set_threads(0);
-    par::set_min_work(0);
 }
 
 /// Grid cells are bit-identical to direct `Scenario::generate` calls with
@@ -108,11 +108,11 @@ fn grid_cells_match_direct_generation() {
     let _guard = lock_knobs();
     let base = CollectionConfig::small();
     let spec = ScenarioSpec::from_base(vec![tiny_building(2)], 7, base.clone(), vec![11, 12]);
-    par::set_min_work(1);
-    par::set_threads(4);
-    let set = spec.generate();
-    par::set_threads(0);
-    par::set_min_work(0);
+    let set = {
+        let _floor = par::MinWorkGuard::new(1);
+        let _threads = par::ThreadGuard::new(4);
+        spec.generate()
+    };
     let building = Building::generate(tiny_building(2), 7);
     for (i, &seed) in [11u64, 12].iter().enumerate() {
         let direct = Scenario::generate(&building, &base, seed);

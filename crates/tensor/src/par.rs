@@ -7,13 +7,19 @@
 //! > order, so the output of a parallel computation is bit-identical to the
 //! > serial computation regardless of the thread count.**
 //!
-//! Concretely, work of length `n` is split into at most [`threads`]
-//! contiguous chunks; each chunk is evaluated on its own scoped worker
-//! thread (via the vendored `rayon::join`, a `std::thread::scope`-based
-//! fork-join); and the per-chunk results are written back or concatenated
-//! in ascending chunk order. Because each index's value never depends on
-//! which chunk computed it, changing `CALLOC_THREADS` can only change wall
-//! time, never a single bit of output. `tests/determinism.rs` and
+//! Concretely, work of length `n` is split into contiguous chunks — up to
+//! [`CHUNKS_PER_WORKER`] of them per budgeted worker, each carrying at
+//! least the caller's minimum chunk size — which are pushed, in ascending
+//! index order, onto a fan-out-local FIFO queue. Up to [`threads`] workers
+//! (the calling thread plus jobs on the persistent pool beneath the
+//! vendored `rayon`) then *reclaim* chunks from that queue: each worker
+//! pops the lowest-indexed remaining chunk, evaluates it, and moves on, so
+//! a straggling chunk never idles the rest of the pool — the fast workers
+//! simply drain what is left. The per-chunk results are written back or
+//! reassembled **in ascending chunk order**. Because each index's value
+//! never depends on which chunk computed it or which worker ran the chunk,
+//! changing `CALLOC_THREADS` can only change wall time, never a single bit
+//! of output. `tests/determinism.rs` and
 //! `crates/tensor/tests/proptest_parallel.rs` enforce this.
 //!
 //! # Thread-count knob
@@ -21,76 +27,89 @@
 //! The worker budget is resolved in this order:
 //!
 //! 1. a process-local override installed with [`set_threads`] (used by
-//!    benches and tests),
-//! 2. the `CALLOC_THREADS` environment variable (read once, on first use),
+//!    benches and tests — prefer the RAII [`ThreadGuard`], which restores
+//!    the previous override even when an assertion unwinds),
+//! 2. the `CALLOC_THREADS` environment variable (read once, on first use;
+//!    `0` selects the machine default like `set_threads(0)`, and anything
+//!    non-numeric panics rather than being silently ignored),
 //! 3. [`std::thread::available_parallelism`].
 //!
 //! `CALLOC_THREADS=1` (or `set_threads(1)`) selects the serial fallback:
-//! no worker threads are ever spawned and every primitive degenerates to a
-//! plain loop on the calling thread.
+//! no pool work is ever queued and every primitive degenerates to a plain
+//! loop on the calling thread. Budgets above the physical core count are
+//! honored, not clamped — an oversubscribed budget simply queues more
+//! chunks than can run at once, which CI exercises deliberately.
 //!
 //! # Granularity
 //!
-//! Spawning a scoped worker costs tens of microseconds, so kernels only
-//! fan out when every chunk carries at least [`min_work`] units of work
-//! (roughly flops); small matrices always take the serial path. Tests can
-//! lower the floor with [`set_min_work`] to force the parallel code path
-//! on tiny inputs.
+//! Queuing a chunk costs a mutex push and a worker wake-up, so kernels
+//! only fan out when every chunk carries at least [`min_work`] units of
+//! work (roughly flops); small matrices always take the serial path. Tests
+//! can lower the floor with [`set_min_work`] (or the RAII [`MinWorkGuard`])
+//! to force the parallel code path on tiny inputs.
 //!
-//! Fan-outs do not nest: while a thread is executing one job of a fan-out
-//! ([`par_run`] / [`par_join`] operands, and the per-chunk callbacks of
-//! [`par_chunks`] / [`par_row_chunks_mut`] when they actually fanned out),
-//! [`threads`] reports `1` on that thread, so the kernels inside (matmuls
-//! of a training loop, say) stay serial instead of oversubscribing the
-//! machine with threads-of-threads. The single-chunk serial fallback is
-//! not marked — no sibling holds the budget there. Like everything else
-//! here this only shifts wall time, never bits.
+//! # Nested fan-outs
+//!
+//! Fan-outs nest: a job of a [`par_run`] / [`par_join`] fan-out (a
+//! scenario-grid cell, a collection session, a sweep chunk) that calls a
+//! parallel kernel opens its own fan-out with the **full configured
+//! budget** — [`threads`] reports the same value on every thread. The
+//! persistent pool makes that safe: nested fan-outs queue chunks on the
+//! same pool instead of spawning threads-of-threads, idle workers reclaim
+//! them (a worker that finishes its own chunks helps drain a straggler's
+//! nested chunks), and a waiting fan-out owner drains the pool queue
+//! instead of blocking. Actual OS-thread concurrency is bounded by the
+//! pool, not by the product of nested budgets. Like everything else here,
+//! nesting only shifts wall time, never bits.
 
-use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
-
-thread_local! {
-    /// Set while this thread is executing one job of a coarse fan-out
-    /// ([`par_run`] / [`par_join`]): sibling jobs already consume the
-    /// thread budget, so nested kernel calls stay serial instead of
-    /// oversubscribing the machine (the scoped stand-in pool spawns real
-    /// OS threads per fork). Purely a throughput decision — by the
-    /// index-order-merge contract it cannot change any result.
-    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
-}
-
-/// Runs `f` with this thread marked as a fan-out worker (nested parallel
-/// kernels degenerate to their serial fallback), restoring the previous
-/// mark afterwards — also on unwind, so a panicking job cannot leave the
-/// calling thread permanently serial.
-fn run_marked<R>(f: impl FnOnce() -> R) -> R {
-    struct Restore(bool);
-    impl Drop for Restore {
-        fn drop(&mut self) {
-            IN_WORKER.with(|w| w.set(self.0));
-        }
-    }
-    let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
-    f()
-}
+use std::sync::{Mutex, OnceLock};
 
 /// Default minimum amount of work (≈ flops) a chunk must carry before a
 /// kernel fans out to worker threads.
 pub const DEFAULT_MIN_WORK: usize = 1 << 20;
 
+/// Target number of chunks per budgeted worker when a kernel fans out.
+///
+/// Splitting finer than one chunk per worker is what makes work
+/// reclaiming effective: when per-chunk cost is uneven (a GPC-heavy sweep
+/// chunk, a dense scenario cell), workers that finish early pop the
+/// remaining chunks instead of idling behind the straggler. The caller's
+/// minimum chunk size still bounds the split from below, so tiny inputs
+/// never over-fragment.
+pub const CHUNKS_PER_WORKER: usize = 4;
+
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static MIN_WORK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
+/// Parses a `CALLOC_THREADS` value: a positive integer is the budget, `0`
+/// means "machine default" (matching [`set_threads`]`(0)` semantics).
+///
+/// # Panics
+///
+/// Panics on anything non-numeric — a typo'd budget silently falling back
+/// to machine parallelism would invalidate a determinism or perf run.
+fn parse_env_threads(raw: &str) -> usize {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => rayon::current_num_threads(),
+        Ok(n) => n,
+        Err(_) => panic!(
+            "CALLOC_THREADS must be a non-negative integer \
+             (0 = machine parallelism), got {raw:?}"
+        ),
+    }
+}
+
 fn env_threads() -> usize {
     match std::env::var("CALLOC_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => rayon::current_num_threads(),
-        },
-        Err(_) => rayon::current_num_threads(),
+        Ok(v) => parse_env_threads(&v),
+        Err(std::env::VarError::NotPresent) => rayon::current_num_threads(),
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("CALLOC_THREADS is not valid unicode: {v:?}")
+        }
     }
 }
 
@@ -100,14 +119,11 @@ fn env_threads() -> usize {
 /// `CALLOC_THREADS` knob. A value of `1` means "serial": primitives run
 /// entirely on the calling thread.
 ///
-/// On a thread that is itself executing one job of a coarse fan-out
-/// ([`par_run`] / [`par_join`]) this returns `1`: the sibling jobs already
-/// consume the budget, so nested kernels run serially rather than
-/// oversubscribing the machine with threads-of-threads.
+/// The budget is the same on every thread — a kernel nested inside a
+/// fan-out job sees the full configured budget and draws on the shared
+/// persistent pool, rather than collapsing to a serial fallback the way
+/// the old spawn-per-fork runtime forced it to.
 pub fn threads() -> usize {
-    if IN_WORKER.with(Cell::get) {
-        return 1;
-    }
     configured_threads()
 }
 
@@ -120,13 +136,53 @@ fn configured_threads() -> usize {
 
 /// Overrides [`threads`] process-wide; `0` restores the environment-driven
 /// default. Intended for benches and tests that need to compare thread
-/// counts within one process.
+/// counts within one process — tests should prefer the RAII
+/// [`ThreadGuard`], which cannot leak the override when an assertion
+/// fails between the set and the restore.
 ///
 /// Because of the index-order-merge contract, flipping this concurrently
 /// with running kernels can never change any result — only how fast it is
-/// produced.
+/// produced. The persistent pool survives any number of changes: budgets
+/// only gate how many workers a fan-out *dispatches*, never pool lifetime.
 pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// RAII guard for the [`set_threads`] override: installs `n` on
+/// construction and restores the *previous* override on drop — also on
+/// unwind, so a failing assertion between a `set_threads(n)` /
+/// `set_threads(0)` pair can no longer leak a stale budget into every
+/// subsequent test in the process.
+///
+/// ```
+/// use calloc_tensor::par;
+///
+/// {
+///     let _threads = par::ThreadGuard::new(3);
+///     assert_eq!(par::threads(), 3);
+///     par::set_threads(8); // interim flips are fine…
+/// }
+/// // …the guard still restores the pre-guard default on drop.
+/// ```
+#[must_use = "the override is restored when the guard drops"]
+pub struct ThreadGuard {
+    prev: usize,
+}
+
+impl ThreadGuard {
+    /// Installs `n` as the [`threads`] override (0 = environment default)
+    /// and remembers the previous override for restoration on drop.
+    pub fn new(n: usize) -> Self {
+        Self {
+            prev: THREAD_OVERRIDE.swap(n, Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
 }
 
 /// Minimum work (≈ flops) per chunk before kernels fan out.
@@ -139,9 +195,33 @@ pub fn min_work() -> usize {
 
 /// Overrides [`min_work`] process-wide; `0` restores
 /// [`DEFAULT_MIN_WORK`]. Tests lower this to `1` to exercise the parallel
-/// code path on tiny inputs.
+/// code path on tiny inputs — prefer the RAII [`MinWorkGuard`] there.
 pub fn set_min_work(n: usize) {
     MIN_WORK_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// RAII guard for the [`set_min_work`] override, mirroring
+/// [`ThreadGuard`]: installs `n` on construction, restores the previous
+/// work floor on drop (also on unwind).
+#[must_use = "the override is restored when the guard drops"]
+pub struct MinWorkGuard {
+    prev: usize,
+}
+
+impl MinWorkGuard {
+    /// Installs `n` as the [`min_work`] override (0 = default floor) and
+    /// remembers the previous override for restoration on drop.
+    pub fn new(n: usize) -> Self {
+        Self {
+            prev: MIN_WORK_OVERRIDE.swap(n, Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for MinWorkGuard {
+    fn drop(&mut self) {
+        MIN_WORK_OVERRIDE.store(self.prev, Ordering::Relaxed);
+    }
 }
 
 /// Minimum rows per chunk for a row-parallel kernel whose per-row cost is
@@ -165,16 +245,23 @@ where
         let rb = b();
         (ra, rb)
     } else {
-        rayon::join(|| run_marked(a), || run_marked(b))
+        rayon::join(a, b)
     }
 }
 
-/// Splits `len` items into at most `threads()` contiguous ranges of at
-/// least `min_chunk` items each (a single range when `len` is too small),
-/// balanced to within one item.
+/// Splits `len` items into contiguous ranges of at least `min_chunk` items
+/// each — up to [`CHUNKS_PER_WORKER`] ranges per budgeted worker, so
+/// reclaiming has slack to rebalance uneven chunks (a single range when
+/// `len` is too small) — balanced to within one item.
 fn split_ranges(len: usize, min_chunk: usize) -> Vec<Range<usize>> {
     let max_chunks = (len / min_chunk.max(1)).max(1);
-    let n_chunks = threads().min(max_chunks).max(1);
+    let budget = threads();
+    let target = if budget <= 1 {
+        1
+    } else {
+        budget.saturating_mul(CHUNKS_PER_WORKER)
+    };
+    let n_chunks = target.min(max_chunks).max(1);
     let base = len / n_chunks;
     let extra = len % n_chunks;
     let mut ranges = Vec::with_capacity(n_chunks);
@@ -187,28 +274,65 @@ fn split_ranges(len: usize, min_chunk: usize) -> Vec<Range<usize>> {
     ranges
 }
 
-fn run_ranges<T, F>(mut ranges: Vec<Range<usize>>, f: &F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(Range<usize>) -> T + Sync,
-{
-    match ranges.len() {
-        0 => Vec::new(),
-        // Leaves run marked: sibling chunks already consume the budget, so
-        // kernels nested inside a chunk callback must stay serial.
-        1 => vec![run_marked(|| f(ranges.pop().expect("one range")))],
-        n => {
-            let right = ranges.split_off(n / 2);
-            let (mut lo, hi) = rayon::join(|| run_ranges(ranges, f), || run_ranges(right, f));
-            lo.extend(hi);
-            lo
-        }
+/// An index-tagged work queue shared by one fan-out's workers. Items are
+/// queued in ascending index order and popped front-first, so dispatch
+/// order is deterministic; completion order is not, which is why every
+/// result carries its index for the ascending merge.
+type ReclaimQueue<I> = Mutex<VecDeque<(usize, I)>>;
+
+fn pop_item<I>(queue: &ReclaimQueue<I>) -> Option<(usize, I)> {
+    queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front()
+}
+
+/// One fan-out worker: pops the lowest-indexed remaining item, evaluates
+/// it, appends `(index, result)` to its private output, repeats until the
+/// queue is drained. Workers that finish early keep popping — this is the
+/// work-reclaiming loop that keeps a straggling item from idling the rest
+/// of the budget.
+fn drain_queue<I, T>(
+    queue: &ReclaimQueue<I>,
+    out: &mut Vec<(usize, T)>,
+    f: &(impl Fn(I) -> T + Sync),
+) {
+    while let Some((index, item)) = pop_item(queue) {
+        out.push((index, f(item)));
     }
 }
 
-/// Evaluates `f` over contiguous sub-ranges of `0..len`, at most
-/// [`threads`] of them and each at least `min_chunk` long, and returns the
-/// per-chunk results **in index order**.
+/// Evaluates `f` over every item, fanned out over up to [`threads`]
+/// workers that reclaim items from a shared FIFO queue, and returns the
+/// results **in item order**. Serial (budget 1, or ≤ 1 item) runs the
+/// items front to back on the calling thread.
+fn run_reclaimed<I: Send, T: Send>(items: Vec<I>, f: &(impl Fn(I) -> T + Sync)) -> Vec<T> {
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: ReclaimQueue<I> = Mutex::new(items.into_iter().enumerate().collect());
+    let queue = &queue;
+    let mut outs: Vec<Vec<(usize, T)>> = (0..workers)
+        .map(|_| Vec::with_capacity(n.div_ceil(workers)))
+        .collect();
+    {
+        let (own, spawned) = outs.split_first_mut().expect("workers >= 2");
+        rayon::scope(|s| {
+            for out in spawned.iter_mut() {
+                s.spawn(move |_| drain_queue(queue, out, f));
+            }
+            drain_queue(queue, own, f);
+        });
+    }
+    let mut indexed: Vec<(usize, T)> = outs.into_iter().flatten().collect();
+    debug_assert_eq!(indexed.len(), n);
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Evaluates `f` over contiguous sub-ranges of `0..len` — each at least
+/// `min_chunk` long, split finer than the worker budget (see
+/// [`CHUNKS_PER_WORKER`]) so idle workers can reclaim queued chunks — and
+/// returns the per-chunk results **in index order**.
 ///
 /// With a single chunk (serial fallback, small input, or `threads() == 1`)
 /// this is exactly `vec![f(0..len)]` on the calling thread.
@@ -227,34 +351,13 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let ranges = split_ranges(len, min_chunk);
-    if ranges.len() <= 1 {
-        return ranges.into_iter().map(&f).collect();
-    }
-    run_ranges(ranges, &f)
+    run_reclaimed(split_ranges(len, min_chunk), &f)
 }
 
-fn run_row_chunks<F>(mut chunks: Vec<(usize, &mut [f64])>, f: &F)
-where
-    F: Fn(usize, &mut [f64]) + Sync,
-{
-    match chunks.len() {
-        0 => {}
-        // Leaves run marked, as in `run_ranges`.
-        1 => {
-            let (first_row, data) = chunks.pop().expect("one chunk");
-            run_marked(|| f(first_row, data));
-        }
-        n => {
-            let right = chunks.split_off(n / 2);
-            rayon::join(|| run_row_chunks(chunks, f), || run_row_chunks(right, f));
-        }
-    }
-}
-
-/// Splits a row-major buffer of `row_len`-wide rows into at most
-/// [`threads`] contiguous row chunks of at least `min_rows` rows each and
-/// runs `f(first_row, chunk)` on every chunk, in parallel when the budget
+/// Splits a row-major buffer of `row_len`-wide rows into contiguous row
+/// chunks of at least `min_rows` rows each (split finer than the worker
+/// budget so chunks can be reclaimed, see [`CHUNKS_PER_WORKER`]) and runs
+/// `f(first_row, chunk)` on every chunk, in parallel when the budget
 /// allows.
 ///
 /// The chunks are disjoint `&mut` slices of `data`, so each worker owns
@@ -264,19 +367,19 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `data.len()` is not a multiple of `row_len` (for non-empty
-/// `data`).
+/// Panics if `data.len()` is not a multiple of `row_len` — including the
+/// `row_len == 0` case for non-empty `data` (only an empty buffer has
+/// zero-width rows).
 pub fn par_row_chunks_mut<F>(data: &mut [f64], row_len: usize, min_rows: usize, f: F)
 where
     F: Fn(usize, &mut [f64]) + Sync,
 {
-    if data.is_empty() || row_len == 0 {
+    if data.is_empty() {
         f(0, data);
         return;
     }
-    assert_eq!(
-        data.len() % row_len,
-        0,
+    assert!(
+        row_len != 0 && data.len() % row_len == 0,
         "buffer length {} is not a multiple of row length {row_len}",
         data.len()
     );
@@ -295,74 +398,30 @@ where
         row += range.len();
         rest = tail;
     }
-    run_row_chunks(chunks, &f);
-}
-
-/// A deferred computation tagged with its original index.
-type IndexedJob<'a, R> = (usize, Box<dyn FnOnce() -> R + Send + 'a>);
-
-fn run_jobs<R: Send>(mut jobs: Vec<IndexedJob<'_, R>>) -> Vec<(usize, R)> {
-    match jobs.len() {
-        0 => Vec::new(),
-        1 => {
-            let (i, job) = jobs.pop().expect("one job");
-            vec![(i, job())]
-        }
-        n => {
-            let right = jobs.split_off(n / 2);
-            let (mut lo, hi) = rayon::join(|| run_jobs(jobs), || run_jobs(right));
-            lo.extend(hi);
-            lo
-        }
-    }
+    run_reclaimed(chunks, &|(first_row, chunk): (usize, &mut [f64])| {
+        f(first_row, chunk)
+    });
 }
 
 /// Runs a list of heterogeneous jobs, in parallel when the thread budget
 /// allows, and returns their results **in job order**.
 ///
-/// At most [`threads`] jobs run concurrently: jobs are dealt round-robin
-/// onto that many workers (so expensive jobs listed first spread across
-/// workers), each worker runs its share sequentially, and the results are
-/// reassembled by original index. With `threads() == 1` the jobs simply
-/// run front to back on the calling thread.
+/// Jobs go onto a shared FIFO queue in job order and up to [`threads`]
+/// workers reclaim them one at a time, so an expensive job never strands
+/// the jobs queued behind it — whichever workers finish early drain the
+/// remainder — and the results are reassembled by original index. With
+/// `threads() == 1` the jobs simply run front to back on the calling
+/// thread.
 ///
 /// This is the primitive behind parallel suite training
-/// (`calloc_eval::Suite::train`): each framework trains from its own
-/// derived seed, so training jobs are independent and the member list
-/// comes back in figure order regardless of the thread count.
+/// (`calloc_eval::Suite::train`) and session fan-out
+/// (`calloc_sim::Scenario::generate`): each job consumes only its own
+/// forked seed, so jobs are independent and the result list comes back in
+/// the caller's order regardless of the thread count. Kernels *inside* a
+/// job see the full thread budget and share the same pool (see the
+/// [module docs](self) on nesting).
 pub fn par_run<R: Send>(jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<R> {
-    let workers = threads().min(jobs.len().max(1));
-    if workers <= 1 {
-        return jobs.into_iter().map(|job| job()).collect();
-    }
-    let n_jobs = jobs.len();
-    // Deal jobs round-robin into `workers` sequential groups.
-    let mut groups: Vec<Vec<IndexedJob<'_, R>>> = (0..workers).map(|_| Vec::new()).collect();
-    for (i, job) in jobs.into_iter().enumerate() {
-        groups[i % workers].push((i, job));
-    }
-    let group_jobs: Vec<IndexedJob<'_, Vec<(usize, R)>>> = groups
-        .into_iter()
-        .enumerate()
-        .map(|(g, group)| {
-            let job: Box<dyn FnOnce() -> Vec<(usize, R)> + Send + '_> = Box::new(move || {
-                run_marked(|| {
-                    group
-                        .into_iter()
-                        .map(|(i, job)| (i, job()))
-                        .collect::<Vec<_>>()
-                })
-            });
-            (g, job)
-        })
-        .collect();
-    let mut indexed: Vec<(usize, R)> = run_jobs(group_jobs)
-        .into_iter()
-        .flat_map(|(_, results)| results)
-        .collect();
-    indexed.sort_by_key(|&(i, _)| i);
-    debug_assert_eq!(indexed.len(), n_jobs);
-    indexed.into_iter().map(|(_, r)| r).collect()
+    run_reclaimed(jobs, &|job| job())
 }
 
 #[cfg(test)]
@@ -380,46 +439,132 @@ mod tests {
 
     #[test]
     fn split_ranges_covers_exactly_once() {
-        for len in [0usize, 1, 7, 100, 1001] {
-            for min_chunk in [1usize, 3, 64] {
-                let ranges = split_ranges(len, min_chunk);
-                let mut next = 0;
-                for r in &ranges {
-                    assert_eq!(r.start, next, "ranges must be contiguous");
-                    next = r.end;
+        let _guard = lock_knobs();
+        for threads in [1usize, 3, 8] {
+            let _t = ThreadGuard::new(threads);
+            for len in [0usize, 1, 7, 100, 1001] {
+                for min_chunk in [1usize, 3, 64] {
+                    let ranges = split_ranges(len, min_chunk);
+                    let mut next = 0;
+                    for r in &ranges {
+                        assert_eq!(r.start, next, "ranges must be contiguous");
+                        next = r.end;
+                    }
+                    assert_eq!(next, len, "ranges must cover 0..{len}");
                 }
-                assert_eq!(next, len, "ranges must cover 0..{len}");
             }
         }
     }
 
     #[test]
+    fn split_ranges_oversplits_for_reclaiming() {
+        let _guard = lock_knobs();
+        let _t = ThreadGuard::new(4);
+        let ranges = split_ranges(1000, 1);
+        assert_eq!(
+            ranges.len(),
+            4 * CHUNKS_PER_WORKER,
+            "a large fan-out must split finer than the budget"
+        );
+        // …but never below the minimum chunk size.
+        for r in split_ranges(1000, 300) {
+            assert!(r.len() >= 300);
+        }
+    }
+
+    #[test]
+    fn parse_env_threads_zero_means_machine_default() {
+        assert_eq!(parse_env_threads("0"), rayon::current_num_threads());
+        assert_eq!(parse_env_threads(" 0 "), rayon::current_num_threads());
+    }
+
+    #[test]
+    fn parse_env_threads_accepts_positive_budgets() {
+        assert_eq!(parse_env_threads("1"), 1);
+        assert_eq!(parse_env_threads(" 12 "), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "CALLOC_THREADS must be a non-negative integer")]
+    fn parse_env_threads_panics_on_garbage() {
+        parse_env_threads("fast");
+    }
+
+    #[test]
+    #[should_panic(expected = "CALLOC_THREADS must be a non-negative integer")]
+    fn parse_env_threads_panics_on_negative() {
+        parse_env_threads("-2");
+    }
+
+    #[test]
+    fn thread_guard_restores_previous_override_on_drop() {
+        let _guard = lock_knobs();
+        set_threads(0);
+        {
+            let _t = ThreadGuard::new(3);
+            assert_eq!(threads(), 3);
+            // Interim manual flips are restored over.
+            set_threads(7);
+            assert_eq!(threads(), 7);
+        }
+        assert_eq!(
+            THREAD_OVERRIDE.load(Ordering::Relaxed),
+            0,
+            "guard must restore the pre-guard override"
+        );
+    }
+
+    #[test]
+    fn thread_guard_restores_on_unwind() {
+        let _guard = lock_knobs();
+        set_threads(0);
+        let result = std::panic::catch_unwind(|| {
+            let _t = ThreadGuard::new(5);
+            panic!("assertion failed mid-test");
+        });
+        assert!(result.is_err());
+        assert_eq!(
+            THREAD_OVERRIDE.load(Ordering::Relaxed),
+            0,
+            "a panicking test must not leak its thread override"
+        );
+    }
+
+    #[test]
+    fn min_work_guard_restores_previous_override_on_drop() {
+        let _guard = lock_knobs();
+        set_min_work(0);
+        {
+            let _w = MinWorkGuard::new(1);
+            assert_eq!(min_work(), 1);
+        }
+        assert_eq!(min_work(), DEFAULT_MIN_WORK);
+    }
+
+    #[test]
     fn par_chunks_results_are_in_index_order() {
         let _guard = lock_knobs();
-        set_threads(4);
-        set_min_work(1);
+        let _t = ThreadGuard::new(4);
+        let _w = MinWorkGuard::new(1);
         let chunks = par_chunks(100, 1, |r| r.start);
         let mut sorted = chunks.clone();
         sorted.sort_unstable();
         assert_eq!(chunks, sorted);
-        set_threads(0);
-        set_min_work(0);
     }
 
     #[test]
     fn par_chunks_serial_is_single_chunk() {
         let _guard = lock_knobs();
-        set_threads(1);
+        let _t = ThreadGuard::new(1);
         let chunks = par_chunks(100, 1, |r| (r.start, r.end));
         assert_eq!(chunks, vec![(0, 100)]);
-        set_threads(0);
     }
 
     #[test]
     fn par_row_chunks_mut_visits_every_row_once() {
         let _guard = lock_knobs();
         for n_threads in [1usize, 2, 5] {
-            set_threads(n_threads);
+            let _t = ThreadGuard::new(n_threads);
             let rows = 17;
             let cols = 3;
             let mut data = vec![0.0; rows * cols];
@@ -436,78 +581,152 @@ mod tests {
                 }
             }
         }
-        set_threads(0);
     }
 
     #[test]
     fn par_row_chunks_mut_handles_empty() {
         let mut data: Vec<f64> = Vec::new();
         par_row_chunks_mut(&mut data, 4, 1, |_, chunk| assert!(chunk.is_empty()));
+        // Zero-width rows are fine for an empty buffer only.
+        par_row_chunks_mut(&mut data, 0, 1, |_, chunk| assert!(chunk.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of row length 0")]
+    fn par_row_chunks_mut_rejects_zero_row_len_for_nonempty_data() {
+        let mut data = vec![1.0, 2.0, 3.0];
+        par_row_chunks_mut(&mut data, 0, 1, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of row length 4")]
+    fn par_row_chunks_mut_rejects_ragged_buffer() {
+        let mut data = vec![0.0; 10];
+        par_row_chunks_mut(&mut data, 4, 1, |_, _| {});
     }
 
     #[test]
     fn par_join_returns_in_operand_order() {
         let _guard = lock_knobs();
         for n_threads in [1usize, 3] {
-            set_threads(n_threads);
+            let _t = ThreadGuard::new(n_threads);
             let (a, b) = par_join(|| 1, || 2);
             assert_eq!((a, b), (1, 2));
         }
-        set_threads(0);
     }
 
     #[test]
     fn par_run_preserves_job_order() {
         let _guard = lock_knobs();
         for n_threads in [1usize, 2, 4, 9] {
-            set_threads(n_threads);
+            let _t = ThreadGuard::new(n_threads);
             let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..9usize)
                 .map(|i| Box::new(move || i * 10) as Box<dyn FnOnce() -> usize + Send>)
                 .collect();
             let out = par_run(jobs);
             assert_eq!(out, (0..9usize).map(|i| i * 10).collect::<Vec<_>>());
         }
-        set_threads(0);
     }
 
     #[test]
     fn par_run_actually_distributes_jobs_across_threads() {
-        // Regression guard: a par_run nested under an already-marked
-        // fan-out collapses to serial — the top-level call must not.
+        // Regression guard: the fan-out must reach pool workers, not just
+        // run everything on the caller. Each job sleeps briefly so the
+        // calling thread cannot race through the whole queue before a
+        // worker wakes.
         let _guard = lock_knobs();
-        set_threads(4);
+        let _t = ThreadGuard::new(4);
         let jobs: Vec<Box<dyn FnOnce() -> std::thread::ThreadId + Send>> = (0..4)
             .map(|_| {
-                Box::new(|| std::thread::current().id())
-                    as Box<dyn FnOnce() -> std::thread::ThreadId + Send>
+                Box::new(|| {
+                    std::thread::sleep(std::time::Duration::from_millis(25));
+                    std::thread::current().id()
+                }) as Box<dyn FnOnce() -> std::thread::ThreadId + Send>
             })
             .collect();
         let ids = par_run(jobs);
-        set_threads(0);
         let distinct: std::collections::HashSet<_> = ids.iter().collect();
         assert!(
             distinct.len() > 1,
-            "4 jobs at 4 threads must span more than one worker thread"
+            "4 sleeping jobs at 4 threads must span more than one worker thread"
         );
     }
 
     #[test]
-    fn nested_kernels_inside_fan_out_workers_run_serial() {
+    fn straggler_does_not_idle_the_pool() {
+        // One long job up front plus many short jobs: with reclaiming the
+        // short jobs drain on other workers while the straggler runs, so
+        // at least one short job must land off the straggler's thread and
+        // all results still come back in order.
         let _guard = lock_knobs();
-        set_threads(4);
+        let _t = ThreadGuard::new(3);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..12usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(60));
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let out = par_run(jobs);
+        assert_eq!(out, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_fan_outs_draw_real_budget() {
+        // The old spawn-per-fork runtime reported a budget of 1 inside any
+        // fan-out job, serializing every nested kernel. The pool removes
+        // that collapse: the budget is the same on every thread.
+        let _guard = lock_knobs();
+        let _t = ThreadGuard::new(4);
         let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..4)
             .map(|_| Box::new(threads) as Box<dyn FnOnce() -> usize + Send>)
             .collect();
         let budgets = par_run(jobs);
         assert!(
-            budgets.iter().all(|&t| t == 1),
-            "nested budget must collapse to 1 inside fan-out jobs, got {budgets:?}"
+            budgets.iter().all(|&t| t == 4),
+            "nested budget must stay at the configured 4, got {budgets:?}"
         );
         let (a, b) = par_join(threads, threads);
-        assert_eq!((a, b), (1, 1), "par_join operands must see a serial budget");
-        // The caller's own budget is restored once the fan-out returns.
+        assert_eq!((a, b), (4, 4), "par_join operands must see the full budget");
         assert_eq!(threads(), 4);
-        set_threads(0);
+    }
+
+    #[test]
+    fn nested_par_chunks_inside_par_run_merges_correctly() {
+        let _guard = lock_knobs();
+        let _t = ThreadGuard::new(3);
+        let _w = MinWorkGuard::new(1);
+        type NestedJob = Box<dyn FnOnce() -> (usize, Vec<usize>) + Send>;
+        let jobs: Vec<NestedJob> = (0..5usize)
+            .map(|j| {
+                Box::new(move || {
+                    let inner = par_chunks(40, 1, |r| r.map(|i| i + 100 * j).sum::<usize>());
+                    (threads(), inner)
+                }) as NestedJob
+            })
+            .collect();
+        for (j, (budget, partials)) in par_run(jobs).into_iter().enumerate() {
+            assert_eq!(budget, 3, "inner fan-out of job {j} must see the budget");
+            let total: usize = partials.iter().sum();
+            assert_eq!(total, (0..40).map(|i| i + 100 * j).sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn pool_survives_set_threads_changes_mid_process() {
+        // Shutdown/re-entry: growing, shrinking and restoring the budget
+        // must all dispatch correctly on the same persistent pool.
+        let _guard = lock_knobs();
+        let _w = MinWorkGuard::new(1);
+        let expected: usize = (0..500).sum();
+        for budget in [2usize, 8, 1, 3, 8, 2] {
+            let _t = ThreadGuard::new(budget);
+            let total: usize = par_chunks(500, 1, |r| r.sum::<usize>()).iter().sum();
+            assert_eq!(total, expected, "budget {budget} dispatched incorrectly");
+        }
     }
 
     #[test]

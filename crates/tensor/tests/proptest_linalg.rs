@@ -82,14 +82,13 @@ proptest! {
         let _guard = lock_knobs();
         let a = random_spd(n, seed);
         let serial = linalg::cholesky_with_block(&a, usize::MAX).expect("spd");
-        par::set_min_work(1);
+        let _floor = par::MinWorkGuard::new(1);
+        let _threads = par::ThreadGuard::new(1);
         for threads in [1usize, 2, 3, 8] {
             par::set_threads(threads);
             let blocked = linalg::cholesky_with_block(&a, nb)
                 .expect("same matrix must stay positive definite");
             let default_block = linalg::cholesky(&a).expect("spd");
-            par::set_threads(0);
-            par::set_min_work(0);
             prop_assert!(
                 bits_eq(&serial, &blocked),
                 "nb={} diverged from serial at {} threads", nb, threads
@@ -98,9 +97,6 @@ proptest! {
                 bits_eq(&serial, &default_block),
                 "default block diverged from serial at {} threads", threads
             );
-            par::set_min_work(1);
         }
-        par::set_threads(0);
-        par::set_min_work(0);
     }
 }

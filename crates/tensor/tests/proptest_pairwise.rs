@@ -54,26 +54,23 @@ fn scalar_rbf_cross(a: &Matrix, b: &Matrix, length_scale: f64) -> Matrix {
 
 /// Runs `f` serially, then at several worker budgets with the work floor
 /// dropped to one flop, asserting every run is bitwise equal to
-/// `reference`.
+/// `reference`. RAII guards restore both knobs even when a `prop_assert!`
+/// returns early — a failing case must not leak a stale budget.
 fn assert_matches_reference_at_all_thread_counts(
     reference: &Matrix,
     f: impl Fn() -> Matrix,
 ) -> Result<(), proptest::prelude::TestCaseError> {
-    par::set_min_work(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     for threads in [1usize, 2, 3, 8] {
         par::set_threads(threads);
         let batched = f();
-        par::set_threads(0);
-        par::set_min_work(0);
         prop_assert!(
             bits_eq(reference, &batched),
             "diverged from the scalar reference at {} threads",
             threads
         );
-        par::set_min_work(1);
     }
-    par::set_threads(0);
-    par::set_min_work(0);
     Ok(())
 }
 

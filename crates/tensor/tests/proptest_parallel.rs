@@ -35,27 +35,24 @@ fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
 }
 
 /// Runs `f` serially, then at several worker budgets with the work floor
-/// dropped to one flop, asserting bitwise-equal `Matrix` results.
+/// dropped to one flop, asserting bitwise-equal `Matrix` results. The
+/// RAII guards restore both knobs even when a `prop_assert!` returns
+/// early — a failing case must not leak a stale budget into later cases.
 fn assert_thread_count_invariant(
     f: impl Fn() -> Matrix,
 ) -> Result<(), proptest::prelude::TestCaseError> {
-    par::set_min_work(1);
-    par::set_threads(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let serial = f();
     for threads in [2usize, 3, 8] {
         par::set_threads(threads);
         let parallel = f();
-        par::set_threads(0);
-        par::set_min_work(0);
         prop_assert!(
             bits_eq(&serial, &parallel),
             "diverged at {} threads",
             threads
         );
-        par::set_min_work(1);
     }
-    par::set_threads(0);
-    par::set_min_work(0);
     Ok(())
 }
 
@@ -142,12 +139,77 @@ proptest! {
     fn par_chunks_merges_in_index_order(len in 0usize..500, seed in any::<u64>()) {
         let _guard = lock_knobs();
         let _ = seed;
-        par::set_min_work(1);
-        par::set_threads(7);
+        let _floor = par::MinWorkGuard::new(1);
+        let _threads = par::ThreadGuard::new(7);
         let chunks = par::par_chunks(len, 1, |r| r.clone());
-        par::set_threads(0);
-        par::set_min_work(0);
         let flattened: Vec<usize> = chunks.into_iter().flatten().collect();
         prop_assert_eq!(flattened, (0..len).collect::<Vec<usize>>());
+    }
+
+    /// Work-reclaimed `par_run` (jobs popped one at a time off the shared
+    /// queue) is bit-identical to the serial run at every budget — the
+    /// pool's counterpart of the old static round-robin deal.
+    #[test]
+    fn par_run_is_bit_identical_across_thread_counts(
+        n_jobs in 1usize..12, rows in 1usize..12, k in 1usize..24, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let _floor = par::MinWorkGuard::new(1);
+        let _threads = par::ThreadGuard::new(1);
+        let run = || {
+            let jobs: Vec<Box<dyn FnOnce() -> Matrix + Send>> = (0..n_jobs)
+                .map(|j| {
+                    let a = rand_matrix(rows, k, seed ^ (j as u64).wrapping_mul(0x9E37));
+                    let b = rand_matrix(k, rows, seed ^ (j as u64).wrapping_mul(0x79B9) ^ 1);
+                    Box::new(move || a.matmul(&b)) as Box<dyn FnOnce() -> Matrix + Send>
+                })
+                .collect();
+            par::par_run(jobs)
+        };
+        let serial = run();
+        for threads in [2usize, 3, 8] {
+            par::set_threads(threads);
+            let parallel = run();
+            prop_assert_eq!(serial.len(), parallel.len());
+            for (a, b) in serial.iter().zip(&parallel) {
+                prop_assert!(bits_eq(a, b), "job output diverged at {} threads", threads);
+            }
+        }
+    }
+
+    /// Nested fan-out (outer `par_run` job → inner matmul kernel, the
+    /// grid-cell → session → kernel shape): the inner kernel must see the
+    /// full configured budget — the old runtime collapsed it to 1 — and
+    /// the merged output must stay bit-identical at every thread count.
+    #[test]
+    fn nested_fan_out_sees_full_budget_and_is_bit_identical(
+        n_jobs in 2usize..6, rows in 4usize..16, k in 1usize..24, seed in any::<u64>()
+    ) {
+        let _guard = lock_knobs();
+        let _floor = par::MinWorkGuard::new(1);
+        let _threads = par::ThreadGuard::new(1);
+        let run = || {
+            let jobs: Vec<Box<dyn FnOnce() -> (usize, Matrix) + Send>> = (0..n_jobs)
+                .map(|j| {
+                    let a = rand_matrix(rows, k, seed ^ (j as u64).wrapping_mul(0xA5A5));
+                    let b = rand_matrix(k, rows, seed ^ (j as u64).wrapping_mul(0x5A5A) ^ 1);
+                    Box::new(move || (par::threads(), a.matmul(&b)))
+                        as Box<dyn FnOnce() -> (usize, Matrix) + Send>
+                })
+                .collect();
+            par::par_run(jobs)
+        };
+        let serial = run();
+        for threads in [2usize, 3, 8] {
+            par::set_threads(threads);
+            let parallel = run();
+            for (j, ((_, a), (inner_budget, b))) in serial.iter().zip(&parallel).enumerate() {
+                prop_assert_eq!(
+                    *inner_budget, threads,
+                    "job {} must see the configured budget inside the fan-out", j
+                );
+                prop_assert!(bits_eq(a, b), "job {} diverged at {} threads", j, threads);
+            }
+        }
     }
 }

@@ -12,8 +12,8 @@ use calloc_tensor::par;
 use std::sync::Mutex;
 
 /// Serializes the tests that flip the process-global `par` knobs, so one
-/// test's `set_threads(0)` restore cannot land in the middle of another's
-/// parallel run and silently turn it into a serial-vs-serial comparison.
+/// test's guard drop cannot land in the middle of another's parallel run
+/// and silently turn it into a serial-vs-serial comparison.
 static KNOB_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
@@ -134,7 +134,8 @@ fn calloc_training_is_thread_count_invariant() {
     };
     let test = &scenario.test_per_device[0].1;
 
-    par::set_min_work(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let mut logits_per_thread_count = Vec::new();
     for threads in [1usize, 2, 4] {
         par::set_threads(threads);
@@ -147,8 +148,6 @@ fn calloc_training_is_thread_count_invariant() {
                 .logits(&test.x),
         ));
     }
-    par::set_threads(0);
-    par::set_min_work(0);
 
     let (_, ref serial) = logits_per_thread_count[0];
     for (threads, logits) in &logits_per_thread_count[1..] {
@@ -185,13 +184,11 @@ fn suite_training_is_thread_count_invariant() {
     };
     let test = &scenario.test_per_device[0].1;
 
-    par::set_min_work(1);
-    par::set_threads(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let serial = Suite::train(&scenario, &profile);
     par::set_threads(4);
     let parallel = Suite::train(&scenario, &profile);
-    par::set_threads(0);
-    par::set_min_work(0);
 
     assert_eq!(serial.members.len(), parallel.members.len());
     for (a, b) in serial.members.iter().zip(&parallel.members) {
@@ -231,15 +228,14 @@ fn gpc_inference_is_thread_count_invariant() {
     let x = Matrix::from_fn(11, 6, |_, _| rng.uniform(0.0, 1.0));
     let targets: Vec<usize> = (0..11).map(|i| (i * 3) % classes).collect();
 
-    par::set_min_work(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let mut runs = Vec::new();
     for threads in [1usize, 2, 4] {
         par::set_threads(threads);
         let (loss, grad) = gpc.loss_and_input_grad(&x, &targets);
         runs.push((threads, gpc.scores(&x), loss, grad));
     }
-    par::set_threads(0);
-    par::set_min_work(0);
 
     let (_, ref scores1, loss1, ref grad1) = runs[0];
     for (threads, scores, loss, grad) in &runs[1..] {
@@ -288,8 +284,8 @@ fn sweep_engine_is_thread_count_invariant() {
     };
     let spec = SweepSpec::full_grid(vec![0.1, 0.3], vec![50.0, 100.0]).with_seed(5);
 
-    par::set_min_work(1);
-    par::set_threads(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let suite = Suite::train(&scenario, &profile);
     let datasets = Suite::scenario_datasets(&scenario, "B1");
     let serial = suite.sweep(&datasets, &spec);
@@ -298,8 +294,6 @@ fn sweep_engine_is_thread_count_invariant() {
         par::set_threads(threads);
         parallel_tables.push((threads, suite.sweep(&datasets, &spec)));
     }
-    par::set_threads(0);
-    par::set_min_work(0);
 
     let per_pair = 1 + 3 * 2 * 3 * 2 * 2;
     assert_eq!(
@@ -348,8 +342,8 @@ fn scenario_grid_is_thread_count_invariant() {
     .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)]);
     let single = ScenarioSpec::single(small_spec(), 9, CollectionConfig::small(), 123);
 
-    par::set_min_work(1);
-    par::set_threads(1);
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
     let serial = spec.generate();
     let serial_single = single.generate();
     assert_eq!(serial.len(), 2 * 2 * 2);
@@ -358,8 +352,6 @@ fn scenario_grid_is_thread_count_invariant() {
         par::set_threads(threads);
         parallel_runs.push((threads, spec.generate(), single.generate()));
     }
-    par::set_threads(0);
-    par::set_min_work(0);
 
     let direct = Scenario::generate(
         &Building::generate(small_spec(), 9),

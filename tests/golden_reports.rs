@@ -131,10 +131,12 @@ fn quick_sweep_csv_matches_golden_at_ambient_threads() {
 #[test]
 fn quick_sweep_csv_matches_golden_at_threads_1_and_4() {
     let _guard = lock_knobs();
+    // The guard restores the ambient budget even when the byte comparison
+    // below panics — a golden mismatch must not leak a stale override.
+    let _threads = par::ThreadGuard::new(1);
     for threads in [1usize, 4] {
         par::set_threads(threads);
         let csv = quick_sweep().to_csv();
-        par::set_threads(0);
         assert_eq!(
             csv,
             golden_bytes(),
@@ -184,10 +186,10 @@ fn env_sweep_csv_matches_golden_at_ambient_threads() {
 #[test]
 fn env_sweep_csv_matches_golden_at_threads_1_and_4() {
     let _guard = lock_knobs();
+    let _threads = par::ThreadGuard::new(1);
     for threads in [1usize, 4] {
         par::set_threads(threads);
         let csv = env_sweep().to_csv();
-        par::set_threads(0);
         assert_eq!(
             csv,
             env_golden_bytes(),

@@ -1,22 +1,248 @@
-//! Minimal scoped fork-join primitives, source-compatible with the subset
-//! of [rayon](https://docs.rs/rayon) this workspace uses (see
+//! Minimal persistent-pool fork-join primitives, source-compatible with
+//! the subset of [rayon](https://docs.rs/rayon) this workspace uses (see
 //! `vendor/README.md` for why it is vendored).
 //!
-//! The stand-in is built directly on [`std::thread::scope`]: every
-//! [`join`] runs its second operand on a freshly spawned scoped thread and
-//! the first operand on the calling thread, then joins. There is no
-//! persistent worker pool and no work stealing — callers
-//! (`calloc_tensor::par`) are expected to split work into a bounded number
-//! of coarse chunks, so the per-call spawn cost is amortized over a large
-//! amount of numeric work. Panics from either operand are propagated to
-//! the caller, as with real rayon.
+//! Like real rayon, the stand-in owns one **global worker pool** that
+//! outlives any individual parallel call. Work is submitted through
+//! [`scope`] / [`Scope::spawn`] (or the derived [`join`]): spawned jobs go
+//! onto a shared FIFO injector queue, parked workers wake and pop jobs in
+//! submission order, and a thread waiting for its scope to finish *helps*
+//! by draining queued jobs instead of blocking — so a fan-out nested
+//! inside a running job makes progress even when every pool worker is
+//! busy, and the pool can never deadlock on its own queue.
+//!
+//! Workers are spawned lazily, the first time a job is queued while no
+//! worker is idle, and then stay parked between calls; repeated fork-joins
+//! reuse them instead of paying a `std::thread::spawn` per fork the way
+//! the old `std::thread::scope`-based stand-in did. Panics from any job
+//! are caught, forwarded to the owning scope, and re-thrown from the
+//! [`scope`] (or [`join`]) call that spawned the job, as with real rayon.
 
-use std::panic;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
+/// A queued unit of work. Jobs are lifetime-erased to `'static` when they
+/// are enqueued; the [`scope`] call that spawned a job guarantees every
+/// borrow stays live by not returning until the job has completed.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Hard ceiling on the number of pool workers ever spawned — a safety net
+/// against runaway nesting, far above any budget `calloc_tensor::par`
+/// requests (worst-case demand is roughly thread budget × fan-out depth).
+const MAX_WORKERS: usize = 256;
+
+struct PoolState {
+    /// Pending jobs, popped front-first — submission (FIFO) order.
+    jobs: VecDeque<Job>,
+    /// Workers currently parked on [`Pool::signal`].
+    idle: usize,
+    /// Worker threads spawned so far (they never exit; they park).
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signaled on every job push and every scope-job completion; parked
+    /// workers and waiting scope owners share it.
+    signal: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            jobs: VecDeque::new(),
+            idle: 0,
+            spawned: 0,
+        }),
+        signal: Condvar::new(),
+    })
+}
+
+/// Pool jobs never unwind (bodies are wrapped in `catch_unwind`), but be
+/// robust to poisoning anyway: the queue itself is always consistent.
+fn lock_state(p: &Pool) -> MutexGuard<'_, PoolState> {
+    p.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop() {
+    let p = pool();
+    let mut state = lock_state(p);
+    loop {
+        if let Some(job) = state.jobs.pop_front() {
+            drop(state);
+            job();
+            state = lock_state(p);
+        } else {
+            state.idle += 1;
+            state = p.signal.wait(state).unwrap_or_else(|e| e.into_inner());
+            state.idle -= 1;
+        }
+    }
+}
+
+/// Enqueues a job, waking a parked worker — or lazily spawning a new one
+/// when none is idle and the pool is below [`MAX_WORKERS`]. If the spawn
+/// fails (or the cap is hit) the job still runs: some worker or helping
+/// scope owner will pop it.
+fn push_job(job: Job) {
+    let p = pool();
+    let mut state = lock_state(p);
+    state.jobs.push_back(job);
+    let spawn_worker = state.idle == 0 && state.spawned < MAX_WORKERS;
+    if spawn_worker {
+        state.spawned += 1;
+    }
+    p.signal.notify_all();
+    drop(state);
+    if spawn_worker
+        && thread::Builder::new()
+            .name("calloc-pool-worker".into())
+            .spawn(worker_loop)
+            .is_err()
+    {
+        lock_state(p).spawned -= 1;
+    }
+}
+
+/// A fork-join scope tied to the stack frame of the [`scope`] call that
+/// created it: jobs spawned on it may borrow anything that outlives
+/// `'scope`, and [`scope`] does not return until every job has completed.
+pub struct Scope<'scope> {
+    /// Jobs spawned but not yet completed.
+    pending: AtomicUsize,
+    /// First panic payload thrown by a job, re-thrown when the scope ends.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Invariant in `'scope`, as in real rayon.
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` on the pool. It runs at most once, on whichever
+    /// thread pops it first — a parked pool worker or a scope owner
+    /// helping while it waits (that is the work-reclaiming path).
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        // The scope's address travels to the worker as a plain integer
+        // (raw pointers are not `Send`); the job is the only reader and
+        // reconstitutes the reference under the safety argument below.
+        let scope_addr = std::ptr::from_ref(self) as usize;
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            // SAFETY: the owning `scope` call waits for `pending` to reach
+            // zero before returning, so `self` (and everything `body`
+            // borrows, which outlives `'scope`) is alive for the whole
+            // execution of this job.
+            let scope: &Scope<'scope> = unsafe { &*(scope_addr as *const Scope<'scope>) };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| body(scope))) {
+                let mut slot = scope.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            scope.complete();
+        });
+        // SAFETY: erase `'scope` to `'static` so the job can sit on the
+        // global queue. The owner's `wait_all` keeps every borrow alive
+        // until the job has run (see above); the queue never outlives a
+        // job whose scope is still waiting.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        push_job(job);
+    }
+
+    /// Marks one spawned job as finished. Performed under the pool lock so
+    /// a waiting owner cannot check `pending` and park between our
+    /// decrement and the wake-up.
+    fn complete(&self) {
+        let p = pool();
+        let state = lock_state(p);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        p.signal.notify_all();
+        drop(state);
+    }
+
+    /// Blocks until every spawned job has completed — but never idly:
+    /// while jobs (from *any* scope) sit in the queue, the owner pops and
+    /// runs them. This is what lets nested scopes progress when all
+    /// workers are busy and lets idle threads reclaim a straggler's
+    /// queued work.
+    fn wait_all(&self) {
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let p = pool();
+        let mut state = lock_state(p);
+        loop {
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            if let Some(job) = state.jobs.pop_front() {
+                drop(state);
+                job();
+                state = lock_state(p);
+            } else {
+                state = p.signal.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+}
+
+/// Creates a fork-join scope, runs `op` on the calling thread, waits for
+/// every job spawned on the scope to complete (helping to drain the pool
+/// queue meanwhile), and returns `op`'s result.
+///
+/// If `op` or any spawned job panics, the panic is re-thrown here once all
+/// jobs have stopped running (`op`'s own panic takes precedence).
+///
+/// # Example
+///
+/// ```
+/// let mut parts = [0u64; 2];
+/// let (lo, hi) = parts.split_at_mut(1);
+/// rayon::scope(|s| {
+///     s.spawn(|_| lo[0] = (0..500u64).sum());
+///     s.spawn(|_| hi[0] = (500..1000u64).sum());
+/// });
+/// assert_eq!(parts[0] + parts[1], 499_500);
+/// ```
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let s = Scope {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Wait even when `op` panicked: spawned jobs may still borrow the
+    // enclosing stack frame.
+    s.wait_all();
+    let _ = &s.marker;
+    match result {
+        Err(payload) => panic::resume_unwind(payload),
+        Ok(r) => {
+            let panicked = s.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+            match panicked {
+                Some(payload) => panic::resume_unwind(payload),
+                None => r,
+            }
+        }
+    }
+}
+
 /// Runs the two closures, potentially in parallel, and returns both
-/// results. `oper_a` runs on the calling thread; `oper_b` runs on a scoped
-/// worker thread.
+/// results. `oper_a` runs on the calling thread; `oper_b` is queued on the
+/// pool — and reclaimed by the caller itself if no worker gets to it
+/// first, so `join` never waits on an idle queue.
 ///
 /// If either closure panics, the panic is propagated to the caller once
 /// both operands have stopped running.
@@ -34,15 +260,12 @@ where
     RA: Send,
     RB: Send,
 {
-    thread::scope(|s| {
-        let handle = s.spawn(oper_b);
-        let ra = oper_a();
-        let rb = match handle.join() {
-            Ok(rb) => rb,
-            Err(payload) => panic::resume_unwind(payload),
-        };
-        (ra, rb)
-    })
+    let mut rb = None;
+    let ra = scope(|s| {
+        s.spawn(|_| rb = Some(oper_b()));
+        oper_a()
+    });
+    (ra, rb.expect("join: second operand completed"))
 }
 
 /// Number of threads the machine can run in parallel (the size rayon's
@@ -80,6 +303,67 @@ mod tests {
     #[should_panic(expected = "worker boom")]
     fn join_propagates_worker_panic() {
         let _ = join(|| 1, || panic!("worker boom"));
+    }
+
+    #[test]
+    #[should_panic(expected = "caller boom")]
+    fn join_propagates_caller_panic_after_worker_finishes() {
+        let _ = join(|| panic!("caller boom"), || 7);
+    }
+
+    #[test]
+    fn scope_runs_every_spawned_job_with_borrows() {
+        let mut results = [0usize; 16];
+        scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * i);
+            }
+        });
+        for (i, v) in results.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn scope_jobs_can_spawn_nested_scopes() {
+        let mut totals = [0u64; 4];
+        scope(|s| {
+            for (i, slot) in totals.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    let (a, b) = join(|| (i as u64) + 1, || (i as u64) + 2);
+                    *slot = a * 10 + b;
+                });
+            }
+        });
+        assert_eq!(totals, [12, 23, 34, 45]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scope job boom")]
+    fn scope_propagates_job_panic() {
+        scope(|s| s.spawn(|_| panic!("scope job boom")));
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        // Force at least one worker into existence, then observe that a
+        // later fork reuses pool threads instead of the caller only.
+        let (_, id_first) = join(|| (), || thread::current().id());
+        for _ in 0..8 {
+            let (_, _) = join(|| (), || ());
+        }
+        let caller = thread::current().id();
+        // The spawned operand may run on the caller (reclaim path) or a
+        // worker; across several forks at least one must hit a worker.
+        let mut saw_worker = id_first != caller;
+        for _ in 0..32 {
+            let (_, id) = join(
+                || thread::sleep(std::time::Duration::from_millis(1)),
+                || thread::current().id(),
+            );
+            saw_worker |= id != caller;
+        }
+        assert!(saw_worker, "no fork ever landed on a pool worker");
     }
 
     #[test]
