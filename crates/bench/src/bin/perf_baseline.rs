@@ -22,22 +22,30 @@
 //! fan-outs actually observe (asserted > 1 — the pre-pool runtime
 //! collapsed them to serial), a sweep-shaped mixed-cost work list whose
 //! straggler cell exercises work reclaiming, and an outer fan-out of
-//! row-parallel kernels. Every variant's output is asserted bit-identical
-//! to the seed reference before it is timed — the determinism contract is
-//! checked, not assumed.
+//! row-parallel kernels. The `sweep_resilience` section prices the
+//! fault-tolerant sweep layer on a small real KNN sweep: the per-cell
+//! panic quarantine, the in-memory and checkpointed-disk result stores,
+//! a two-shard split-and-merge, and a resume over a half-full store —
+//! each asserted byte-identical to the plain one-shot run before it is
+//! timed. Every variant's output is asserted bit-identical to the seed
+//! reference before it is timed — the determinism contract is checked,
+//! not assumed.
 //!
 //! ```bash
 //! cargo run -p calloc-bench --release --bin perf_baseline
 //! ```
 
-use calloc_baselines::{GpcConfig, GpcLocalizer};
+use calloc_baselines::{GpcConfig, GpcLocalizer, KnnLocalizer};
 use calloc_bench::{
     assert_bits_eq, seed_cholesky_reference, seed_gpc_loss_and_input_grad_reference,
     seed_gpc_scores_reference, seed_matmul_reference, seed_scenario_generate_reference,
     seed_sq_dists_reference,
 };
+use calloc_eval::{ExecSpec, Localizer, StoreError, SweepSpec};
 use calloc_nn::DifferentiableModel;
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario, ScenarioSpec};
+use calloc_sim::{
+    Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario, ScenarioSpec,
+};
 use calloc_tensor::{kernel, linalg, par, Matrix, Rng};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -51,6 +59,18 @@ fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Unwraps a store result or exits with the typed error (which names the
+/// offending path) — benches fail loudly, they don't unwind.
+fn or_die<T>(result: Result<T, StoreError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("benchmark store failure: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -445,6 +465,117 @@ fn main() {
         nested_serial_ms / nested_parallel_ms,
     );
 
+    // --- Fault-tolerant sweep execution: quarantine, store, shard and
+    //     resume overhead on a small real KNN sweep ---
+    let sweep_building = Building::generate(
+        BuildingSpec {
+            path_length_m: 12,
+            num_aps: 16,
+            ..BuildingId::B1.spec()
+        },
+        3,
+    );
+    let sweep_scenario = Scenario::generate(&sweep_building, &CollectionConfig::small(), 8);
+    let knn = KnnLocalizer::fit(
+        sweep_scenario.train.x.clone(),
+        sweep_scenario.train.labels.clone(),
+        sweep_scenario.train.num_classes(),
+        3,
+    );
+    let soft = knn.to_soft(0.05);
+    let names = vec!["KNN".to_string()];
+    let labels: Vec<(String, String)> = sweep_scenario
+        .test_per_device
+        .iter()
+        .map(|(d, _)| ("B1".to_string(), d.acronym.clone()))
+        .collect();
+    let data: Vec<&Dataset> = sweep_scenario
+        .test_per_device
+        .iter()
+        .map(|(_, t)| t)
+        .collect();
+    let plan = SweepSpec::full_grid(vec![0.1, 0.3], vec![50.0, 100.0])
+        .with_seed(5)
+        .plan(&names, &labels);
+    let models: Vec<&dyn Localizer> = vec![&knn];
+    let exec = ExecSpec::default();
+    let sweep_cells = plan.len();
+    let half = sweep_cells / 2;
+
+    // Byte-identity of every resilient path before any of them is timed.
+    let reference_csv = plan.run(&models, Some(&soft), &data).to_csv();
+    let ft = plan.run_fault_tolerant(&models, Some(&soft), &data, &exec);
+    assert!(ft.is_complete(), "clean sweep must not quarantine cells");
+    assert_eq!(
+        ft.table.to_csv(),
+        reference_csv,
+        "fault-tolerant sweep diverges from the plain run"
+    );
+    let mut half_store = plan.memory_store();
+    or_die(
+        plan.shard(0..half)
+            .run_with_store(&models, Some(&soft), &data, &exec, &mut half_store),
+    );
+    let mut resumed_store = plan.memory_store();
+    or_die(resumed_store.merge(&half_store));
+    let resumed =
+        or_die(plan.run_with_store(&models, Some(&soft), &data, &exec, &mut resumed_store));
+    assert_eq!(resumed.executed, sweep_cells - half);
+    assert_eq!(
+        resumed.table.to_csv(),
+        reference_csv,
+        "resumed sweep diverges from the one-shot run"
+    );
+
+    let plain_ms = best_ms(reps, || plan.run(&models, Some(&soft), &data));
+    let quarantined_ms = best_ms(reps, || {
+        plan.run_fault_tolerant(&models, Some(&soft), &data, &exec)
+    });
+    let store_ms = best_ms(reps, || {
+        let mut s = plan.memory_store();
+        or_die(plan.run_with_store(&models, Some(&soft), &data, &exec, &mut s)).executed
+    });
+    let shard_merge_ms = best_ms(reps, || {
+        let mut a = plan.memory_store();
+        or_die(
+            plan.shard(0..half)
+                .run_with_store(&models, Some(&soft), &data, &exec, &mut a),
+        );
+        let mut b = plan.memory_store();
+        or_die(plan.shard(half..sweep_cells).run_with_store(
+            &models,
+            Some(&soft),
+            &data,
+            &exec,
+            &mut b,
+        ));
+        or_die(a.merge(&b));
+        plan.table_from_store(&a).len()
+    });
+    let store_path =
+        std::env::temp_dir().join(format!("calloc_bench_store_{}.bin", std::process::id()));
+    let disk_exec = exec.clone().with_checkpoint_every(8);
+    let checkpointed_disk_ms = best_ms(reps, || {
+        let _ = std::fs::remove_file(&store_path);
+        let mut s = or_die(plan.open_store(&store_path));
+        or_die(plan.run_with_store(&models, Some(&soft), &data, &disk_exec, &mut s)).executed
+    });
+    let _ = std::fs::remove_file(&store_path);
+    let resume_half_ms = best_ms(reps, || {
+        let mut s = plan.memory_store();
+        or_die(s.merge(&half_store));
+        or_die(plan.run_with_store(&models, Some(&soft), &data, &exec, &mut s)).executed
+    });
+
+    println!(
+        "sweep_resilience {sweep_cells} cells: plain {plain_ms:.3} ms | quarantined \
+         {quarantined_ms:.3} ms ({:.2}x of plain) | in-memory store {store_ms:.3} ms | two shards \
+         + merge {shard_merge_ms:.3} ms | disk checkpoints {checkpointed_disk_ms:.3} ms | \
+         resume-after-half {resume_half_ms:.3} ms ({:.2}x of plain)",
+        quarantined_ms / plain_ms,
+        resume_half_ms / plain_ms,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
          \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ],\n  \
@@ -456,7 +587,12 @@ fn main() {
          \"straggler_serial_ms\": {straggler_serial_ms:.4}, \
          \"straggler_parallel_ms\": {straggler_parallel_ms:.4}, \
          \"straggler_speedup\": {:.3}, \"nested_serial_ms\": {nested_serial_ms:.4}, \
-         \"nested_parallel_ms\": {nested_parallel_ms:.4}, \"nested_speedup\": {:.3}}}\n}}\n",
+         \"nested_parallel_ms\": {nested_parallel_ms:.4}, \"nested_speedup\": {:.3}}},\n  \
+         \"sweep_resilience\": {{\"cells\": {sweep_cells}, \"plain_ms\": {plain_ms:.4}, \
+         \"quarantined_ms\": {quarantined_ms:.4}, \"quarantine_overhead\": {:.3}, \
+         \"memory_store_ms\": {store_ms:.4}, \"shard_merge_ms\": {shard_merge_ms:.4}, \
+         \"checkpointed_disk_ms\": {checkpointed_disk_ms:.4}, \
+         \"resume_half_ms\": {resume_half_ms:.4}, \"resume_ratio\": {:.3}}}\n}}\n",
         rows.join(",\n"),
         chol_rows.join(",\n"),
         pair_rows.join(",\n"),
@@ -465,7 +601,14 @@ fn main() {
         grid_serial_ms / grid_parallel_ms,
         straggler_serial_ms / straggler_parallel_ms,
         nested_serial_ms / nested_parallel_ms,
+        quarantined_ms / plain_ms,
+        resume_half_ms / plain_ms,
     );
-    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    // Crash-safe, typed-error write: a killed bench can't leave a
+    // truncated snapshot that looks like results.
+    or_die(calloc_eval::write_atomic(
+        std::path::Path::new("BENCH_kernels.json"),
+        json.as_bytes(),
+    ));
     println!("wrote BENCH_kernels.json ({threads} worker threads, {available} cores available)");
 }

@@ -1,0 +1,280 @@
+//! Fault-tolerant execution policy and reporting: retry budgets,
+//! checkpoint cadence, deterministic fault injection, and the run
+//! summary that surfaces quarantined cells.
+//!
+//! The sweep engine's failure semantics (see [`crate::sweep`]) are
+//! configured by an [`ExecSpec`] and reported through a [`RunReport`].
+//! Fault injection is **explicit and deterministic**: a [`FaultPlan`]
+//! names exactly which plan indices panic on which attempts — never
+//! ambient randomness — so the quarantine/retry/resume machinery is
+//! itself testable under the bit-identical determinism contract.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::report::ResultTable;
+
+/// A deterministic fault-injection schedule: "panic on plan indices
+/// {i…}, on the first *k* attempts". Threaded into a run via
+/// [`ExecSpec::faults`], never via ambient randomness — the same plan
+/// injects the same panics on every run, at every thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// plan index → number of leading attempts that panic.
+    panics: BTreeMap<usize, usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan: no injected faults (the production default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty()
+    }
+
+    /// Builder: the cell at `plan_index` panics on its first
+    /// `failing_attempts` attempts (attempt numbers `0..failing_attempts`)
+    /// and succeeds from then on. With `failing_attempts` larger than the
+    /// retry budget the cell is permanently poisoned and ends up
+    /// quarantined as a [`CellError`].
+    pub fn panicking(mut self, plan_index: usize, failing_attempts: usize) -> Self {
+        if failing_attempts > 0 {
+            self.panics.insert(plan_index, failing_attempts);
+        }
+        self
+    }
+
+    /// Bulk constructor: every listed plan index panics on its first
+    /// `failing_attempts` attempts.
+    pub fn panic_on(plan_indices: &[usize], failing_attempts: usize) -> Self {
+        let mut plan = FaultPlan::none();
+        for &i in plan_indices {
+            plan = plan.panicking(i, failing_attempts);
+        }
+        plan
+    }
+
+    /// Whether the schedule calls for a panic at this cell and attempt.
+    pub fn should_panic(&self, plan_index: usize, attempt: usize) -> bool {
+        self.panics
+            .get(&plan_index)
+            .is_some_and(|&failing| attempt < failing)
+    }
+
+    /// Panics with a recognizable `injected fault` payload if the
+    /// schedule calls for it; the sweep engine invokes this at the top
+    /// of every cell attempt.
+    pub fn maybe_panic(&self, plan_index: usize, attempt: usize) {
+        if self.should_panic(plan_index, attempt) {
+            panic!("injected fault: plan index {plan_index}, attempt {attempt}");
+        }
+    }
+}
+
+/// Execution policy for a fault-tolerant sweep run. The default is
+/// maximally boring — no retries, no injected faults, checkpoint every
+/// 64 cells — so plain runs behave exactly like [`crate::SweepPlan::run`]
+/// plus crash-safety.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// How many times a panicking cell is re-attempted before it is
+    /// quarantined. `0` means a single attempt, no retries. Retries are
+    /// deterministic: the cell re-runs with identical inputs and seed,
+    /// so a successful retry produces the exact row a clean run would.
+    pub retries: usize,
+    /// Checkpoint the result store after this many newly finished cells
+    /// (plus once at the end of every run). `0` disables mid-run
+    /// checkpoints. Irrelevant for in-memory stores.
+    pub checkpoint_every: usize,
+    /// Deterministic fault-injection schedule (empty in production).
+    pub faults: FaultPlan,
+}
+
+impl Default for ExecSpec {
+    fn default() -> Self {
+        ExecSpec {
+            retries: 0,
+            checkpoint_every: 64,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl ExecSpec {
+    /// Builder: set the retry budget.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Builder: set the checkpoint cadence (`0` = only at run end).
+    pub fn with_checkpoint_every(mut self, cells: usize) -> Self {
+        self.checkpoint_every = cells;
+        self
+    }
+
+    /// Builder: install a fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Total attempts a cell may consume: one initial try plus
+    /// [`retries`](Self::retries).
+    pub fn max_attempts(&self) -> usize {
+        self.retries + 1
+    }
+}
+
+/// A cell that panicked on every attempt and was quarantined instead of
+/// killing the sweep. The cell's row is absent from the run's table and
+/// store, so a later resume re-executes exactly these cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellError {
+    /// Plan index of the poisoned cell.
+    pub plan_index: usize,
+    /// Attempts consumed (always the run's [`ExecSpec::max_attempts`]).
+    pub attempts: usize,
+    /// The panic payload's message, as captured by the quarantine
+    /// boundary.
+    pub payload: String,
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cell {} failed after {} attempt(s): {}",
+            self.plan_index, self.attempts, self.payload
+        )
+    }
+}
+
+/// Outcome of a fault-tolerant sweep run: the merged result table plus
+/// an explicit account of what executed, what recovered after retries,
+/// and what was quarantined. Failures are surfaced here — never
+/// silently dropped.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Rows of every finished cell, merged in ascending plan index. For
+    /// store-backed runs this includes rows restored from earlier
+    /// (crashed or sharded) runs, not just this run's.
+    pub table: ResultTable,
+    /// Quarantined cells, ascending by plan index. Empty on a clean run.
+    pub errors: Vec<CellError>,
+    /// Cells actually executed by this run (missing from the store at
+    /// entry), including ones that ultimately failed.
+    pub executed: usize,
+    /// Cells that panicked at least once but succeeded within the retry
+    /// budget.
+    pub recovered: usize,
+}
+
+impl RunReport {
+    /// Whether every cell of the plan (shard) now has a row.
+    pub fn is_complete(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// One-line human-readable account of the run, quarantined plan
+    /// indices included.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} rows, {} cells executed, {} recovered after retry",
+            self.table.len(),
+            self.executed,
+            self.recovered
+        );
+        if self.errors.is_empty() {
+            s.push_str(", no failures");
+        } else {
+            let indices: Vec<String> = self
+                .errors
+                .iter()
+                .map(|e| e.plan_index.to_string())
+                .collect();
+            s.push_str(&format!(
+                ", {} quarantined (plan indices {})",
+                self.errors.len(),
+                indices.join(", ")
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_schedules_leading_attempts() {
+        let plan = FaultPlan::none().panicking(3, 2);
+        assert!(plan.should_panic(3, 0));
+        assert!(plan.should_panic(3, 1));
+        assert!(!plan.should_panic(3, 2));
+        assert!(!plan.should_panic(4, 0));
+        assert!(FaultPlan::none().is_empty());
+        // Zero failing attempts is a no-op, not an entry.
+        assert!(FaultPlan::none().panicking(1, 0).is_empty());
+    }
+
+    #[test]
+    fn panic_on_covers_every_listed_index() {
+        let plan = FaultPlan::panic_on(&[1, 4], 1);
+        assert!(plan.should_panic(1, 0));
+        assert!(plan.should_panic(4, 0));
+        assert!(!plan.should_panic(1, 1));
+        assert!(!plan.should_panic(2, 0));
+    }
+
+    #[test]
+    fn maybe_panic_fires_with_recognizable_payload() {
+        let plan = FaultPlan::none().panicking(7, 1);
+        let err = calloc_tensor::par::caught(|| plan.maybe_panic(7, 0)).unwrap_err();
+        assert!(err.message().contains("injected fault"), "{err}");
+        assert!(err.message().contains("plan index 7"), "{err}");
+        calloc_tensor::par::caught(|| plan.maybe_panic(7, 1)).expect("past the schedule");
+    }
+
+    #[test]
+    fn exec_spec_defaults_are_inert() {
+        let spec = ExecSpec::default();
+        assert_eq!(spec.retries, 0);
+        assert_eq!(spec.max_attempts(), 1);
+        assert!(spec.faults.is_empty());
+        let spec = spec.with_retries(2).with_checkpoint_every(5);
+        assert_eq!(spec.max_attempts(), 3);
+        assert_eq!(spec.checkpoint_every, 5);
+    }
+
+    #[test]
+    fn run_report_summary_names_quarantined_cells() {
+        let report = RunReport {
+            table: ResultTable::new(),
+            errors: vec![CellError {
+                plan_index: 9,
+                attempts: 2,
+                payload: "injected fault: plan index 9, attempt 1".into(),
+            }],
+            executed: 4,
+            recovered: 1,
+        };
+        assert!(!report.is_complete());
+        let summary = report.summary();
+        assert!(summary.contains("1 quarantined"), "{summary}");
+        assert!(summary.contains("9"), "{summary}");
+
+        let clean = RunReport {
+            table: ResultTable::new(),
+            errors: vec![],
+            executed: 0,
+            recovered: 0,
+        };
+        assert!(clean.is_complete());
+        assert!(clean.summary().contains("no failures"));
+    }
+}

@@ -33,13 +33,17 @@
 
 #![deny(missing_docs)]
 
+pub mod fault;
 mod metrics;
 mod report;
+pub mod store;
 mod suite;
 pub mod sweep;
 
+pub use fault::{CellError, ExecSpec, FaultPlan, RunReport};
 pub use metrics::{attacked_inputs, evaluate, evaluate_mitm, AttackedInputs, Evaluation};
 pub use report::{ascii_heatmap, csv_table, markdown_table, ResultRow, ResultTable};
+pub use store::{write_atomic, ResultStore, StoreError};
 pub use suite::{Suite, SuiteMember, SuiteProfile};
 pub use sweep::{run_env_sweep, run_sweep, AttackCell, SweepCell, SweepPlan, SweepSpec};
 

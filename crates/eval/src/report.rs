@@ -1,4 +1,21 @@
 //! Plain-text reporting: result tables, CSV, markdown and ASCII heatmaps.
+//!
+//! # Merge semantics
+//!
+//! A [`ResultTable`] is a flat, ordered row list; [`ResultTable::extend`]
+//! appends in call order and never inspects plan indices — it is the
+//! figure binaries' "stack one building's table under another" helper,
+//! not a dedup. The plan-index discipline (rows in ascending plan index,
+//! each index at most once) is owned by the producers: the sweep engine
+//! merges its fan-out in plan-index order, and the resumable store
+//! ([`crate::store::ResultStore`]) keys rows by plan index, rejecting
+//! duplicates as errors rather than silently keeping either side. Tables
+//! assembled through either path are bit-identical to a clean one-shot
+//! run; tables hand-built through [`ResultTable::push`]/`extend` carry
+//! whatever order the caller chose.
+//!
+//! CSV is written crash-safely via [`ResultTable::write_csv`] (sibling
+//! temp file + atomic rename).
 
 use std::fmt::Write as _;
 
@@ -233,6 +250,20 @@ impl ResultTable {
     /// every slice of one sweep serializes with one schema.
     pub fn to_csv(&self) -> String {
         csv_rows(&self.rows, self.env_swept)
+    }
+
+    /// Writes [`to_csv`](Self::to_csv) to `path` **crash-safely**: the
+    /// content is staged in a sibling temp file and atomically renamed
+    /// over the destination (see [`crate::store::write_atomic`]), so a
+    /// kill mid-write can never leave a truncated CSV that looks like
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::store::StoreError::Io`] carrying the offending
+    /// path if the write or rename fails.
+    pub fn write_csv(&self, path: &std::path::Path) -> Result<(), crate::store::StoreError> {
+        crate::store::write_atomic(path, self.to_csv().as_bytes())
     }
 }
 

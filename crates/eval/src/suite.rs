@@ -10,8 +10,10 @@ use calloc_nn::{DifferentiableModel, Localizer, Sequential};
 use calloc_sim::{Dataset, Scenario, ScenarioSet};
 use calloc_tensor::par;
 
+use crate::fault::{ExecSpec, RunReport};
 use crate::report::ResultTable;
-use crate::sweep::{run_env_sweep, run_sweep, SweepSpec};
+use crate::store::{ResultStore, StoreError};
+use crate::sweep::{run_env_sweep, run_sweep, SweepPlan, SweepSpec};
 
 /// One trained framework in the suite.
 pub struct SuiteMember {
@@ -350,6 +352,80 @@ impl Suite {
             .map(|m| (m.name.as_str(), m.model.as_ref()))
             .collect();
         run_env_sweep(&members, Some(self.surrogate()), building, scenarios, spec)
+    }
+
+    /// Enumerates the plan that [`sweep`](Self::sweep) would execute
+    /// over the given datasets — the entry point of the fault-tolerant
+    /// layer: [shard](SweepPlan::shard) it, [open a
+    /// store](SweepPlan::open_store) with it, and execute with
+    /// [`sweep_with_store`](Self::sweep_with_store).
+    pub fn sweep_plan(
+        &self,
+        datasets: &[(String, String, &Dataset)],
+        spec: &SweepSpec,
+    ) -> SweepPlan {
+        let names: Vec<String> = self.members.iter().map(|m| m.name.clone()).collect();
+        let labels: Vec<(String, String)> = datasets
+            .iter()
+            .map(|(b, d, _)| (b.clone(), d.clone()))
+            .collect();
+        spec.plan(&names, &labels)
+    }
+
+    /// The trained member models in figure order — the `models` argument
+    /// the [`SweepPlan`] executors expect for plans built by
+    /// [`sweep_plan`](Self::sweep_plan).
+    pub fn sweep_models(&self) -> Vec<&dyn Localizer> {
+        self.members.iter().map(|m| m.model.as_ref()).collect()
+    }
+
+    /// Like [`sweep`](Self::sweep), but with per-cell panic quarantine
+    /// and bounded deterministic retries — a poisoned cell becomes a
+    /// recorded [`crate::fault::CellError`] in the returned report
+    /// instead of killing the sweep. With no failures the report's table
+    /// is bit-identical to [`sweep`](Self::sweep)'s. See
+    /// [`SweepPlan::run_fault_tolerant`].
+    pub fn sweep_fault_tolerant(
+        &self,
+        datasets: &[(String, String, &Dataset)],
+        spec: &SweepSpec,
+        exec: &ExecSpec,
+    ) -> RunReport {
+        let data: Vec<&Dataset> = datasets.iter().map(|(_, _, d)| *d).collect();
+        self.sweep_plan(datasets, spec).run_fault_tolerant(
+            &self.sweep_models(),
+            Some(self.surrogate()),
+            &data,
+            exec,
+        )
+    }
+
+    /// Executes a (possibly [sharded](SweepPlan::shard)) plan from
+    /// [`sweep_plan`](Self::sweep_plan) against a checkpointed result
+    /// store: only cells missing from the store run, so rerunning after
+    /// a crash resumes where the last checkpoint left off. See
+    /// [`SweepPlan::run_with_store`] for the full resume and failure
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store belongs to a different sweep or a checkpoint
+    /// write fails.
+    pub fn sweep_with_store(
+        &self,
+        plan: &SweepPlan,
+        datasets: &[(String, String, &Dataset)],
+        exec: &ExecSpec,
+        store: &mut ResultStore,
+    ) -> Result<RunReport, StoreError> {
+        let data: Vec<&Dataset> = datasets.iter().map(|(_, _, d)| *d).collect();
+        plan.run_with_store(
+            &self.sweep_models(),
+            Some(self.surrogate()),
+            &data,
+            exec,
+            store,
+        )
     }
 
     /// The sweep datasets of a scenario: every per-device test set,

@@ -59,14 +59,55 @@
 //! [`ResultRow`] (the `env_mult` CSV column, emitted only when the axis
 //! is actually swept), and a pinned golden of its own
 //! (`tests/golden/env_sweep.csv`).
+//!
+//! # Partial failure, sharding & resume
+//!
+//! [`SweepPlan::run`] is deliberately **all-or-nothing**: a cell that
+//! panics unwinds to the fan-out's scope boundary and aborts the whole
+//! run with nothing persisted; there is no partial table to reason
+//! about. Long or flaky sweeps use the fault-tolerant layer instead:
+//!
+//! * [`SweepPlan::shard`] restricts a plan to a contiguous plan-index
+//!   range (the enumeration is flat and stable, so shards are
+//!   independently runnable); [`SweepPlan::shard_ranges`] splits a plan
+//!   into `n` near-equal such ranges. Shards keep their parent's
+//!   [`full_len`](SweepPlan::full_len) and
+//!   [`fingerprint`](SweepPlan::fingerprint), so every shard shares the
+//!   parent sweep's store identity.
+//! * [`SweepPlan::run_with_store`] executes only the cells **missing**
+//!   from a [`crate::store::ResultStore`], records each finished row as
+//!   it completes, and checkpoints the store crash-safely on a fixed
+//!   cadence. Resume = rerun the same spec against the same store file;
+//!   cells finished before a crash are restored from disk, bit-exact.
+//! * [`SweepPlan::run_fault_tolerant`] (and the store-backed variant)
+//!   wraps every cell in a panic quarantine with a bounded,
+//!   deterministic retry budget — see [`crate::fault::ExecSpec`]. A
+//!   cell that panics past its budget becomes a recorded
+//!   [`crate::fault::CellError`] in the [`crate::fault::RunReport`],
+//!   never a lost sweep and never a silently dropped row.
+//!
+//! The determinism law extends to faults: because rows are keyed and
+//! merged by plan index and retries replay identical inputs, a sweep
+//! that crashed and resumed, ran as N shards merged
+//! ([`crate::store::ResultStore::merge`] — overlap is an error, not
+//! last-wins), or retried past injected faults produces a **byte
+//! identical CSV** to a clean one-shot run at every `CALLOC_THREADS`.
+//! `tests/fault_tolerance.rs` pins each of those paths against the
+//! golden CSV, with faults injected via [`crate::fault::FaultPlan`].
+
+use std::ops::Range;
+use std::path::Path;
+use std::sync::Mutex;
 
 use calloc_attack::{AttackConfig, AttackKind, MitmAttack, MitmVariant, Targeting};
 use calloc_nn::{DifferentiableModel, Localizer};
 use calloc_sim::{Dataset, Scenario};
 use calloc_tensor::par;
 
+use crate::fault::{CellError, ExecSpec, RunReport};
 use crate::metrics::evaluate_mitm;
 use crate::report::{ResultRow, ResultTable};
+use crate::store::{ResultStore, StoreError};
 
 /// Declarative description of an attack sweep: the grid axes crossed with
 /// every (member, dataset) pair under evaluation.
@@ -237,11 +278,13 @@ impl SweepSpec {
                 }
             }
         }
+        let full_cells = cells.len();
         SweepPlan {
             spec: self.clone(),
             members: members.to_vec(),
             datasets: datasets.to_vec(),
             cells,
+            full_cells,
         }
     }
 }
@@ -302,6 +345,9 @@ pub struct SweepPlan {
     members: Vec<String>,
     datasets: Vec<(String, String)>,
     cells: Vec<SweepCell>,
+    /// Cell count of the parent (unsharded) plan — shards keep it so
+    /// they share the parent's store identity.
+    full_cells: usize,
 }
 
 impl SweepPlan {
@@ -354,12 +400,33 @@ impl SweepPlan {
     ///
     /// Panics if `models` / `datasets` lengths disagree with the plan's
     /// label lists (× environment levels), or if any dataset is empty.
+    /// A panicking **cell** unwinds to the fan-out boundary and aborts
+    /// the whole run — all-or-nothing, nothing partial to reason about;
+    /// use [`run_fault_tolerant`](Self::run_fault_tolerant) /
+    /// [`run_with_store`](Self::run_with_store) when cells may be lost
+    /// or the process may be killed.
     pub fn run(
         &self,
         models: &[&dyn Localizer],
         surrogate: Option<&dyn DifferentiableModel>,
         datasets: &[&Dataset],
     ) -> ResultTable {
+        self.check_run_inputs(models, datasets);
+        let rows = par::par_chunks(self.cells.len(), 1, |range| {
+            range
+                .map(|i| self.evaluate_cell(&self.cells[i], models, surrogate, datasets))
+                .collect::<Vec<ResultRow>>()
+        });
+        let mut table = self.empty_table();
+        for row in rows.into_iter().flatten() {
+            table.push(row);
+        }
+        table
+    }
+
+    /// Validates the `run` input contract shared by every execution
+    /// entry point.
+    fn check_run_inputs(&self, models: &[&dyn Localizer], datasets: &[&Dataset]) {
         assert_eq!(
             models.len(),
             self.members.len(),
@@ -370,11 +437,10 @@ impl SweepPlan {
             self.datasets.len() * self.spec.env_multipliers.len(),
             "dataset slot count must be one per (label, environment level)"
         );
-        let rows = par::par_chunks(self.cells.len(), 1, |range| {
-            range
-                .map(|i| self.evaluate_cell(&self.cells[i], models, surrogate, datasets))
-                .collect::<Vec<ResultRow>>()
-        });
+    }
+
+    /// An empty table with this plan's CSV schema.
+    fn empty_table(&self) -> ResultTable {
         let mut table = ResultTable::new();
         // A non-baseline environment axis fixes the CSV schema for the
         // whole table (and, through `filtered`, all its slices), so an
@@ -382,10 +448,323 @@ impl SweepPlan {
         if self.spec.env_multipliers != [1.0] {
             table.mark_env_swept();
         }
-        for row in rows.into_iter().flatten() {
-            table.push(row);
+        table
+    }
+
+    /// Total cell count of the parent (unsharded) plan: equal to
+    /// [`len`](Self::len) for a full plan. A shard keeps its parent's
+    /// value, so plan indices always lie in `0..full_len()` and every
+    /// shard of one sweep shares the parent's store identity.
+    pub fn full_len(&self) -> usize {
+        self.full_cells
+    }
+
+    /// A stable 64-bit identity of the sweep this plan (or shard)
+    /// belongs to: an FNV-1a hash of the spec's axes, the member and
+    /// dataset labels, and the parent plan's cell count — everything
+    /// that determines what each plan index evaluates. Sharding does not
+    /// change it, so a [`crate::store::ResultStore`] opened by any shard
+    /// interoperates with every other shard of the same sweep, while a
+    /// store from a *different* sweep is rejected up front
+    /// ([`crate::store::StoreError::PlanMismatch`]) instead of silently
+    /// mixing results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.full_cells as u64);
+        h.u64(self.members.len() as u64);
+        for m in &self.members {
+            h.str(m);
+        }
+        h.u64(self.datasets.len() as u64);
+        for (building, device) in &self.datasets {
+            h.str(building);
+            h.str(device);
+        }
+        let s = &self.spec;
+        h.u64(s.attacks.len() as u64);
+        for kind in &s.attacks {
+            h.str(kind.name());
+        }
+        h.u64(s.variants.len() as u64);
+        for v in &s.variants {
+            h.str(v.name());
+        }
+        h.u64(s.targetings.len() as u64);
+        for t in &s.targetings {
+            h.str(t.name());
+        }
+        h.u64(s.epsilons.len() as u64);
+        for &e in &s.epsilons {
+            h.u64(e.to_bits());
+        }
+        h.u64(s.phis.len() as u64);
+        for &p in &s.phis {
+            h.u64(p.to_bits());
+        }
+        h.u64(s.env_multipliers.len() as u64);
+        for &m in &s.env_multipliers {
+            h.u64(m.to_bits());
+        }
+        h.u64(s.epsilon_unit.to_bits());
+        h.u64(u64::from(s.include_clean));
+        h.u64(s.seed);
+        h.finish()
+    }
+
+    /// Restricts the plan to a contiguous range of cell **positions**
+    /// (equal to plan indices on a full plan). The shard keeps its
+    /// parent's spec, labels, [`full_len`](Self::full_len) and
+    /// [`fingerprint`](Self::fingerprint), and its cells keep their
+    /// original plan indices — so shards executed in separate processes
+    /// write disjoint record sets that
+    /// [merge](crate::store::ResultStore::merge) back bit-identically to
+    /// the one-shot run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not lie within `0..len()`.
+    pub fn shard(&self, range: Range<usize>) -> SweepPlan {
+        assert!(
+            range.start <= range.end && range.end <= self.cells.len(),
+            "shard range {range:?} out of bounds for a {}-cell plan",
+            self.cells.len()
+        );
+        SweepPlan {
+            spec: self.spec.clone(),
+            members: self.members.clone(),
+            datasets: self.datasets.clone(),
+            cells: self.cells[range].to_vec(),
+            full_cells: self.full_cells,
+        }
+    }
+
+    /// Splits `0..len()` into `n` near-equal contiguous ranges (the
+    /// first `len % n` ranges get one extra cell), suitable for
+    /// [`shard`](Self::shard). Ranges beyond the cell count come back
+    /// empty rather than panicking, so `n` can exceed the plan size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn shard_ranges(&self, n: usize) -> Vec<Range<usize>> {
+        assert!(n > 0, "cannot split a plan into zero shards");
+        let len = self.cells.len();
+        let base = len / n;
+        let extra = len % n;
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0;
+        for i in 0..n {
+            let size = base + usize::from(i < extra);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ranges
+    }
+
+    /// Opens (or creates) a crash-safe result store for this sweep at
+    /// `path` — see [`crate::store::ResultStore::open`].
+    pub fn open_store(&self, path: &Path) -> Result<ResultStore, StoreError> {
+        ResultStore::open(path, self.full_cells, self.fingerprint())
+    }
+
+    /// An empty in-memory result store for this sweep (checkpoints are
+    /// no-ops) — useful for shard-and-merge flows that never touch disk.
+    pub fn memory_store(&self) -> ResultStore {
+        ResultStore::in_memory(self.full_cells, self.fingerprint())
+    }
+
+    /// Assembles the result table of this plan's cells from a store, in
+    /// ascending plan index. Cells without a recorded row (not yet
+    /// executed, or quarantined) are simply absent — re-running the plan
+    /// against the same store executes exactly those. For a completed
+    /// store this table is bit-identical to what [`run`](Self::run)
+    /// returns, so its CSV matches the goldens byte for byte.
+    pub fn table_from_store(&self, store: &ResultStore) -> ResultTable {
+        let mut table = self.empty_table();
+        for cell in &self.cells {
+            if let Some(row) = store.get(cell.plan_index) {
+                table.push(row.clone());
+            }
         }
         table
+    }
+
+    /// Executes the plan with per-cell panic quarantine and bounded
+    /// deterministic retries, entirely in memory.
+    ///
+    /// Every cell runs behind a [`par::caught`] /
+    /// [`par::par_run_caught`] unwind boundary: a panicking cell is
+    /// retried up to [`ExecSpec::retries`] times (replaying identical
+    /// inputs — same seed ⇒ same replay) and, if it panics on every
+    /// attempt, is recorded as a [`CellError`] in the returned
+    /// [`RunReport`] instead of killing the sweep. Successful rows merge
+    /// in plan-index order exactly as in [`run`](Self::run), so a report
+    /// with no errors carries a bit-identical table.
+    ///
+    /// Fault injection for tests goes through [`ExecSpec::faults`];
+    /// production runs leave it empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same input-contract violations as
+    /// [`run`](Self::run) (those are caller bugs, not cell faults).
+    pub fn run_fault_tolerant(
+        &self,
+        models: &[&dyn Localizer],
+        surrogate: Option<&dyn DifferentiableModel>,
+        datasets: &[&Dataset],
+        exec: &ExecSpec,
+    ) -> RunReport {
+        self.check_run_inputs(models, datasets);
+        let positions: Vec<usize> = (0..self.cells.len()).collect();
+        let (rows, errors, recovered) =
+            self.run_quarantined(&positions, models, surrogate, datasets, exec, None);
+        let mut table = self.empty_table();
+        for row in rows {
+            table.push(row);
+        }
+        RunReport {
+            table,
+            errors,
+            executed: positions.len(),
+            recovered,
+        }
+    }
+
+    /// Executes the cells of this plan (or shard) that are **missing**
+    /// from `store`, with the same quarantine/retry semantics as
+    /// [`run_fault_tolerant`](Self::run_fault_tolerant), recording each
+    /// finished row into the store as it completes and checkpointing
+    /// crash-safely every [`ExecSpec::checkpoint_every`] cells plus once
+    /// at the end.
+    ///
+    /// This is the resume primitive: a killed run loses at most the
+    /// cells since the last checkpoint, and rerunning the same spec
+    /// against the same store executes only what is absent — restored
+    /// rows are bit-exact (floats round-trip as raw bits), so the final
+    /// table and CSV are byte-identical to a clean one-shot run. The
+    /// returned report's table covers **all** of this plan's recorded
+    /// cells, restored and fresh alike.
+    ///
+    /// # Errors
+    ///
+    /// Fails up front with [`StoreError::PlanMismatch`] if the store
+    /// belongs to a different sweep, and with the store's error if a
+    /// checkpoint or record write fails (the run aborts once in-flight
+    /// cells drain; the store keeps every row recorded before the
+    /// failure).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same input-contract violations as
+    /// [`run`](Self::run).
+    pub fn run_with_store(
+        &self,
+        models: &[&dyn Localizer],
+        surrogate: Option<&dyn DifferentiableModel>,
+        datasets: &[&Dataset],
+        exec: &ExecSpec,
+        store: &mut ResultStore,
+    ) -> Result<RunReport, StoreError> {
+        self.check_run_inputs(models, datasets);
+        store.check_plan(self.full_cells, self.fingerprint())?;
+        let missing: Vec<usize> = (0..self.cells.len())
+            .filter(|&p| !store.contains(self.cells[p].plan_index))
+            .collect();
+        let executed = missing.len();
+        let sink = StoreSink::new(store, exec.checkpoint_every);
+        let (_, errors, recovered) =
+            self.run_quarantined(&missing, models, surrogate, datasets, exec, Some(&sink));
+        sink.finish()?;
+        store.checkpoint()?;
+        Ok(RunReport {
+            table: self.table_from_store(store),
+            errors,
+            executed,
+            recovered,
+        })
+    }
+
+    /// Quarantined fan-out over the given cell positions: each position
+    /// becomes one pool job whose panics are isolated per slot by
+    /// [`par::par_run_caught`]. Returns the successful rows in position
+    /// order (= ascending plan index), the quarantined cells, and how
+    /// many cells recovered within their retry budget. When a sink is
+    /// given, each finished row is also recorded the moment its cell
+    /// completes, so checkpoints can cover rows of still-running chunks.
+    fn run_quarantined(
+        &self,
+        positions: &[usize],
+        models: &[&dyn Localizer],
+        surrogate: Option<&dyn DifferentiableModel>,
+        datasets: &[&Dataset],
+        exec: &ExecSpec,
+        sink: Option<&StoreSink<'_>>,
+    ) -> (Vec<ResultRow>, Vec<CellError>, usize) {
+        let jobs: Vec<Box<dyn FnOnce() -> (ResultRow, usize) + Send + '_>> = positions
+            .iter()
+            .map(|&pos| {
+                let job: Box<dyn FnOnce() -> (ResultRow, usize) + Send + '_> =
+                    Box::new(move || {
+                        let attempted = self.attempt_cell(pos, models, surrogate, datasets, exec);
+                        if let Some(sink) = sink {
+                            sink.record(attempted.0.clone());
+                        }
+                        attempted
+                    });
+                job
+            })
+            .collect();
+        let outcomes = par::par_run_caught(jobs);
+        let mut rows = Vec::with_capacity(outcomes.len());
+        let mut errors = Vec::new();
+        let mut recovered = 0;
+        for (&pos, outcome) in positions.iter().zip(outcomes) {
+            match outcome {
+                Ok((row, attempts)) => {
+                    if attempts > 1 {
+                        recovered += 1;
+                    }
+                    rows.push(row);
+                }
+                Err(panic) => errors.push(CellError {
+                    plan_index: self.cells[pos].plan_index,
+                    attempts: exec.max_attempts(),
+                    payload: panic.message().to_string(),
+                }),
+            }
+        }
+        (rows, errors, recovered)
+    }
+
+    /// Evaluates one cell with its retry budget, returning the row and
+    /// the number of attempts consumed. Non-final attempts are caught
+    /// *inside* the job ([`par::caught`]); the final attempt runs bare,
+    /// so the [`par::par_run_caught`] fan-out boundary is the quarantine
+    /// of record for cells that exhaust their budget.
+    fn attempt_cell(
+        &self,
+        position: usize,
+        models: &[&dyn Localizer],
+        surrogate: Option<&dyn DifferentiableModel>,
+        datasets: &[&Dataset],
+        exec: &ExecSpec,
+    ) -> (ResultRow, usize) {
+        let cell = &self.cells[position];
+        for attempt in 0..exec.retries {
+            let outcome = par::caught(|| {
+                exec.faults.maybe_panic(cell.plan_index, attempt);
+                self.evaluate_cell(cell, models, surrogate, datasets)
+            });
+            if let Ok(row) = outcome {
+                return (row, attempt + 1);
+            }
+        }
+        exec.faults.maybe_panic(cell.plan_index, exec.retries);
+        (
+            self.evaluate_cell(cell, models, surrogate, datasets),
+            exec.retries + 1,
+        )
     }
 
     /// Evaluates one cell into its result row.
@@ -434,6 +813,98 @@ impl SweepPlan {
                 }
             }
         }
+    }
+}
+
+/// Shared, lock-guarded funnel from concurrently finishing cells into a
+/// result store: records rows the moment they complete and checkpoints
+/// on the configured cadence. The first store error latches; further
+/// records are dropped and the error surfaces from [`finish`]
+/// (the run aborts with it once in-flight cells drain).
+///
+/// [`finish`]: StoreSink::finish
+struct StoreSink<'a> {
+    inner: Mutex<SinkInner<'a>>,
+}
+
+struct SinkInner<'a> {
+    store: &'a mut ResultStore,
+    since_checkpoint: usize,
+    cadence: usize,
+    error: Option<StoreError>,
+}
+
+impl<'a> StoreSink<'a> {
+    fn new(store: &'a mut ResultStore, cadence: usize) -> Self {
+        StoreSink {
+            inner: Mutex::new(SinkInner {
+                store,
+                since_checkpoint: 0,
+                cadence,
+                error: None,
+            }),
+        }
+    }
+
+    fn record(&self, row: ResultRow) {
+        let mut inner = self.inner.lock().expect("store sink lock poisoned");
+        if inner.error.is_some() {
+            return;
+        }
+        if let Err(e) = inner.store.insert(row) {
+            inner.error = Some(e);
+            return;
+        }
+        inner.since_checkpoint += 1;
+        if inner.cadence > 0 && inner.since_checkpoint >= inner.cadence {
+            match inner.store.checkpoint() {
+                Ok(()) => inner.since_checkpoint = 0,
+                Err(e) => inner.error = Some(e),
+            }
+        }
+    }
+
+    fn finish(self) -> Result<(), StoreError> {
+        let inner = self.inner.into_inner().expect("store sink lock poisoned");
+        match inner.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Minimal FNV-1a accumulator for [`SweepPlan::fingerprint`]. Every
+/// field is written length- or tag-prefixed by the caller, so distinct
+/// field sequences cannot collide by concatenation.
+struct Fnv {
+    hash: u64,
+}
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv {
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
     }
 }
 
@@ -717,5 +1188,223 @@ mod tests {
         );
         assert_eq!(plan.len(), 2);
         assert!(!plan.is_empty());
+    }
+
+    fn toy_plan() -> SweepPlan {
+        spec().plan(
+            &["KNN".to_string(), "DNN".to_string()],
+            &[("B1".to_string(), "OP3".to_string())],
+        )
+    }
+
+    #[test]
+    fn shard_ranges_partition_the_plan() {
+        let plan = toy_plan();
+        for n in [1, 2, 3, plan.len(), plan.len() + 5] {
+            let ranges = plan.shard_ranges(n);
+            assert_eq!(ranges.len(), n);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                next = r.end;
+            }
+            assert_eq!(next, plan.len(), "ranges must cover the whole plan");
+        }
+    }
+
+    #[test]
+    fn shards_keep_plan_indices_and_identity() {
+        let plan = toy_plan();
+        let shard = plan.shard(3..7);
+        assert_eq!(shard.len(), 4);
+        assert_eq!(shard.full_len(), plan.len());
+        assert_eq!(shard.fingerprint(), plan.fingerprint());
+        assert_eq!(
+            shard.cells()[0].plan_index,
+            3,
+            "shard cells keep their original plan indices"
+        );
+        assert_eq!(shard.cells(), &plan.cells()[3..7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shard_rejects_an_out_of_range_window() {
+        let plan = toy_plan();
+        let _ = plan.shard(0..plan.len() + 1);
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_sweep() {
+        let members = vec!["KNN".to_string()];
+        let datasets = vec![("B1".to_string(), "OP3".to_string())];
+        let a = spec().plan(&members, &datasets);
+        let b = spec().with_seed(99).plan(&members, &datasets);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "seed is part of identity");
+        assert_eq!(
+            a.fingerprint(),
+            spec().plan(&members, &datasets).fingerprint(),
+            "same spec and labels must fingerprint identically"
+        );
+        let other_device = vec![("B1".to_string(), "BLU".to_string())];
+        assert_ne!(
+            a.fingerprint(),
+            spec().plan(&members, &other_device).fingerprint(),
+            "dataset labels are part of identity"
+        );
+    }
+
+    /// A small but real single-member sweep over the tiny scenario,
+    /// shared by the fault-tolerance equivalence tests.
+    fn knn_fixture(scenario: &Scenario) -> (SweepPlan, Vec<&Dataset>, KnnLocalizer) {
+        let names = vec!["KNN".to_string()];
+        let labels: Vec<(String, String)> = scenario
+            .test_per_device
+            .iter()
+            .map(|(d, _)| ("B1".to_string(), d.acronym.clone()))
+            .collect();
+        let data: Vec<&Dataset> = scenario.test_per_device.iter().map(|(_, t)| t).collect();
+        let plan = SweepSpec::grid(vec![0.2], vec![100.0])
+            .with_seed(5)
+            .plan(&names, &labels);
+        let knn = KnnLocalizer::fit(
+            scenario.train.x.clone(),
+            scenario.train.labels.clone(),
+            scenario.train.num_classes(),
+            3,
+        );
+        (plan, data, knn)
+    }
+
+    #[test]
+    fn fault_tolerant_run_matches_plain_run_bit_for_bit() {
+        let scenario = tiny_scenario();
+        let (plan, data, knn) = knn_fixture(&scenario);
+        let soft = knn.to_soft(0.05);
+        let models: Vec<&dyn Localizer> = vec![&knn];
+        let plain = plan.run(&models, Some(&soft), &data);
+        let report = plan.run_fault_tolerant(&models, Some(&soft), &data, &ExecSpec::default());
+        assert!(report.is_complete());
+        assert_eq!(report.executed, plan.len());
+        assert_eq!(report.recovered, 0);
+        assert_eq!(report.table.rows(), plain.rows());
+        assert_eq!(report.table.to_csv(), plain.to_csv());
+    }
+
+    #[test]
+    fn injected_faults_recover_within_the_retry_budget() {
+        par::silence_injected_panics();
+        let scenario = tiny_scenario();
+        let (plan, data, knn) = knn_fixture(&scenario);
+        let soft = knn.to_soft(0.05);
+        let models: Vec<&dyn Localizer> = vec![&knn];
+        let plain = plan.run(&models, Some(&soft), &data);
+        let exec = ExecSpec::default()
+            .with_retries(2)
+            .with_faults(crate::fault::FaultPlan::panic_on(&[0, 3], 2));
+        let report = plan.run_fault_tolerant(&models, Some(&soft), &data, &exec);
+        assert!(report.is_complete(), "{}", report.summary());
+        assert_eq!(
+            report.recovered, 2,
+            "both faulted cells must retry to success"
+        );
+        assert_eq!(
+            report.table.rows(),
+            plain.rows(),
+            "retried cells must replay to identical rows"
+        );
+    }
+
+    #[test]
+    fn exhausted_cells_are_quarantined_not_fatal() {
+        par::silence_injected_panics();
+        let scenario = tiny_scenario();
+        let (plan, data, knn) = knn_fixture(&scenario);
+        let soft = knn.to_soft(0.05);
+        let models: Vec<&dyn Localizer> = vec![&knn];
+        let exec = ExecSpec::default()
+            .with_retries(1)
+            .with_faults(crate::fault::FaultPlan::none().panicking(1, 5));
+        let report = plan.run_fault_tolerant(&models, Some(&soft), &data, &exec);
+        assert!(!report.is_complete());
+        assert_eq!(report.errors.len(), 1);
+        let err = &report.errors[0];
+        assert_eq!((err.plan_index, err.attempts), (1, 2));
+        assert!(err.payload.contains("injected fault"), "{}", err.payload);
+        assert_eq!(report.table.len(), plan.len() - 1);
+        assert!(
+            report.table.rows().iter().all(|r| r.plan_index != 1),
+            "the quarantined cell must not contribute a row"
+        );
+        assert!(
+            report.summary().contains("1 quarantined"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn store_backed_run_resumes_only_missing_cells() {
+        let scenario = tiny_scenario();
+        let (plan, data, knn) = knn_fixture(&scenario);
+        let soft = knn.to_soft(0.05);
+        let models: Vec<&dyn Localizer> = vec![&knn];
+        let plain = plan.run(&models, Some(&soft), &data);
+
+        let mut store = plan.memory_store();
+        let first = plan.shard(0..2);
+        let report = first
+            .run_with_store(
+                &models,
+                Some(&soft),
+                &data,
+                &ExecSpec::default(),
+                &mut store,
+            )
+            .expect("shard run");
+        assert_eq!(report.executed, 2);
+        assert_eq!(store.len(), 2);
+
+        let report = plan
+            .run_with_store(
+                &models,
+                Some(&soft),
+                &data,
+                &ExecSpec::default(),
+                &mut store,
+            )
+            .expect("resume run");
+        assert_eq!(
+            report.executed,
+            plan.len() - 2,
+            "only cells missing from the store may execute"
+        );
+        assert_eq!(report.table.rows(), plain.rows());
+        assert_eq!(report.table.to_csv(), plain.to_csv());
+
+        // A third pass finds nothing to do and restores everything.
+        let report = plan
+            .run_with_store(
+                &models,
+                Some(&soft),
+                &data,
+                &ExecSpec::default(),
+                &mut store,
+            )
+            .expect("no-op run");
+        assert_eq!(report.executed, 0);
+        assert_eq!(report.table.rows(), plain.rows());
+    }
+
+    #[test]
+    fn store_backed_run_rejects_a_foreign_store() {
+        let scenario = tiny_scenario();
+        let (plan, data, knn) = knn_fixture(&scenario);
+        let models: Vec<&dyn Localizer> = vec![&knn];
+        let mut store = ResultStore::in_memory(plan.full_len(), plan.fingerprint() ^ 1);
+        let err = plan
+            .run_with_store(&models, None, &data, &ExecSpec::default(), &mut store)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::PlanMismatch { .. }), "{err}");
     }
 }

@@ -3,9 +3,11 @@
 //! [`calloc_eval::ResultTable`] aggregations.
 
 use calloc_baselines::KnnLocalizer;
-use calloc_eval::{evaluate, ResultRow, ResultTable, SweepSpec};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_eval::{evaluate, ExecSpec, Localizer, ResultRow, ResultTable, SweepPlan, SweepSpec};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario};
+use calloc_tensor::par;
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn tiny_scenario(salt: u64, seed: u64) -> Scenario {
     let id = BuildingId::ALL[(salt % 5) as usize];
@@ -20,6 +22,40 @@ fn tiny_scenario(salt: u64, seed: u64) -> Scenario {
 
 fn row(framework: &str, mean: f64, max: f64) -> ResultRow {
     ResultRow::clean(0, framework, "B1", "OP3", mean, max)
+}
+
+/// The pinned KNN-only sweep behind the sharding law below: one tiny
+/// scenario, a 3-NN model, and the one-shot reference CSV — built once
+/// per process so every proptest case partitions the *same* plan.
+fn shard_fixture() -> &'static (Scenario, KnnLocalizer, String) {
+    static FIXTURE: OnceLock<(Scenario, KnnLocalizer, String)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scenario = tiny_scenario(3, 17);
+        let knn = KnnLocalizer::fit(
+            scenario.train.x.clone(),
+            scenario.train.labels.clone(),
+            scenario.train.num_classes(),
+            3,
+        );
+        let (plan, datasets) = shard_plan(&scenario);
+        let reference = plan.run(&[&knn], None, &datasets).to_csv();
+        (scenario, knn, reference)
+    })
+}
+
+/// The plan (and borrowed datasets) of [`shard_fixture`]'s sweep.
+fn shard_plan(scenario: &Scenario) -> (SweepPlan, Vec<&Dataset>) {
+    let names = vec!["KNN".to_string()];
+    let labels: Vec<(String, String)> = scenario
+        .test_per_device
+        .iter()
+        .map(|(d, _)| ("B1".to_string(), d.acronym.clone()))
+        .collect();
+    let datasets: Vec<&Dataset> = scenario.test_per_device.iter().map(|(_, t)| t).collect();
+    let plan = SweepSpec::grid(vec![0.2, 0.4], vec![100.0])
+        .with_seed(5)
+        .plan(&names, &labels);
+    (plan, datasets)
 }
 
 proptest! {
@@ -150,6 +186,57 @@ proptest! {
             prop_assert!(cell.member < n_members);
             prop_assert!(cell.dataset < n_datasets);
             prop_assert!(cell.env < n_env);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sharding law: **any** partition of the plan indices into
+    /// contiguous shards, each run against its own store and merged,
+    /// reproduces the one-shot sweep bit for bit — at `CALLOC_THREADS`
+    /// 1, 2, 3 and 8 (via the process-local override).
+    #[test]
+    fn any_shard_partition_merges_to_the_one_shot_bytes(
+        cuts in proptest::collection::vec(0usize..1000, 0..5),
+    ) {
+        let (scenario, knn, reference) = shard_fixture();
+        let (plan, datasets) = shard_plan(scenario);
+        let models: Vec<&dyn Localizer> = vec![knn];
+
+        // Map the raw draws onto sorted, deduplicated cut points; the
+        // gaps between consecutive boundaries are the shard windows
+        // (empty windows are legal shards and must merge as no-ops).
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (plan.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(plan.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let _threads = par::ThreadGuard::new(1);
+        for threads in [1usize, 2, 3, 8] {
+            par::set_threads(threads);
+            let mut merged = plan.memory_store();
+            for window in bounds.windows(2) {
+                let shard = plan.shard(window[0]..window[1]);
+                let mut store = plan.memory_store();
+                let report = shard
+                    .run_with_store(&models, None, &datasets, &ExecSpec::default(), &mut store)
+                    .expect("shard run");
+                prop_assert!(report.is_complete(), "{}", report.summary());
+                prop_assert_eq!(report.executed, window[1] - window[0]);
+                merged.merge(&store).expect("disjoint shards");
+            }
+            prop_assert_eq!(merged.len(), plan.len());
+            let csv = plan.table_from_store(&merged).to_csv();
+            prop_assert_eq!(
+                &csv,
+                reference,
+                "sharded sweep diverges from the one-shot run at {} threads with cuts {:?}",
+                threads,
+                bounds
+            );
         }
     }
 }

@@ -364,6 +364,32 @@ impl ScenarioPlan {
         self.cells.is_empty()
     }
 
+    /// Restricts the plan to a contiguous range of cell positions (equal
+    /// to plan indices on a full plan): the enumeration is flat and
+    /// stable, so shards are independently generatable — in separate
+    /// processes, even — and their scenarios reassemble in plan-index
+    /// order. The shard keeps the full spec and building list, and its
+    /// cells keep their **original** plan indices; on a sharded plan
+    /// [`index_of`](Self::index_of) therefore still returns parent-plan
+    /// indices, which no longer equal positions in the shard's
+    /// [`generate`](Self::generate) output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not lie within `0..len()`.
+    pub fn shard(&self, range: std::ops::Range<usize>) -> ScenarioPlan {
+        assert!(
+            range.start <= range.end && range.end <= self.cells.len(),
+            "shard range {range:?} out of bounds for a {}-cell plan",
+            self.cells.len()
+        );
+        ScenarioPlan {
+            spec: self.spec.clone(),
+            buildings: self.buildings.clone(),
+            cells: self.cells[range].to_vec(),
+        }
+    }
+
     /// The concrete collection protocol of one cell: the template config
     /// with the cell's density, device set and environment applied. A cell
     /// on all-baseline axes (as produced by [`ScenarioSpec::from_base`])
@@ -687,6 +713,37 @@ mod tests {
             .label(),
             "drift x2 / reshadow x1"
         );
+    }
+
+    #[test]
+    fn shards_generate_the_same_scenarios_as_the_full_plan() {
+        let spec = ScenarioSpec::single(tiny_building(), 0, CollectionConfig::small(), 1)
+            .with_seeds(vec![1, 2, 3]);
+        let full = spec.plan();
+        let whole = spec.generate();
+
+        let back = full.shard(1..3);
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.cells()[0].plan_index,
+            1,
+            "shard cells keep their original plan indices"
+        );
+        let back_set = back.generate();
+        assert_eq!(back_set.scenario(0), whole.scenario(1));
+        assert_eq!(back_set.scenario(1), whole.scenario(2));
+
+        let front = spec.plan().shard(0..1).generate();
+        assert_eq!(front.scenario(0), whole.scenario(0));
+
+        assert!(spec.plan().shard(2..2).is_empty(), "empty shards are fine");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shard_rejects_an_out_of_range_window() {
+        let plan = ScenarioSpec::single(tiny_building(), 0, CollectionConfig::small(), 1).plan();
+        let _ = plan.shard(0..2);
     }
 
     #[test]

@@ -62,8 +62,10 @@
 //! pool, not by the product of nested budgets. Like everything else here,
 //! nesting only shifts wall time, never bits.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -424,6 +426,96 @@ pub fn par_run<R: Send>(jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>) -> Vec<R>
     run_reclaimed(jobs, &|job| job())
 }
 
+/// A panic captured at a panic-isolation boundary ([`caught`] /
+/// [`par_run_caught`]): the payload rendered as a message string, so
+/// callers can record or report the failure without carrying the original
+/// `Box<dyn Any>` across threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    message: String,
+}
+
+impl CaughtPanic {
+    /// Renders a raw `catch_unwind` payload. `panic!` with a format string
+    /// yields a `String` payload and a literal yields `&'static str`; any
+    /// other payload type is reported as opaque rather than dropped.
+    fn from_payload(payload: Box<dyn Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        CaughtPanic { message }
+    }
+
+    /// The rendered panic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "panicked: {}", self.message)
+    }
+}
+
+/// Runs `f`, converting a panic into an `Err(CaughtPanic)` instead of
+/// unwinding into the caller — the single-job form of the panic-isolation
+/// boundary used by [`par_run_caught`]. Callers that retry a failed unit
+/// of work (the sweep engine's per-cell retry budget) wrap each attempt in
+/// this.
+///
+/// The closure is treated as unwind-safe: the intended use is a *pure*
+/// unit of work (a sweep cell, a generation cell) whose partial effects
+/// are discarded wholesale on failure, so no torn state can leak.
+pub fn caught<T>(f: impl FnOnce() -> T) -> Result<T, CaughtPanic> {
+    panic::catch_unwind(AssertUnwindSafe(f)).map_err(CaughtPanic::from_payload)
+}
+
+/// The panic-isolating variant of [`par_run`]: runs the jobs with the same
+/// FIFO-reclaiming fan-out and job-order merge, but a panicking job yields
+/// `Err(CaughtPanic)` in its slot instead of poisoning the whole fan-out
+/// (plain [`par_run`] re-throws the first job panic at the scope boundary,
+/// discarding every other job's result).
+///
+/// The order contract is unchanged: slot `i` always holds job `i`'s
+/// outcome, so which worker observed the panic — or how many jobs ran
+/// before it — can never change a bit of the merged output.
+pub fn par_run_caught<R: Send>(
+    jobs: Vec<Box<dyn FnOnce() -> R + Send + '_>>,
+) -> Vec<Result<R, CaughtPanic>> {
+    run_reclaimed(jobs, &|job| caught(job))
+}
+
+/// Installs (once, process-wide) a panic-hook filter that suppresses the
+/// default "thread panicked" stderr report for panics whose payload
+/// contains `"injected fault"` — the recognizable prefix of
+/// fault-injection panics (see `calloc_eval`'s `FaultPlan`). All other
+/// panics keep the previous hook's behavior. Test harnesses exercising
+/// quarantine/retry paths call this so thousands of *expected* injected
+/// panics don't flood the test log; it never changes what
+/// [`caught`]/[`par_run_caught`] observe or return.
+pub fn silence_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied());
+            if message.is_some_and(|m| m.contains("injected fault")) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -726,6 +818,54 @@ mod tests {
             let _t = ThreadGuard::new(budget);
             let total: usize = par_chunks(500, 1, |r| r.sum::<usize>()).iter().sum();
             assert_eq!(total, expected, "budget {budget} dispatched incorrectly");
+        }
+    }
+
+    #[test]
+    fn caught_returns_ok_for_clean_closures() {
+        assert_eq!(caught(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn caught_captures_string_and_str_payloads() {
+        let err = caught(|| -> () { panic!("formatted {}", 7) }).unwrap_err();
+        assert_eq!(err.message(), "formatted 7");
+        assert_eq!(format!("{err}"), "panicked: formatted 7");
+        let err = caught(|| -> () { panic!("literal payload") }).unwrap_err();
+        assert_eq!(err.message(), "literal payload");
+        let err = caught(|| -> () { std::panic::panic_any(17usize) }).unwrap_err();
+        assert_eq!(err.message(), "<non-string panic payload>");
+    }
+
+    #[test]
+    fn par_run_caught_isolates_panics_per_job_slot() {
+        let _guard = lock_knobs();
+        for n_threads in [1usize, 3] {
+            let _t = ThreadGuard::new(n_threads);
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i % 3 == 1 {
+                            panic!("job {i} poisoned");
+                        }
+                        i * 10
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let out = par_run_caught(jobs);
+            assert_eq!(out.len(), 8);
+            for (i, slot) in out.iter().enumerate() {
+                if i % 3 == 1 {
+                    let err = slot.as_ref().unwrap_err();
+                    assert_eq!(
+                        err.message(),
+                        format!("job {i} poisoned"),
+                        "threads={n_threads}"
+                    );
+                } else {
+                    assert_eq!(slot, &Ok(i * 10), "threads={n_threads}");
+                }
+            }
         }
     }
 

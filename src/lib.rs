@@ -16,6 +16,8 @@
 //! * [`calloc_eval`] — metrics, suite trainer, reporting.
 //! * [`calloc_nn`] / [`calloc_tensor`] — the ML and numeric substrates.
 
+pub mod testkit;
+
 pub use calloc;
 pub use calloc_attack;
 pub use calloc_baselines;

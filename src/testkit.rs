@@ -1,0 +1,79 @@
+//! Shared fixtures for the workspace's integration-test tiers.
+//!
+//! The golden-report, determinism and fault-tolerance suites all pin the
+//! **same** quick-profile pipeline — one building realization, one
+//! collection protocol, one trained suite, one sweep spec — so that every
+//! tier compares against the same `tests/golden/quick_sweep.csv` bytes.
+//! This module is that single source of truth; the test files must not
+//! restate the pinned parameters, or the tiers can silently drift apart.
+//!
+//! Each test *binary* trains its own suite (processes don't share the
+//! [`OnceLock`]), but within a binary the suite is trained once and
+//! shared across the knob-flipping tests — training is thread-count
+//! invariant, so sharing cannot leak state between them.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use calloc::CallocConfig;
+use calloc_eval::{Suite, SuiteProfile, SweepSpec};
+use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+
+pub use calloc_tensor::par::silence_injected_panics;
+
+/// Serializes tests that flip the process-global `par` knobs (thread
+/// budget, minimum chunk work): chunk *structure* depends on them, so
+/// knob-flipping tests must not interleave.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+/// Acquires the process-global knob lock (poisoning is ignored — a
+/// failed test must not wedge the rest of the suite).
+pub fn lock_knobs() -> MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The pinned building realization shared by the golden tiers: Building
+/// 1 shrunk to a 12 m path and 16 APs.
+pub fn pinned_building_spec() -> BuildingSpec {
+    BuildingSpec {
+        path_length_m: 12,
+        num_aps: 16,
+        ..BuildingId::B1.spec()
+    }
+}
+
+/// The pinned suite-training profile of the quick tier: fast CALLOC (3
+/// lessons, 4 epochs each) plus the classical baselines (KNN, GPC —
+/// pinning the Cholesky hot path — and DNN).
+pub fn quick_profile() -> SuiteProfile {
+    SuiteProfile {
+        calloc: CallocConfig {
+            epochs_per_lesson: 4,
+            ..CallocConfig::fast()
+        },
+        lessons: 3,
+        include_nc: false,
+        include_sota: false,
+        include_classical: true,
+        baseline_epochs: 10,
+        train_epsilon: 0.025,
+        seed: 4,
+    }
+}
+
+/// The pinned scenario + trained suite, built once per test binary.
+pub fn scenario_and_suite() -> &'static (Scenario, Suite) {
+    static SUITE: OnceLock<(Scenario, Suite)> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        let building = Building::generate(pinned_building_spec(), 5);
+        let scenario = Scenario::generate(&building, &CollectionConfig::small(), 11);
+        let suite = Suite::train(&scenario, &quick_profile());
+        (scenario, suite)
+    })
+}
+
+/// The pinned quick-profile sweep spec: the full threat-model
+/// cross-product over a reduced (ε, ø) grid — the spec behind
+/// `tests/golden/quick_sweep.csv`.
+pub fn quick_sweep_spec() -> SweepSpec {
+    SweepSpec::full_grid(vec![0.1, 0.5], vec![50.0, 100.0]).with_seed(9)
+}

@@ -392,6 +392,77 @@ fn scenario_grid_is_thread_count_invariant() {
     }
 }
 
+/// Fault-tolerance extension of the merge contract: a sweep that is
+/// first poisoned by an injected always-failing cell (quarantined, not
+/// fatal) and then **resumed** against the same store with the fault
+/// cleared must produce a `ResultTable` equal — same rows, same order,
+/// same CSV bytes — to the plain one-shot sweep, at every thread count.
+#[test]
+fn resume_after_injected_fault_is_thread_count_invariant() {
+    use calloc_eval::{ExecSpec, FaultPlan, Suite, SuiteProfile, SweepSpec};
+
+    calloc_tensor::par::silence_injected_panics();
+    let _guard = lock_knobs();
+    let building = Building::generate(small_spec(), 9);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), 7);
+    let profile = SuiteProfile {
+        calloc: CallocConfig {
+            epochs_per_lesson: 2,
+            ..CallocConfig::fast()
+        },
+        lessons: 2,
+        include_nc: false,
+        include_sota: false,
+        include_classical: true,
+        baseline_epochs: 4,
+        train_epsilon: 0.025,
+        seed: 3,
+    };
+    let spec = SweepSpec::full_grid(vec![0.1, 0.3], vec![50.0, 100.0]).with_seed(5);
+
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
+    let suite = Suite::train(&scenario, &profile);
+    let datasets = Suite::scenario_datasets(&scenario, "B1");
+    let reference = suite.sweep(&datasets, &spec);
+    let plan = suite.sweep_plan(&datasets, &spec);
+    let poisoned = [1usize, plan.len() / 2];
+
+    for threads in [1usize, 2, 4] {
+        par::set_threads(threads);
+        // First pass: the poisoned cells fail every attempt and are
+        // quarantined; everything else lands in the store.
+        let faulty = ExecSpec::default()
+            .with_retries(1)
+            .with_faults(FaultPlan::panic_on(&poisoned, usize::MAX));
+        let mut store = plan.memory_store();
+        let report = suite
+            .sweep_with_store(&plan, &datasets, &faulty, &mut store)
+            .expect("poisoned pass");
+        assert_eq!(
+            report.errors.len(),
+            poisoned.len(),
+            "both poisoned cells must be quarantined at {threads} threads"
+        );
+        assert_eq!(store.len(), plan.len() - poisoned.len());
+        // Resume with the fault gone: only the quarantined cells rerun.
+        let report = suite
+            .sweep_with_store(&plan, &datasets, &ExecSpec::default(), &mut store)
+            .expect("resumed pass");
+        assert!(report.is_complete(), "{}", report.summary());
+        assert_eq!(report.executed, poisoned.len());
+        assert_eq!(
+            &reference, &report.table,
+            "resumed ResultTable diverges from the one-shot sweep at {threads} threads"
+        );
+        assert_eq!(
+            reference.to_csv(),
+            report.table.to_csv(),
+            "resumed CSV bytes diverge from the one-shot sweep at {threads} threads"
+        );
+    }
+}
+
 /// Different seeds must actually change the realization — guards against a
 /// determinism test passing because the seed is ignored entirely.
 #[test]

@@ -20,20 +20,10 @@
 //! and 4), and the in-process tests additionally compare thread counts
 //! 1 and 4 against the same bytes.
 
-use calloc::CallocConfig;
-use calloc_eval::{ResultTable, Suite, SuiteProfile, SweepSpec};
-use calloc_sim::{
-    Building, BuildingId, BuildingSpec, CollectionConfig, EnvLevel, Scenario, ScenarioSpec,
-};
+use calloc_eval::{ResultTable, Suite, SweepSpec};
+use calloc_repro::testkit::{lock_knobs, pinned_building_spec, scenario_and_suite};
+use calloc_sim::{CollectionConfig, EnvLevel, Scenario, ScenarioSpec};
 use calloc_tensor::par;
-use std::sync::{Mutex, OnceLock};
-
-/// Serializes tests that flip the process-global `par` knobs.
-static KNOB_LOCK: Mutex<()> = Mutex::new(());
-
-fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
-    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/quick_sweep.csv");
 const ENV_GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/env_sweep.csv");
@@ -52,46 +42,12 @@ fn env_golden_bytes() -> String {
     )
 }
 
-/// The pinned building realization shared by both goldens.
-fn pinned_building_spec() -> BuildingSpec {
-    BuildingSpec {
-        path_length_m: 12,
-        num_aps: 16,
-        ..BuildingId::B1.spec()
-    }
-}
-
-/// The pinned scenario + suite. Trained once per process (training itself
-/// is thread-count invariant, so sharing it between the knob-flipping
-/// tests cannot leak state).
-fn scenario_and_suite() -> &'static (Scenario, Suite) {
-    static SUITE: OnceLock<(Scenario, Suite)> = OnceLock::new();
-    SUITE.get_or_init(|| {
-        let building = Building::generate(pinned_building_spec(), 5);
-        let scenario = Scenario::generate(&building, &CollectionConfig::small(), 11);
-        let profile = SuiteProfile {
-            calloc: CallocConfig {
-                epochs_per_lesson: 4,
-                ..CallocConfig::fast()
-            },
-            lessons: 3,
-            include_nc: false,
-            include_sota: false,
-            include_classical: true, // KNN + GPC (Cholesky) + DNN
-            baseline_epochs: 10,
-            train_epsilon: 0.025,
-            seed: 4,
-        };
-        let suite = Suite::train(&scenario, &profile);
-        (scenario, suite)
-    })
-}
-
 /// The pinned quick-profile sweep: the full threat-model cross-product
-/// over a reduced (ε, ø) grid.
+/// over a reduced (ε, ø) grid (the fixture parameters live in
+/// `calloc_repro::testkit`, shared with the fault-tolerance tier).
 fn quick_sweep() -> ResultTable {
     let (scenario, suite) = scenario_and_suite();
-    let spec = SweepSpec::full_grid(vec![0.1, 0.5], vec![50.0, 100.0]).with_seed(9);
+    let spec = calloc_repro::testkit::quick_sweep_spec();
     let datasets = Suite::scenario_datasets(scenario, "B1");
     suite.sweep(&datasets, &spec)
 }
@@ -249,10 +205,16 @@ fn env_grid_baseline_cell_matches_pinned_scenario() {
 #[ignore = "writes the golden files; run explicitly after deliberate changes"]
 fn regenerate_golden_reports() {
     let _guard = lock_knobs();
-    let csv = quick_sweep().to_csv();
-    std::fs::write(GOLDEN_PATH, &csv).expect("write golden CSV");
-    println!("wrote {GOLDEN_PATH} ({} bytes)", csv.len());
-    let env_csv = env_sweep().to_csv();
-    std::fs::write(ENV_GOLDEN_PATH, &env_csv).expect("write env golden CSV");
-    println!("wrote {ENV_GOLDEN_PATH} ({} bytes)", env_csv.len());
+    // Crash-safe writes: a kill mid-regeneration must not leave a
+    // truncated golden that the comparison tests would then "pass" or
+    // fail against confusingly.
+    let csv = quick_sweep();
+    csv.write_csv(std::path::Path::new(GOLDEN_PATH))
+        .expect("write golden CSV");
+    println!("wrote {GOLDEN_PATH} ({} bytes)", csv.to_csv().len());
+    let env_csv = env_sweep();
+    env_csv
+        .write_csv(std::path::Path::new(ENV_GOLDEN_PATH))
+        .expect("write env golden CSV");
+    println!("wrote {ENV_GOLDEN_PATH} ({} bytes)", env_csv.to_csv().len());
 }
