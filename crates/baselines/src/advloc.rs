@@ -7,6 +7,7 @@
 //! Fig. 7 exposes (error rising from ø ≈ 60).
 
 use calloc_attack::{craft, AttackConfig};
+use calloc_nn::state::{self, StateError, StateReader, StateWriter};
 use calloc_nn::{
     loss, Adam, DifferentiableModel, Localizer, Mode, Optimizer, Sequential, TrainReport,
 };
@@ -132,6 +133,25 @@ impl AdvLocLocalizer {
     pub fn report(&self) -> &TrainReport {
         &self.report
     }
+
+    /// Bit-exact encoding of the trained model for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        state::write_sequential(&mut w, &self.net);
+        state::write_train_report(&mut w, &self.report);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let net = state::read_sequential(&mut r)?;
+        let report = state::read_train_report(&mut r)?;
+        r.finish()?;
+        Ok(AdvLocLocalizer { net, report })
+    }
 }
 
 impl Localizer for AdvLocLocalizer {
@@ -145,6 +165,10 @@ impl Localizer for AdvLocLocalizer {
 
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         Some(&self.net)
+    }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
     }
 }
 

@@ -13,6 +13,7 @@
 //! tested.
 
 use calloc_nn::attention::{attention_backward, attention_forward, AttentionCache};
+use calloc_nn::state::{self, StateError, StateReader, StateWriter};
 use calloc_nn::{loss, Dense, DifferentiableModel, Localizer, ParamAdam};
 use calloc_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
@@ -267,6 +268,78 @@ impl AnvilLocalizer {
         }
     }
 
+    /// Bit-exact encoding of the trained model for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        let c = &self.config;
+        w.usize(c.tokens);
+        w.usize(c.dim);
+        w.usize(c.heads);
+        w.f64(c.learning_rate);
+        w.usize(c.epochs);
+        w.usize(c.batch_size);
+        w.u64(c.seed);
+        w.usize(self.num_classes);
+        state::write_dense(&mut w, &self.embed);
+        for head in self.wq.iter().chain(&self.wk).chain(&self.wv) {
+            state::write_dense(&mut w, head);
+        }
+        state::write_dense(&mut w, &self.wo);
+        state::write_dense(&mut w, &self.out);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let config = AnvilConfig {
+            tokens: r.usize()?,
+            dim: r.usize()?,
+            heads: r.usize()?,
+            learning_rate: r.f64()?,
+            epochs: r.usize()?,
+            batch_size: r.usize()?,
+            seed: r.u64()?,
+        };
+        if config.heads == 0 || config.dim % config.heads != 0 {
+            return Err(format!(
+                "dim {} not divisible by heads {}",
+                config.dim, config.heads
+            ));
+        }
+        // One head costs well over a byte; bound the allocations.
+        if config.heads > r.remaining() {
+            return Err(format!(
+                "head count {} exceeds {} remaining bytes",
+                config.heads,
+                r.remaining()
+            ));
+        }
+        let num_classes = r.usize()?;
+        let embed = state::read_dense(&mut r)?;
+        let heads = |r: &mut StateReader| -> Result<Vec<Dense>, StateError> {
+            (0..config.heads).map(|_| state::read_dense(r)).collect()
+        };
+        let wq = heads(&mut r)?;
+        let wk = heads(&mut r)?;
+        let wv = heads(&mut r)?;
+        let wo = state::read_dense(&mut r)?;
+        let out = state::read_dense(&mut r)?;
+        r.finish()?;
+        Ok(AnvilLocalizer {
+            config,
+            num_classes,
+            embed,
+            wq,
+            wk,
+            wv,
+            wo,
+            out,
+        })
+    }
+
     fn make_optimizer(&self) -> Vec<ParamAdam> {
         let mut opts = Vec::new();
         let mut push = |d: &Dense| {
@@ -341,6 +414,10 @@ impl Localizer for AnvilLocalizer {
 
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         Some(self)
+    }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
     }
 }
 

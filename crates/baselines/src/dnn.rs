@@ -1,6 +1,7 @@
 //! Plain deep-neural-network localization (Fig. 1 "DNN" baseline,
 //! Echizenya et al.).
 
+use calloc_nn::state::{self, StateError, StateReader, StateWriter};
 use calloc_nn::{
     Adam, Dense, DifferentiableModel, Layer, Localizer, Sequential, TrainConfig, TrainReport,
     Trainer,
@@ -116,6 +117,25 @@ impl DnnLocalizer {
     pub fn report(&self) -> &TrainReport {
         &self.report
     }
+
+    /// Bit-exact encoding of the trained model for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        state::write_sequential(&mut w, &self.net);
+        state::write_train_report(&mut w, &self.report);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let net = state::read_sequential(&mut r)?;
+        let report = state::read_train_report(&mut r)?;
+        r.finish()?;
+        Ok(DnnLocalizer { net, report })
+    }
 }
 
 impl Localizer for DnnLocalizer {
@@ -129,6 +149,10 @@ impl Localizer for DnnLocalizer {
 
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         Some(&self.net)
+    }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
     }
 }
 

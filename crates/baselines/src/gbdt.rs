@@ -11,6 +11,7 @@
 //! training fast at the dimensionalities SANGRIA uses it for (a 32-d
 //! latent).
 
+use calloc_nn::state::{StateError, StateReader, StateWriter};
 use calloc_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,72 @@ impl RegressionTree {
         let mut nodes = Vec::new();
         build(x, grad, hess, indices, 0, config, &mut nodes);
         RegressionTree { nodes }
+    }
+
+    fn encode_into(&self, w: &mut StateWriter) {
+        w.usize(self.nodes.len());
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { value } => {
+                    w.u8(0);
+                    w.f64(*value);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    w.u8(1);
+                    w.usize(*feature);
+                    w.f64(*threshold);
+                    w.usize(*left);
+                    w.usize(*right);
+                }
+            }
+        }
+    }
+
+    fn decode_from(r: &mut StateReader) -> Result<Self, StateError> {
+        let n = r.usize()?;
+        if n == 0 {
+            return Err("regression tree with no nodes".to_string());
+        }
+        // Each node is at least a tag byte — bound the allocation.
+        if n > r.remaining() {
+            return Err(format!(
+                "node count {n} exceeds {} remaining bytes",
+                r.remaining()
+            ));
+        }
+        let mut nodes = Vec::with_capacity(n);
+        for me in 0..n {
+            nodes.push(match r.u8()? {
+                0 => Node::Leaf { value: r.f64()? },
+                1 => {
+                    let feature = r.usize()?;
+                    let threshold = r.f64()?;
+                    let left = r.usize()?;
+                    let right = r.usize()?;
+                    // The builder's arena invariant — children strictly
+                    // after their parent — is what makes predict_row
+                    // terminate; corrupt indices must not create cycles.
+                    if left <= me || right <= me || left >= n || right >= n {
+                        return Err(format!(
+                            "split node {me} has out-of-order children {left}/{right} of {n}"
+                        ));
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    }
+                }
+                tag => return Err(format!("unknown tree node tag {tag}")),
+            });
+        }
+        Ok(RegressionTree { nodes })
     }
 }
 
@@ -278,6 +345,75 @@ impl GbdtClassifier {
     /// Total number of trees in the ensemble.
     pub fn tree_count(&self) -> usize {
         self.trees.iter().map(Vec::len).sum()
+    }
+
+    /// Encodes the fitted ensemble into an open writer (used nested
+    /// inside SANGRIA's state).
+    pub(crate) fn encode_into(&self, w: &mut StateWriter) {
+        w.usize(self.trees.len());
+        for round in &self.trees {
+            w.usize(round.len());
+            for tree in round {
+                tree.encode_into(w);
+            }
+        }
+        w.usize(self.num_classes);
+        w.f64(self.learning_rate);
+    }
+
+    /// Decodes an ensemble written by [`Self::encode_into`].
+    pub(crate) fn decode_from(r: &mut StateReader) -> Result<Self, StateError> {
+        let rounds = r.usize()?;
+        if rounds > r.remaining() {
+            return Err(format!(
+                "round count {rounds} exceeds {} remaining bytes",
+                r.remaining()
+            ));
+        }
+        let mut trees = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let per_round = r.usize()?;
+            if per_round > r.remaining() {
+                return Err(format!(
+                    "tree count {per_round} exceeds {} remaining bytes",
+                    r.remaining()
+                ));
+            }
+            let mut round = Vec::with_capacity(per_round);
+            for _ in 0..per_round {
+                round.push(RegressionTree::decode_from(r)?);
+            }
+            trees.push(round);
+        }
+        let num_classes = r.usize()?;
+        let learning_rate = r.f64()?;
+        if trees.iter().any(|round| round.len() != num_classes) {
+            return Err(format!(
+                "a boosting round does not hold one tree per class ({num_classes})"
+            ));
+        }
+        Ok(GbdtClassifier {
+            trees,
+            num_classes,
+            learning_rate,
+        })
+    }
+
+    /// Bit-exact encoding of the fitted ensemble for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes an ensemble written by [`Self::state_bytes`]; malformed
+    /// input errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let model = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(model)
     }
 }
 

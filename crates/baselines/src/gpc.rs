@@ -7,6 +7,7 @@
 //! identical. The predictive scores are differentiable in closed form,
 //! giving white-box attack gradients.
 
+use calloc_nn::state::{StateError, StateReader, StateWriter};
 use calloc_nn::{DifferentiableModel, Localizer};
 use calloc_tensor::{kernel, linalg, par, Matrix};
 use serde::{Deserialize, Serialize};
@@ -133,6 +134,59 @@ impl GpcLocalizer {
     pub fn config(&self) -> GpcConfig {
         self.config
     }
+
+    /// Encodes the fitted model into an open writer (used standalone and
+    /// nested inside WiDeep's state).
+    pub(crate) fn encode_into(&self, w: &mut StateWriter) {
+        w.matrix(&self.x_train);
+        w.matrix(&self.alpha);
+        w.f64(self.config.length_scale);
+        w.f64(self.config.noise);
+        w.f64(self.config.sharpness);
+        w.usize(self.num_classes);
+    }
+
+    /// Decodes a model written by [`Self::encode_into`].
+    pub(crate) fn decode_from(r: &mut StateReader) -> Result<Self, StateError> {
+        let x_train = r.matrix()?;
+        let alpha = r.matrix()?;
+        let config = GpcConfig {
+            length_scale: r.f64()?,
+            noise: r.f64()?,
+            sharpness: r.f64()?,
+        };
+        let num_classes = r.usize()?;
+        if alpha.rows() != x_train.rows() || alpha.cols() != num_classes {
+            return Err(format!(
+                "alpha shape {:?} inconsistent with {} train rows / {num_classes} classes",
+                alpha.shape(),
+                x_train.rows()
+            ));
+        }
+        Ok(GpcLocalizer {
+            x_train,
+            alpha,
+            config,
+            num_classes,
+        })
+    }
+
+    /// Bit-exact encoding of the fitted model for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let model = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(model)
+    }
 }
 
 impl DifferentiableModel for GpcLocalizer {
@@ -228,6 +282,10 @@ impl Localizer for GpcLocalizer {
 
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         Some(self)
+    }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
     }
 }
 

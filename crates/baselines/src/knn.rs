@@ -1,6 +1,7 @@
 //! K-nearest-neighbours localization (Fig. 1 baseline) and its
 //! differentiable soft surrogate.
 
+use calloc_nn::state::{StateError, StateReader, StateWriter};
 use calloc_nn::{DifferentiableModel, Localizer};
 use calloc_tensor::{kernel, par, Matrix};
 
@@ -57,6 +58,46 @@ impl KnnLocalizer {
         self.k
     }
 
+    /// Bit-exact encoding of the fitted matcher for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.matrix(&self.x_train);
+        w.usize_slice(&self.y_train);
+        w.usize(self.num_classes);
+        w.usize(self.k);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let x_train = r.matrix()?;
+        let y_train = r.usize_vec()?;
+        let num_classes = r.usize()?;
+        let k = r.usize()?;
+        r.finish()?;
+        if y_train.len() != x_train.rows() {
+            return Err("knn state: sample/label count mismatch".to_string());
+        }
+        if y_train.is_empty() {
+            return Err("knn state: empty training set".to_string());
+        }
+        if y_train.iter().any(|&y| y >= num_classes) {
+            return Err("knn state: label out of range".to_string());
+        }
+        if k == 0 || k > y_train.len() {
+            return Err("knn state: k out of range".to_string());
+        }
+        Ok(KnnLocalizer {
+            x_train,
+            y_train,
+            num_classes,
+            k,
+        })
+    }
+
     /// Builds the matching differentiable surrogate (see [`SoftKnn`]),
     /// sharing this model's training memory.
     pub fn to_soft(&self, temperature: f64) -> SoftKnn {
@@ -105,6 +146,10 @@ impl Localizer for KnnLocalizer {
                 .collect::<Vec<usize>>()
         });
         chunks.into_iter().flatten().collect()
+    }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
     }
 }
 

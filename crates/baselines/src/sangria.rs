@@ -10,6 +10,7 @@
 //! evaluation harness attacks SANGRIA by transfer from a surrogate — the
 //! realistic scenario for this architecture.
 
+use calloc_nn::state::{self, StateError, StateReader, StateWriter};
 use calloc_nn::{Adam, Dense, Layer, Localizer, Sequential, TrainConfig, Trainer};
 use calloc_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
@@ -120,6 +121,28 @@ impl SangriaLocalizer {
     pub fn classifier(&self) -> &GbdtClassifier {
         &self.classifier
     }
+
+    /// Bit-exact encoding of the trained framework for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        state::write_sequential(&mut w, &self.encoder);
+        self.classifier.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let encoder = state::read_sequential(&mut r)?;
+        let classifier = GbdtClassifier::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(SangriaLocalizer {
+            encoder,
+            classifier,
+        })
+    }
 }
 
 impl Localizer for SangriaLocalizer {
@@ -133,6 +156,10 @@ impl Localizer for SangriaLocalizer {
 
     // No `as_differentiable`: the GBDT head blocks analytic gradients, so
     // attacks are transferred from a surrogate (see calloc-eval).
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
+    }
 }
 
 #[cfg(test)]

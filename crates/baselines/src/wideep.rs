@@ -7,6 +7,7 @@
 //! white-box — and, as the paper stresses, its GPC head makes it extremely
 //! sensitive to residual noise and perturbations.
 
+use calloc_nn::state::{self, StateError, StateReader, StateWriter};
 use calloc_nn::{
     Adam, Dense, DifferentiableModel, Layer, Localizer, Mode, Sequential, TrainConfig, Trainer,
 };
@@ -106,6 +107,25 @@ impl WiDeepLocalizer {
     pub fn encoder(&self) -> &Sequential {
         &self.encoder
     }
+
+    /// Bit-exact encoding of the trained framework for the model cache
+    /// (see [`calloc_nn::state`]).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        state::write_sequential(&mut w, &self.encoder);
+        self.gpc.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]; malformed input
+    /// errors, never panics.
+    pub fn from_state(bytes: &[u8]) -> Result<Self, StateError> {
+        let mut r = StateReader::new(bytes);
+        let encoder = state::read_sequential(&mut r)?;
+        let gpc = GpcLocalizer::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(WiDeepLocalizer { encoder, gpc })
+    }
 }
 
 impl DifferentiableModel for WiDeepLocalizer {
@@ -138,6 +158,10 @@ impl Localizer for WiDeepLocalizer {
 
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         Some(self)
+    }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
     }
 }
 

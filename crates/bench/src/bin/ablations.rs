@@ -11,8 +11,12 @@
 use calloc::{AdaptiveConfig, CallocTrainer, Curriculum, Localizer};
 use calloc_attack::{craft, AttackConfig, AttackKind, Targeting};
 use calloc_baselines::{DnnConfig, DnnLocalizer};
-use calloc_bench::{buildings, calibrate_epsilon, scenario_for, suite_profile, Profile};
-use calloc_eval::evaluate;
+use calloc_bench::{
+    buildings, calibrate_epsilon, finish_model_cache, model_cache, scenario_for, suite_profile,
+    Profile,
+};
+use calloc_eval::{evaluate, Suite};
+use calloc_sim::{collection_identity, CollectionConfig};
 use calloc_tensor::stats;
 
 fn main() {
@@ -25,10 +29,18 @@ fn main() {
     let building = &buildings(profile)[0];
     let scenario = scenario_for(building, 4242);
     let eps = calibrate_epsilon(0.3);
+    let mut cache = model_cache();
+    // `buildings` generates with salt 0; `scenario_for` collects under the
+    // paper protocol — the cell identity must restate exactly that.
+    let cell = collection_identity(building.spec(), 0, &CollectionConfig::paper(), 4242);
 
     let trainer = CallocTrainer::new(sp.calloc)
         .with_curriculum(Curriculum::linear(sp.lessons.max(2), sp.train_epsilon));
-    let model = trainer.fit(&scenario.train).model;
+    let model = cache
+        .calloc(&Suite::cache_key(&Suite::calloc_key(&sp), &cell), || {
+            trainer.fit(&scenario.train).model
+        })
+        .expect("model cache");
 
     // 1. Targeting ablation.
     println!("1) attacker AP-targeting strategy (FGSM, paper ε=0.3, ø=50):");
@@ -44,16 +56,22 @@ fn main() {
 
     // 2. Curriculum schedule ablation.
     println!("2) curriculum schedule (PGD, paper ε=0.3, ø=100):");
-    let schedules: Vec<(&str, CallocTrainer)> = vec![
-        ("linear (paper)", trainer.clone()),
+    // Each schedule variant gets its own member-key half: the curriculum
+    // and adaptive settings are part of what was trained, so they must be
+    // part of the key (the paper schedule is exactly the suite trainer's,
+    // and shares its cache entry).
+    let schedules: Vec<(&str, String, CallocTrainer)> = vec![
+        ("linear (paper)", Suite::calloc_key(&sp), trainer.clone()),
         (
             "two-lesson shock",
+            format!("{} curriculum=linear(2)", Suite::calloc_key(&sp)),
             trainer
                 .clone()
                 .with_curriculum(Curriculum::linear(2, sp.train_epsilon)),
         ),
         (
             "adaptive off",
+            format!("{} adaptive=off", Suite::calloc_key(&sp)),
             trainer.clone().with_adaptive(AdaptiveConfig {
                 enabled: false,
                 ..Default::default()
@@ -61,8 +79,12 @@ fn main() {
         ),
     ];
     let attack = AttackConfig::standard(AttackKind::Pgd, eps, 100.0);
-    for (name, t) in schedules {
-        let m = t.fit(&scenario.train).model;
+    for (name, member_half, t) in schedules {
+        let m = cache
+            .calloc(&Suite::cache_key(&member_half, &cell), || {
+                t.fit(&scenario.train).model
+            })
+            .expect("model cache");
         let mut clean = Vec::new();
         let mut attacked = Vec::new();
         for (_, test) in &scenario.test_per_device {
@@ -79,18 +101,30 @@ fn main() {
 
     // 3. Black-box transfer onto CALLOC.
     println!("3) black-box transfer (FGSM crafted on a surrogate DNN, ø=100):");
-    let surrogate = DnnLocalizer::fit(
-        &scenario.train.x,
-        &scenario.train.labels,
-        scenario.train.num_classes(),
-        &DnnConfig {
-            epochs: sp.baseline_epochs,
-            ..Default::default()
-        },
-    );
+    let sur_config = DnnConfig {
+        epochs: sp.baseline_epochs,
+        ..Default::default()
+    };
+    let sur_key = Suite::cache_key(&format!("surrogate v1 config={sur_config:?}"), &cell);
+    let surrogate = match cache.get_surrogate(&sur_key).expect("model cache") {
+        Some(net) => net,
+        None => {
+            let net = DnnLocalizer::fit(
+                &scenario.train.x,
+                &scenario.train.labels,
+                scenario.train.num_classes(),
+                &sur_config,
+            )
+            .network()
+            .clone();
+            cache.insert_surrogate(&sur_key, &net).expect("model cache");
+            net
+        }
+    };
+    finish_model_cache(&cache);
     for paper_eps in [0.1, 0.3, 0.5] {
         let cfg = AttackConfig::fgsm(calibrate_epsilon(paper_eps), 100.0);
-        let sur = surrogate.network();
+        let sur = &surrogate;
         let mut white = Vec::new();
         let mut transfer = Vec::new();
         for (_, test) in &scenario.test_per_device {

@@ -10,7 +10,9 @@
 
 use calloc::CallocTrainer;
 use calloc::Curriculum;
-use calloc_bench::{attacks, scenario_grid, suite_profile, Profile};
+use calloc_bench::{
+    attacks, finish_model_cache, model_cache, scenario_grid, suite_profile, Profile,
+};
 use calloc_eval::{ascii_heatmap, run_sweep, Localizer, ResultTable, Suite};
 
 fn main() {
@@ -22,6 +24,7 @@ fn main() {
     let suite = suite_profile(profile);
     let spec = calloc_bench::sweep_spec(profile);
     let set = scenario_grid(profile).with_seeds(vec![42]).generate();
+    let mut cache = model_cache();
 
     let mut table = ResultTable::new();
     let mut building_names = Vec::new();
@@ -34,7 +37,10 @@ fn main() {
             suite.lessons.max(2),
             suite.train_epsilon,
         ));
-        let model = trainer.fit(&scenario.train).model;
+        let key = Suite::cache_key(&Suite::calloc_key(&suite), &set.cell_identity(index));
+        let model = cache
+            .calloc(&key, || trainer.fit(&scenario.train).model)
+            .expect("model cache");
         let name = set.building_name(index).to_string();
         eprintln!("trained CALLOC on {name}");
         let datasets = Suite::set_datasets(&set, index);
@@ -45,6 +51,7 @@ fn main() {
         table.extend(run_sweep(&members, None, &datasets, &spec));
         building_names.push(name);
     }
+    finish_model_cache(&cache);
 
     for kind in attacks() {
         let per_attack = table.filtered(|r| r.attack == kind.name());

@@ -8,7 +8,9 @@
 
 use calloc::{CallocTrainer, Curriculum};
 use calloc_baselines::{DnnConfig, DnnLocalizer};
-use calloc_bench::{attacks, epsilon_grid, scenario_grid, suite_profile, Profile};
+use calloc_bench::{
+    attacks, epsilon_grid, finish_model_cache, model_cache, scenario_grid, suite_profile, Profile,
+};
 use calloc_eval::{run_sweep, Localizer, ResultTable, Suite};
 
 fn main() {
@@ -21,39 +23,56 @@ fn main() {
     let spec = calloc_bench::sweep_spec(profile);
     let eps_grid = epsilon_grid(profile);
     let set = scenario_grid(profile).with_seeds(vec![77]).generate();
+    let mut cache = model_cache();
 
     let mut table = ResultTable::new();
     for index in 0..set.len() {
         let scenario = set.scenario(index);
+        let cell = set.cell_identity(index);
         let trainer = CallocTrainer::new(suite.calloc).with_curriculum(Curriculum::linear(
             suite.lessons.max(2),
             suite.train_epsilon,
         ));
-        let with = trainer.fit(&scenario.train).model;
-        let without = trainer.fit_no_curriculum(&scenario.train).model;
+        let with = cache
+            .calloc(&Suite::cache_key(&Suite::calloc_key(&suite), &cell), || {
+                trainer.fit(&scenario.train).model
+            })
+            .expect("model cache");
+        let without = cache
+            .calloc(&Suite::cache_key(&Suite::nc_key(&suite), &cell), || {
+                trainer.fit_no_curriculum(&scenario.train).model
+            })
+            .expect("model cache");
         // An independent surrogate makes the evaluation a worst-case
         // adversary (white-box or transfer, whichever is stronger) so that
         // gradient masking cannot flatter either variant.
-        let surrogate = DnnLocalizer::fit(
-            &scenario.train.x,
-            &scenario.train.labels,
-            scenario.train.num_classes(),
-            &DnnConfig {
-                hidden: vec![64],
-                epochs: suite.baseline_epochs,
-                ..Default::default()
-            },
-        );
+        let sur_config = DnnConfig {
+            hidden: vec![64],
+            epochs: suite.baseline_epochs,
+            ..Default::default()
+        };
+        let sur_key = Suite::cache_key(&format!("surrogate v1 config={sur_config:?}"), &cell);
+        let surrogate = match cache.get_surrogate(&sur_key).expect("model cache") {
+            Some(net) => net,
+            None => {
+                let net = DnnLocalizer::fit(
+                    &scenario.train.x,
+                    &scenario.train.labels,
+                    scenario.train.num_classes(),
+                    &sur_config,
+                )
+                .network()
+                .clone();
+                cache.insert_surrogate(&sur_key, &net).expect("model cache");
+                net
+            }
+        };
         eprintln!("trained CALLOC + NC on {}", set.building_name(index));
         let datasets = Suite::set_datasets(&set, index);
         let members: [(&str, &dyn Localizer); 2] = [("CALLOC", &with), ("NC", &without)];
-        table.extend(run_sweep(
-            &members,
-            Some(surrogate.network()),
-            &datasets,
-            &spec,
-        ));
+        table.extend(run_sweep(&members, Some(&surrogate), &datasets, &spec));
     }
+    finish_model_cache(&cache);
 
     println!(
         "{:<6} {:>5} | {:>12} {:>12} {:>9}",

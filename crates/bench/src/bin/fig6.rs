@@ -11,7 +11,10 @@
 //! `CALLOC_THREADS` workers and merged in plan-index order, so the CSV at
 //! the end is bit-identical for every thread count.
 
-use calloc_bench::{epsilon_grid, phi_grid_fig7, scenario_grid, suite_profile, Profile};
+use calloc_bench::{
+    epsilon_grid, finish_model_cache, model_cache, phi_grid_fig7, scenario_grid, suite_profile,
+    Profile,
+};
 use calloc_eval::{ResultTable, Suite, SweepSpec};
 
 fn main() {
@@ -25,15 +28,18 @@ fn main() {
     spec.epsilons = epsilon_grid(profile);
     spec.phis = phi_grid_fig7(profile);
     let set = scenario_grid(profile).with_seeds(vec![1000]).generate();
+    let mut cache = model_cache();
 
     let mut table = ResultTable::new();
     for index in 0..set.len() {
         let scenario = set.scenario(index);
-        let suite = Suite::train(scenario, &sp);
+        let suite = Suite::train_cached(scenario, &sp, &set.cell_identity(index), &mut cache)
+            .expect("model cache");
         eprintln!("trained suite on {}", set.building_name(index));
         let datasets = Suite::set_datasets(&set, index);
         table.extend(suite.sweep(&datasets, &spec));
     }
+    finish_model_cache(&cache);
 
     print_ratios(&table, &spec);
     println!("\n(paper reference ratios vs CALLOC — AdvLoc 1.77x/2.35x, SANGRIA 2.64x/2.92x,");

@@ -9,7 +9,9 @@
 //! series is a `mean_where` slice of the merged table.
 
 use calloc_attack::AttackKind;
-use calloc_bench::{phi_grid_fig7, scenario_grid, suite_profile, Profile};
+use calloc_bench::{
+    finish_model_cache, model_cache, phi_grid_fig7, scenario_grid, suite_profile, Profile,
+};
 use calloc_eval::{ResultTable, Suite};
 
 fn main() {
@@ -25,15 +27,18 @@ fn main() {
     spec.epsilons = vec![0.1];
     spec.phis = phis.clone();
     let set = scenario_grid(profile).with_seeds(vec![2000]).generate();
+    let mut cache = model_cache();
 
     let mut table = ResultTable::new();
     for index in 0..set.len() {
         let scenario = set.scenario(index);
-        let suite = Suite::train(scenario, &sp);
+        let suite = Suite::train_cached(scenario, &sp, &set.cell_identity(index), &mut cache)
+            .expect("model cache");
         eprintln!("trained suite on {}", set.building_name(index));
         let datasets = Suite::set_datasets(&set, index);
         table.extend(suite.sweep(&datasets, &spec));
     }
+    finish_model_cache(&cache);
 
     print!("{:<9}", "phi");
     for &phi in &phis {

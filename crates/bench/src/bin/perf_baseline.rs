@@ -27,24 +27,30 @@
 //! panic quarantine, the in-memory and checkpointed-disk result stores,
 //! a two-shard split-and-merge, and a resume over a half-full store —
 //! each asserted byte-identical to the plain one-shot run before it is
-//! timed. Every variant's output is asserted bit-identical to the seed
-//! reference before it is timed — the determinism contract is checked,
-//! not assumed.
+//! timed. The `model_cache` section prices the content-addressed
+//! trained-model cache: a small suite trained cold into a fresh disk
+//! cache against the warm restore from a reopen, with both paths
+//! asserted to sweep byte-identically to a cache-off `Suite::train`
+//! before the clock starts. Every variant's output is asserted
+//! bit-identical to the seed reference before it is timed — the
+//! determinism contract is checked, not assumed.
 //!
 //! ```bash
 //! cargo run -p calloc-bench --release --bin perf_baseline
 //! ```
 
+use calloc::CallocConfig;
 use calloc_baselines::{GpcConfig, GpcLocalizer, KnnLocalizer};
 use calloc_bench::{
     assert_bits_eq, seed_cholesky_reference, seed_gpc_loss_and_input_grad_reference,
     seed_gpc_scores_reference, seed_matmul_reference, seed_scenario_generate_reference,
     seed_sq_dists_reference,
 };
-use calloc_eval::{ExecSpec, Localizer, StoreError, SweepSpec};
+use calloc_eval::{ExecSpec, Localizer, ModelCache, StoreError, Suite, SuiteProfile, SweepSpec};
 use calloc_nn::DifferentiableModel;
 use calloc_sim::{
-    Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario, ScenarioSpec,
+    collection_identity, Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario,
+    ScenarioSpec,
 };
 use calloc_tensor::{kernel, linalg, par, Matrix, Rng};
 use std::fmt::Write as _;
@@ -576,6 +582,96 @@ fn main() {
         resume_half_ms / plain_ms,
     );
 
+    // --- Content-addressed model cache: cold training vs warm restore ---
+    // A small suite (CALLOC + the classical baselines + the surrogate) is
+    // trained cold into a fresh disk cache, then restored warm from a
+    // reopen. Both paths are asserted to sweep to the **byte-identical**
+    // CSV of a cache-off `Suite::train` before anything is timed — the
+    // cache must be invisible in the results, only in the wall clock.
+    let cache_profile = SuiteProfile {
+        calloc: CallocConfig {
+            epochs_per_lesson: 4,
+            ..CallocConfig::fast()
+        },
+        lessons: 3,
+        include_nc: false,
+        include_sota: false,
+        include_classical: true,
+        baseline_epochs: 10,
+        ..SuiteProfile::quick()
+    };
+    // `sweep_building` was generated with salt 3 and collected under the
+    // small protocol with seed 8 — the cell identity restates exactly that.
+    let mc_cell = collection_identity(sweep_building.spec(), 3, &CollectionConfig::small(), 8);
+    let mc_datasets = Suite::scenario_datasets(&sweep_scenario, "B1");
+    let mc_spec = SweepSpec::full_grid(vec![0.1], vec![50.0]).with_seed(5);
+    let reference_mc_csv = Suite::train(&sweep_scenario, &cache_profile)
+        .sweep(&mc_datasets, &mc_spec)
+        .to_csv();
+    let cache_path = std::env::temp_dir().join(format!(
+        "calloc_bench_model_cache_{}.bin",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+    let mut mc = or_die(ModelCache::open(&cache_path));
+    let cold_suite = or_die(Suite::train_cached(
+        &sweep_scenario,
+        &cache_profile,
+        &mc_cell,
+        &mut mc,
+    ));
+    assert_eq!(mc.hits(), 0, "a fresh cache cannot hit");
+    let mc_members = mc.misses();
+    let mc_entries = mc.len();
+    assert_eq!(
+        cold_suite.sweep(&mc_datasets, &mc_spec).to_csv(),
+        reference_mc_csv,
+        "cold cached suite diverges from the cache-off run"
+    );
+    let mut warm = or_die(ModelCache::open(&cache_path));
+    let warm_suite = or_die(Suite::train_cached(
+        &sweep_scenario,
+        &cache_profile,
+        &mc_cell,
+        &mut warm,
+    ));
+    assert_eq!(warm.misses(), 0, "a warm cache must hit every member");
+    assert_eq!(warm.hits(), mc_members, "every training must be restored");
+    assert_eq!(
+        warm_suite.sweep(&mc_datasets, &mc_spec).to_csv(),
+        reference_mc_csv,
+        "warm cached suite diverges from the cache-off run"
+    );
+
+    // Cold reps retrain the whole suite; keep them few — the warm path is
+    // the one whose speed matters every run.
+    let cache_cold_ms = best_ms(2, || {
+        let _ = std::fs::remove_file(&cache_path);
+        let mut c = or_die(ModelCache::open(&cache_path));
+        or_die(Suite::train_cached(
+            &sweep_scenario,
+            &cache_profile,
+            &mc_cell,
+            &mut c,
+        ))
+    });
+    let cache_warm_ms = best_ms(reps, || {
+        let mut c = or_die(ModelCache::open(&cache_path));
+        or_die(Suite::train_cached(
+            &sweep_scenario,
+            &cache_profile,
+            &mc_cell,
+            &mut c,
+        ))
+    });
+    let _ = std::fs::remove_file(&cache_path);
+
+    println!(
+        "model_cache {mc_members} trainings ({mc_entries} cached models): cold \
+         {cache_cold_ms:.3} ms | warm {cache_warm_ms:.3} ms ({:.2}x)",
+        cache_cold_ms / cache_warm_ms,
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"tensor_kernels\",\n  \"threads\": {threads},\n  \
          \"available_parallelism\": {available},\n  \"reps\": {reps},\n  \"matmul\": [\n{}\n  ],\n  \
@@ -592,7 +688,10 @@ fn main() {
          \"quarantined_ms\": {quarantined_ms:.4}, \"quarantine_overhead\": {:.3}, \
          \"memory_store_ms\": {store_ms:.4}, \"shard_merge_ms\": {shard_merge_ms:.4}, \
          \"checkpointed_disk_ms\": {checkpointed_disk_ms:.4}, \
-         \"resume_half_ms\": {resume_half_ms:.4}, \"resume_ratio\": {:.3}}}\n}}\n",
+         \"resume_half_ms\": {resume_half_ms:.4}, \"resume_ratio\": {:.3}}},\n  \
+         \"model_cache\": {{\"trainings\": {mc_members}, \"entries\": {mc_entries}, \
+         \"cold_ms\": {cache_cold_ms:.4}, \"warm_ms\": {cache_warm_ms:.4}, \
+         \"warm_speedup\": {:.3}}}\n}}\n",
         rows.join(",\n"),
         chol_rows.join(",\n"),
         pair_rows.join(",\n"),
@@ -603,6 +702,7 @@ fn main() {
         nested_serial_ms / nested_parallel_ms,
         quarantined_ms / plain_ms,
         resume_half_ms / plain_ms,
+        cache_cold_ms / cache_warm_ms,
     );
     // Crash-safe, typed-error write: a killed bench can't leave a
     // truncated snapshot that looks like results.

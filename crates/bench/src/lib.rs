@@ -28,7 +28,7 @@
 use calloc::CallocConfig;
 
 use calloc_attack::AttackKind;
-use calloc_eval::{SuiteProfile, SweepSpec};
+use calloc_eval::{ModelCache, SuiteProfile, SweepSpec};
 use calloc_sim::{
     normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, Scenario, ScenarioSpec,
     RSS_FLOOR_DBM,
@@ -51,6 +51,58 @@ pub const EPSILON_UNIT: f64 = 0.25;
 /// Maps a paper ε (0.1–0.5) to normalized attack units.
 pub fn calibrate_epsilon(paper_epsilon: f64) -> f64 {
     paper_epsilon * EPSILON_UNIT
+}
+
+/// The shared trained-model cache of the figure binaries.
+///
+/// When `CALLOC_MODEL_CACHE` names a directory, the cache persists to
+/// `<dir>/bench_models.bin`, so every `(member config, scenario cell)`
+/// pair trains **once across figures, sweeps and reruns** — a warm
+/// second run of any figure restores its models bit-identically instead
+/// of retraining them. Without the variable the cache is in-memory:
+/// repeated cells still train once within the process, and the figures'
+/// output is byte-identical either way (cached models restore the exact
+/// parameter bits the training produced).
+///
+/// # Panics
+///
+/// Panics if `CALLOC_MODEL_CACHE` is set but the cache file is corrupt
+/// or written under an incompatible key scheme — a stale cache must
+/// never silently feed wrong models into a figure.
+pub fn model_cache() -> ModelCache {
+    match std::env::var_os("CALLOC_MODEL_CACHE") {
+        Some(dir) => {
+            let path = std::path::Path::new(&dir).join("bench_models.bin");
+            match ModelCache::open(&path) {
+                Ok(cache) => cache,
+                Err(e) => panic!("CALLOC_MODEL_CACHE: {e} (delete the file to rebuild the cache)"),
+            }
+        }
+        None => ModelCache::in_memory(),
+    }
+}
+
+/// Checkpoints the figure binaries' model cache and reports its traffic
+/// on stderr — every binary calls this once, after its last training.
+///
+/// # Panics
+///
+/// Panics if the checkpoint write fails (out of disk, permissions): a
+/// figure that claims to have populated the cache must actually have.
+pub fn finish_model_cache(cache: &ModelCache) {
+    if let Err(e) = cache.checkpoint() {
+        panic!("CALLOC_MODEL_CACHE checkpoint failed: {e}");
+    }
+    eprintln!(
+        "model cache: {} hits, {} misses, {} models{}",
+        cache.hits(),
+        cache.misses(),
+        cache.len(),
+        cache
+            .path()
+            .map(|p| format!(" at {}", p.display()))
+            .unwrap_or_else(|| " (in-memory)".to_string()),
+    );
 }
 
 /// Experiment fidelity, selected by `CALLOC_PROFILE`.

@@ -1,6 +1,7 @@
 //! The CALLOC hyperspace-attention network (§IV.B–C of the paper).
 
 use calloc_nn::attention::{attention_backward, attention_forward};
+use calloc_nn::state::{self, StateError, StateReader, StateWriter};
 use calloc_nn::{
     loss, Cache, Dense, DifferentiableModel, Layer, LayerGrad, Localizer, Mode, Sequential,
 };
@@ -346,6 +347,80 @@ impl CallocModel {
             &mut self.fc,
         )
     }
+
+    /// Bit-exact encoding of the trained model for the model cache
+    /// (see [`calloc_nn::state`]): the config, all network parameters as
+    /// raw f64 bits, and the reference memory. [`Self::from_state`]
+    /// restores a model whose every prediction is bit-identical.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        let c = &self.config;
+        w.usize(c.embedding_dim);
+        w.usize(c.attention_dim);
+        w.f64(c.dropout);
+        w.f64(c.gaussian_noise);
+        w.f64(c.mse_weight);
+        w.f64(c.learning_rate);
+        w.usize(c.epochs_per_lesson);
+        w.usize(c.batch_size);
+        w.u64(c.seed);
+        state::write_sequential(&mut w, &self.embed_c);
+        state::write_sequential(&mut w, &self.embed_o);
+        state::write_dense(&mut w, &self.wq);
+        state::write_dense(&mut w, &self.wk);
+        state::write_dense(&mut w, &self.fc);
+        w.matrix(&self.memory_x);
+        w.matrix(&self.memory_v);
+        w.f64(self.location_scale);
+        w.usize(self.num_classes);
+        w.into_bytes()
+    }
+
+    /// Decodes a model written by [`Self::state_bytes`]. Malformed input
+    /// errors; it never panics and never yields a partial model.
+    pub fn from_state(bytes: &[u8]) -> Result<CallocModel, StateError> {
+        let mut r = StateReader::new(bytes);
+        let config = CallocConfig {
+            embedding_dim: r.usize()?,
+            attention_dim: r.usize()?,
+            dropout: r.f64()?,
+            gaussian_noise: r.f64()?,
+            mse_weight: r.f64()?,
+            learning_rate: r.f64()?,
+            epochs_per_lesson: r.usize()?,
+            batch_size: r.usize()?,
+            seed: r.u64()?,
+        };
+        let embed_c = state::read_sequential(&mut r)?;
+        let embed_o = state::read_sequential(&mut r)?;
+        let wq = state::read_dense(&mut r)?;
+        let wk = state::read_dense(&mut r)?;
+        let fc = state::read_dense(&mut r)?;
+        let memory_x = r.matrix()?;
+        let memory_v = r.matrix()?;
+        let location_scale = r.f64()?;
+        let num_classes = r.usize()?;
+        r.finish()?;
+        if memory_v.rows() != memory_x.rows() || memory_x.rows() != num_classes {
+            return Err(format!(
+                "reference memory shape {:?}/{:?} inconsistent with {num_classes} classes",
+                memory_x.shape(),
+                memory_v.shape()
+            ));
+        }
+        Ok(CallocModel {
+            config,
+            embed_c,
+            embed_o,
+            wq,
+            wk,
+            fc,
+            memory_x,
+            memory_v,
+            location_scale,
+            num_classes,
+        })
+    }
 }
 
 /// Weight/bias gradient pair of one dense layer.
@@ -462,6 +537,10 @@ impl Localizer for CallocModel {
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         Some(self)
     }
+
+    fn state(&self) -> Option<Vec<u8>> {
+        Some(self.state_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -569,6 +648,27 @@ mod tests {
         let model = toy_model(8);
         let x = Matrix::from_fn(2, 6, |_, c| c as f64 * 0.1);
         assert_eq!(model.logits(&x), model.logits(&x));
+    }
+
+    #[test]
+    fn state_round_trips_bit_exactly() {
+        let model = toy_model(10);
+        let bytes = model.state_bytes();
+        let restored = CallocModel::from_state(&bytes).expect("decode");
+        let x = Matrix::from_fn(3, 6, |r, c| (r * 6 + c) as f64 * 0.07);
+        let (a, b) = (model.logits(&x), restored.logits(&x));
+        assert_eq!(a.shape(), b.shape());
+        for (va, vb) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        assert_eq!(restored.state_bytes(), bytes, "re-encode is stable");
+        // Strict prefixes never decode (strided to keep the test fast).
+        for end in (0..bytes.len()).step_by(97).chain([0, 1, bytes.len() - 1]) {
+            assert!(
+                CallocModel::from_state(&bytes[..end]).is_err(),
+                "prefix {end} decoded"
+            );
+        }
     }
 
     #[test]

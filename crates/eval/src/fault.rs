@@ -87,7 +87,12 @@ pub struct ExecSpec {
     pub retries: usize,
     /// Checkpoint the result store after this many newly finished cells
     /// (plus once at the end of every run). `0` disables mid-run
-    /// checkpoints. Irrelevant for in-memory stores.
+    /// checkpoints entirely: the store is written exactly once, at run
+    /// finish, so the file jumps from its previous complete checkpoint
+    /// straight to the full results in one atomic rename (and a kill
+    /// mid-run loses every row of that run — the trade for minimum I/O).
+    /// See [`checkpoint_due`] for the decision rule. Irrelevant for
+    /// in-memory stores.
     pub checkpoint_every: usize,
     /// Deterministic fault-injection schedule (empty in production).
     pub faults: FaultPlan,
@@ -127,6 +132,19 @@ impl ExecSpec {
     pub fn max_attempts(&self) -> usize {
         self.retries + 1
     }
+}
+
+/// The mid-run checkpoint decision rule: whether a checkpoint is due
+/// after `since_checkpoint` cells have finished since the last one, under
+/// an [`ExecSpec::checkpoint_every`] cadence of `cadence`.
+///
+/// This pins the `cadence == 0` contract: zero never makes a mid-run
+/// checkpoint due — not even after thousands of cells — so a cadence-0
+/// run writes its store exactly once, at run finish. For a positive
+/// cadence the checkpoint fires on the `cadence`-th newly finished cell
+/// and the counter resets.
+pub fn checkpoint_due(cadence: usize, since_checkpoint: usize) -> bool {
+    cadence > 0 && since_checkpoint >= cadence
 }
 
 /// A cell that panicked on every attempt and was quarantined instead of
@@ -249,6 +267,22 @@ mod tests {
         let spec = spec.with_retries(2).with_checkpoint_every(5);
         assert_eq!(spec.max_attempts(), 3);
         assert_eq!(spec.checkpoint_every, 5);
+    }
+
+    #[test]
+    fn cadence_zero_never_makes_a_mid_run_checkpoint_due() {
+        for since in [0usize, 1, 2, 63, 64, 65, 10_000, usize::MAX] {
+            assert!(!checkpoint_due(0, since), "since_checkpoint = {since}");
+        }
+    }
+
+    #[test]
+    fn positive_cadence_fires_on_the_cadence_boundary() {
+        assert!(!checkpoint_due(64, 0));
+        assert!(!checkpoint_due(64, 63));
+        assert!(checkpoint_due(64, 64));
+        assert!(checkpoint_due(64, 65), "late counters still fire");
+        assert!(checkpoint_due(1, 1), "cadence 1 checkpoints every cell");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod fault;
 mod metrics;
 mod report;
@@ -40,7 +41,8 @@ pub mod store;
 mod suite;
 pub mod sweep;
 
-pub use fault::{CellError, ExecSpec, FaultPlan, RunReport};
+pub use cache::ModelCache;
+pub use fault::{checkpoint_due, CellError, ExecSpec, FaultPlan, RunReport};
 pub use metrics::{attacked_inputs, evaluate, evaluate_mitm, AttackedInputs, Evaluation};
 pub use report::{ascii_heatmap, csv_table, markdown_table, ResultRow, ResultTable};
 pub use store::{write_atomic, ResultStore, StoreError};

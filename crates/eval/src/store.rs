@@ -77,6 +77,13 @@ pub enum StoreError {
         /// The doubly-recorded plan index.
         plan_index: usize,
     },
+    /// A model-cache key was recorded twice — a duplicated insert or
+    /// overlapping merge sides (see [`crate::cache::ModelCache`]);
+    /// caching is strict, never last-wins.
+    DuplicateModel {
+        /// The doubly-recorded cache key.
+        key: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -100,6 +107,12 @@ impl fmt::Display for StoreError {
                 write!(
                     f,
                     "plan index {plan_index} recorded twice (overlapping shards?)"
+                )
+            }
+            StoreError::DuplicateModel { key } => {
+                write!(
+                    f,
+                    "model cache key {key:?} recorded twice (overlapping merge?)"
                 )
             }
         }
@@ -141,6 +154,46 @@ fn sibling_tmp(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// Removes leftover `write_atomic` temp files for `path`: siblings named
+/// `<filename>.<pid>.tmp` whose pid is not ours. A process killed between
+/// temp creation and rename leaves its temp behind forever (the rename
+/// never runs), so the next owner of the store path sweeps them on
+/// [`ResultStore::open`] and [`ResultStore::checkpoint`]. Only temps of
+/// *other* pids are touched — a store path has a single owning process at
+/// a time (shards write disjoint files), so those temps are necessarily
+/// stale. Best-effort: removal errors are ignored (the sweep must never
+/// fail an open), and the count of removed files is returned for tests.
+pub(crate) fn sweep_stale_temps(path: &Path) -> usize {
+    let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+        return 0;
+    };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return 0;
+    };
+    let prefix = format!("{file_name}.");
+    let own = format!("{file_name}.{}.tmp", std::process::id());
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(middle) = name
+            .strip_prefix(&prefix)
+            .and_then(|rest| rest.strip_suffix(".tmp"))
+        else {
+            continue;
+        };
+        let is_pid = !middle.is_empty() && middle.bytes().all(|b| b.is_ascii_digit());
+        if is_pid && name != own && fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
 /// A plan-index-keyed set of finished sweep rows, optionally mirrored to
 /// a crash-safe store file. See the [module docs](self) for the format,
 /// checkpoint and merge contracts.
@@ -170,7 +223,9 @@ impl ResultStore {
     /// disagreeing with `plan_cells`/`fingerprint` is a
     /// [`StoreError::PlanMismatch`]; an undecodable file is
     /// [`StoreError::Corrupt`]. A missing file yields an empty store
-    /// (created on the first [`checkpoint`](Self::checkpoint)).
+    /// (created on the first [`checkpoint`](Self::checkpoint)). Stale
+    /// `*.tmp.<pid>` siblings left by a previously killed writer are
+    /// swept away (see [`sweep_stale_temps`]).
     pub fn open(path: &Path, plan_cells: usize, fingerprint: u64) -> Result<Self, StoreError> {
         let mut store = ResultStore {
             path: Some(path.to_path_buf()),
@@ -178,6 +233,7 @@ impl ResultStore {
             fingerprint,
             rows: BTreeMap::new(),
         };
+        sweep_stale_temps(path);
         match fs::read(path) {
             Ok(bytes) => {
                 store.load(&bytes, path)?;
@@ -294,6 +350,7 @@ impl ResultStore {
         let Some(path) = &self.path else {
             return Ok(());
         };
+        sweep_stale_temps(path);
         write_atomic(path, &self.encode())
     }
 
@@ -329,7 +386,7 @@ impl ResultStore {
                 "format version {version}, this build reads {VERSION}"
             )));
         }
-        let plan_cells = r.u64().map_err(&corrupt)? as usize;
+        let plan_cells = r.usize().map_err(&corrupt)?;
         let fingerprint = r.u64().map_err(&corrupt)?;
         if plan_cells != self.plan_cells || fingerprint != self.fingerprint {
             return Err(StoreError::PlanMismatch {
@@ -342,8 +399,8 @@ impl ResultStore {
             });
         }
         while !r.done() {
-            let len = r.u32().map_err(&corrupt)? as usize;
-            let record = r.take(len).map_err(&corrupt)?;
+            let len = r.u32().map_err(&corrupt)?;
+            let record = r.take(len as usize).map_err(&corrupt)?;
             let row = decode_row(record).map_err(&corrupt)?;
             if row.plan_index >= self.plan_cells {
                 return Err(corrupt(format!(
@@ -360,18 +417,20 @@ impl ResultStore {
 }
 
 /// Bounded little-endian reader over a byte slice; every failure carries
-/// a human-readable detail for [`StoreError::Corrupt`].
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// a human-readable detail for [`StoreError::Corrupt`]. Shared with the
+/// model cache in [`crate::cache`], which follows the same format
+/// discipline.
+pub(crate) struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos >= self.bytes.len()
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
         let Some(end) = end else {
             return Err(format!(
@@ -385,28 +444,37 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         let b = self.take(8)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// A u64 length/index converted to usize with an overflow check — on
+    /// 32-bit targets an oversized value is corruption, not a wrap.
+    pub(crate) fn usize(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("value {v} overflows usize on this target"))
     }
 
     fn f64(&mut self) -> Result<f64, String> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn string(&mut self) -> Result<String, String> {
-        let len = self.u32()? as usize;
+    pub(crate) fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()?;
+        let len = usize::try_from(len)
+            .map_err(|_| format!("string length {len} overflows usize on this target"))?;
         let b = self.take(len)?;
         String::from_utf8(b.to_vec()).map_err(|e| format!("invalid UTF-8 in string field: {e}"))
     }
 }
 
-fn push_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
@@ -440,7 +508,7 @@ fn decode_row(record: &[u8]) -> Result<ResultRow, String> {
         pos: 0,
     };
     let row = ResultRow {
-        plan_index: r.u64()? as usize,
+        plan_index: r.usize()?,
         framework: r.string()?,
         building: r.string()?,
         device: r.string()?,
@@ -646,6 +714,68 @@ mod tests {
         assert!(
             !sibling_tmp(&path).exists(),
             "temp file must be renamed away"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_sweeps_stale_temps_from_dead_writers() {
+        let path = tmp_path("stale_sweep");
+        let _ = fs::remove_file(&path);
+        // A writer killed between temp creation and rename leaves this
+        // behind (pid 1 is never us).
+        let stale = path.with_file_name(format!(
+            "{}.1.tmp",
+            path.file_name().unwrap().to_str().unwrap()
+        ));
+        fs::write(&stale, b"half-written checkpoint").unwrap();
+        // Our own pid's temp and unrelated siblings must survive.
+        let own = sibling_tmp(&path);
+        fs::write(&own, b"in flight").unwrap();
+        let unrelated = path.with_file_name(format!(
+            "{}.notapid.tmp",
+            path.file_name().unwrap().to_str().unwrap()
+        ));
+        fs::write(&unrelated, b"not ours").unwrap();
+
+        let store = ResultStore::open(&path, 4, 7).expect("open");
+        assert!(!stale.exists(), "stale other-pid temp must be swept");
+        assert!(own.exists(), "own-pid temp must survive");
+        assert!(unrelated.exists(), "non-pid-pattern sibling must survive");
+        assert!(store.is_empty());
+
+        // checkpoint() sweeps too.
+        fs::write(&stale, b"left again").unwrap();
+        let mut store = ResultStore::open(&path, 4, 7).expect("reopen");
+        assert!(!stale.exists());
+        fs::write(&stale, b"and again").unwrap();
+        store.insert(row(0, 1.0)).unwrap();
+        store.checkpoint().expect("checkpoint");
+        assert!(!stale.exists(), "checkpoint must sweep stale temps");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&own);
+        let _ = fs::remove_file(&unrelated);
+    }
+
+    #[test]
+    fn oversized_length_fields_are_corrupt_not_wrapped() {
+        // Header with plan_cells = u64::MAX: on every target this must
+        // surface as a typed error (PlanMismatch after a checked decode,
+        // Corrupt on 32-bit) — never wrap through `as usize`.
+        let path = tmp_path("oversized");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&7u64.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = ResultStore::open(&path, 4, 7).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::PlanMismatch { .. } | StoreError::Corrupt { .. }
+            ),
+            "{err}"
         );
         let _ = fs::remove_file(&path);
     }

@@ -10,6 +10,7 @@ use calloc_nn::{DifferentiableModel, Localizer, Sequential};
 use calloc_sim::{Dataset, Scenario, ScenarioSet};
 use calloc_tensor::par;
 
+use crate::cache::ModelCache;
 use crate::fault::{ExecSpec, RunReport};
 use crate::report::ResultTable;
 use crate::store::{ResultStore, StoreError};
@@ -88,14 +89,21 @@ impl SuiteProfile {
     }
 }
 
-/// A deferred member training: the figure name plus the closure that
-/// trains the model. Jobs are independent (each framework derives its own
-/// RNG stream from the profile seed), so `Suite::train` can run them on
-/// worker threads and collect the results in job (= figure) order.
-type MemberJob<'a> = (
-    &'static str,
-    Box<dyn FnOnce() -> Box<dyn Localizer> + Send + 'a>,
-);
+/// A deferred member training: the figure name, the member half of its
+/// model-cache key (the canonical encoding of everything that determines
+/// the trained weights besides the collected data — see
+/// [`crate::cache`]), and the closure that trains the model. Jobs are
+/// independent (each framework derives its own RNG stream from the
+/// profile seed), so the suite trainers can run them on worker threads
+/// and collect the results in job (= figure) order.
+struct MemberSpec<'a> {
+    name: &'static str,
+    key: String,
+    train: MemberTrainer<'a>,
+}
+
+/// A deferred member training, boxed for the flat `par_run` fan-out.
+type MemberTrainer<'a> = Box<dyn FnOnce() -> Box<dyn Localizer> + Send + 'a>;
 
 /// One result of the suite's flat training fan-out: every framework and
 /// the surrogate train in a single `par_run`. Member jobs may fan out
@@ -107,6 +115,162 @@ enum Trained {
     Member(Box<dyn Localizer>),
     /// The transfer-attack surrogate network.
     Surrogate(Sequential),
+}
+
+/// The deferred member trainings of a profile, in figure order, each
+/// carrying its cache-key half. The single source of truth shared by
+/// [`Suite::train`] and [`Suite::train_cached`]: both paths train through
+/// these exact closures, which is what makes a cache hit bit-identical to
+/// a fresh train.
+fn member_specs<'a>(scenario: &'a Scenario, profile: &'a SuiteProfile) -> Vec<MemberSpec<'a>> {
+    let train = &scenario.train;
+    let x = &train.x;
+    let y = &train.labels;
+    let k = train.num_classes();
+
+    let mut specs: Vec<MemberSpec<'a>> = Vec::new();
+
+    let calloc_trainer = CallocTrainer::new(profile.calloc).with_curriculum(Curriculum::linear(
+        profile.lessons.max(2),
+        profile.train_epsilon,
+    ));
+    {
+        let trainer = calloc_trainer.clone();
+        specs.push(MemberSpec {
+            name: "CALLOC",
+            key: Suite::calloc_key(profile),
+            train: Box::new(move || Box::new(trainer.fit(train).model) as Box<dyn Localizer>),
+        });
+    }
+    if profile.include_nc {
+        let trainer = calloc_trainer;
+        specs.push(MemberSpec {
+            name: "NC",
+            key: Suite::nc_key(profile),
+            train: Box::new(move || {
+                Box::new(trainer.fit_no_curriculum(train).model) as Box<dyn Localizer>
+            }),
+        });
+    }
+
+    if profile.include_sota {
+        let config = AdvLocConfig {
+            dnn: DnnConfig {
+                epochs: profile.baseline_epochs,
+                seed: profile.seed,
+                ..Default::default()
+            },
+            epsilon: profile.train_epsilon,
+            ..Default::default()
+        };
+        specs.push(MemberSpec {
+            name: "AdvLoc",
+            key: format!("AdvLoc v1 config={config:?}"),
+            train: Box::new(move || {
+                Box::new(AdvLocLocalizer::fit(x, y, k, &config)) as Box<dyn Localizer>
+            }),
+        });
+        let config = SangriaConfig {
+            pretrain_epochs: profile.baseline_epochs / 2,
+            gbdt: GbdtConfig {
+                rounds: 30,
+                ..Default::default()
+            },
+            seed: profile.seed,
+            ..Default::default()
+        };
+        specs.push(MemberSpec {
+            name: "SANGRIA",
+            key: format!("SANGRIA v1 config={config:?}"),
+            train: Box::new(move || {
+                Box::new(SangriaLocalizer::fit(x, y, k, &config)) as Box<dyn Localizer>
+            }),
+        });
+        let config = AnvilConfig {
+            epochs: profile.baseline_epochs,
+            learning_rate: 5e-3,
+            seed: profile.seed,
+            ..Default::default()
+        };
+        specs.push(MemberSpec {
+            name: "ANVIL",
+            key: format!("ANVIL v1 config={config:?}"),
+            train: Box::new(move || {
+                Box::new(AnvilLocalizer::fit(x, y, k, &config)) as Box<dyn Localizer>
+            }),
+        });
+        let config = WiDeepConfig {
+            pretrain_epochs: profile.baseline_epochs / 2,
+            seed: profile.seed,
+            ..Default::default()
+        };
+        specs.push(MemberSpec {
+            name: "WiDeep",
+            key: format!("WiDeep v1 config={config:?}"),
+            train: Box::new(move || {
+                Box::new(
+                    WiDeepLocalizer::fit(x, y, k, &config)
+                        .expect("WiDeep GPC kernel must be positive definite"),
+                ) as Box<dyn Localizer>
+            }),
+        });
+    }
+
+    if profile.include_classical {
+        specs.push(MemberSpec {
+            name: "KNN",
+            key: "KNN v1 k=3".to_string(),
+            train: Box::new(move || {
+                Box::new(KnnLocalizer::fit(x.clone(), y.clone(), k, 3)) as Box<dyn Localizer>
+            }),
+        });
+        let config = GpcConfig::default();
+        specs.push(MemberSpec {
+            name: "GPC",
+            key: format!("GPC v1 config={config:?}"),
+            train: Box::new(move || {
+                Box::new(
+                    GpcLocalizer::fit(x.clone(), y.clone(), k, config)
+                        .expect("GPC kernel must be positive definite"),
+                ) as Box<dyn Localizer>
+            }),
+        });
+        let config = DnnConfig {
+            epochs: profile.baseline_epochs,
+            seed: profile.seed,
+            ..Default::default()
+        };
+        specs.push(MemberSpec {
+            name: "DNN",
+            key: format!("DNN v1 config={config:?}"),
+            train: Box::new(move || {
+                Box::new(DnnLocalizer::fit(x, y, k, &config)) as Box<dyn Localizer>
+            }),
+        });
+    }
+
+    specs
+}
+
+/// The canonical fields of the CALLOC/NC cache keys: everything the
+/// curriculum trainer derives its weights from besides the data.
+fn calloc_key_fields(profile: &SuiteProfile) -> String {
+    format!(
+        "config={:?} lessons={} train_epsilon={:?}",
+        profile.calloc,
+        profile.lessons.max(2),
+        profile.train_epsilon
+    )
+}
+
+/// The resolved configuration of the transfer-attack surrogate DNN.
+fn surrogate_config(profile: &SuiteProfile) -> DnnConfig {
+    DnnConfig {
+        hidden: vec![64],
+        epochs: profile.baseline_epochs,
+        seed: profile.seed ^ 0xDEAD,
+        ..Default::default()
+    }
 }
 
 impl Suite {
@@ -123,137 +287,10 @@ impl Suite {
         let y = &train.labels;
         let k = train.num_classes();
 
-        let mut jobs: Vec<MemberJob<'_>> = Vec::new();
-
-        let calloc_trainer = CallocTrainer::new(profile.calloc).with_curriculum(
-            Curriculum::linear(profile.lessons.max(2), profile.train_epsilon),
-        );
-        {
-            let trainer = calloc_trainer.clone();
-            jobs.push((
-                "CALLOC",
-                Box::new(move || Box::new(trainer.fit(train).model) as Box<dyn Localizer>),
-            ));
-        }
-        if profile.include_nc {
-            let trainer = calloc_trainer;
-            jobs.push((
-                "NC",
-                Box::new(move || {
-                    Box::new(trainer.fit_no_curriculum(train).model) as Box<dyn Localizer>
-                }),
-            ));
-        }
-
-        if profile.include_sota {
-            jobs.push((
-                "AdvLoc",
-                Box::new(move || {
-                    Box::new(AdvLocLocalizer::fit(
-                        x,
-                        y,
-                        k,
-                        &AdvLocConfig {
-                            dnn: DnnConfig {
-                                epochs: profile.baseline_epochs,
-                                seed: profile.seed,
-                                ..Default::default()
-                            },
-                            epsilon: profile.train_epsilon,
-                            ..Default::default()
-                        },
-                    )) as Box<dyn Localizer>
-                }),
-            ));
-            jobs.push((
-                "SANGRIA",
-                Box::new(move || {
-                    Box::new(SangriaLocalizer::fit(
-                        x,
-                        y,
-                        k,
-                        &SangriaConfig {
-                            pretrain_epochs: profile.baseline_epochs / 2,
-                            gbdt: GbdtConfig {
-                                rounds: 30,
-                                ..Default::default()
-                            },
-                            seed: profile.seed,
-                            ..Default::default()
-                        },
-                    )) as Box<dyn Localizer>
-                }),
-            ));
-            jobs.push((
-                "ANVIL",
-                Box::new(move || {
-                    Box::new(AnvilLocalizer::fit(
-                        x,
-                        y,
-                        k,
-                        &AnvilConfig {
-                            epochs: profile.baseline_epochs,
-                            learning_rate: 5e-3,
-                            seed: profile.seed,
-                            ..Default::default()
-                        },
-                    )) as Box<dyn Localizer>
-                }),
-            ));
-            jobs.push((
-                "WiDeep",
-                Box::new(move || {
-                    Box::new(
-                        WiDeepLocalizer::fit(
-                            x,
-                            y,
-                            k,
-                            &WiDeepConfig {
-                                pretrain_epochs: profile.baseline_epochs / 2,
-                                seed: profile.seed,
-                                ..Default::default()
-                            },
-                        )
-                        .expect("WiDeep GPC kernel must be positive definite"),
-                    ) as Box<dyn Localizer>
-                }),
-            ));
-        }
-
-        if profile.include_classical {
-            jobs.push((
-                "KNN",
-                Box::new(move || {
-                    Box::new(KnnLocalizer::fit(x.clone(), y.clone(), k, 3)) as Box<dyn Localizer>
-                }),
-            ));
-            jobs.push((
-                "GPC",
-                Box::new(move || {
-                    Box::new(
-                        GpcLocalizer::fit(x.clone(), y.clone(), k, GpcConfig::default())
-                            .expect("GPC kernel must be positive definite"),
-                    ) as Box<dyn Localizer>
-                }),
-            ));
-            jobs.push((
-                "DNN",
-                Box::new(move || {
-                    Box::new(DnnLocalizer::fit(
-                        x,
-                        y,
-                        k,
-                        &DnnConfig {
-                            epochs: profile.baseline_epochs,
-                            seed: profile.seed,
-                            ..Default::default()
-                        },
-                    )) as Box<dyn Localizer>
-                }),
-            ));
-        }
-
-        let (names, member_jobs): (Vec<&'static str>, Vec<_>) = jobs.into_iter().unzip();
+        let (names, member_jobs): (Vec<&'static str>, Vec<_>) = member_specs(scenario, profile)
+            .into_iter()
+            .map(|spec| (spec.name, spec.train))
+            .unzip();
 
         // One flat fan-out: every member plus the surrogate (an
         // independent gradient source for transfer attacks against
@@ -264,22 +301,9 @@ impl Suite {
                 Box::new(move || Trained::Member(job())) as Box<dyn FnOnce() -> Trained + Send + '_>
             })
             .collect();
+        let config = surrogate_config(profile);
         trainings.push(Box::new(move || {
-            Trained::Surrogate(
-                DnnLocalizer::fit(
-                    x,
-                    y,
-                    k,
-                    &DnnConfig {
-                        hidden: vec![64],
-                        epochs: profile.baseline_epochs,
-                        seed: profile.seed ^ 0xDEAD,
-                        ..Default::default()
-                    },
-                )
-                .network()
-                .clone(),
-            )
+            Trained::Surrogate(DnnLocalizer::fit(x, y, k, &config).network().clone())
         }));
 
         let mut trained = par::par_run(trainings);
@@ -300,6 +324,124 @@ impl Suite {
             })
             .collect();
         Suite { members, surrogate }
+    }
+
+    /// Like [`train`](Self::train), but backed by a [`ModelCache`]:
+    /// members (and the surrogate) whose `(config, cell)` key is already
+    /// cached are restored bit-identically instead of retrained, only the
+    /// misses train (in one flat fan-out merged in figure order, each on
+    /// its own seed-derived RNG stream — so every miss trains
+    /// bit-identically to [`train`](Self::train)), the fresh models are
+    /// recorded, and the cache is checkpointed once at the end.
+    ///
+    /// `cell` must be the scenario's [`calloc_sim::collection_identity`]
+    /// (see [`calloc_sim::ScenarioSet::cell_identity`]) — the caller
+    /// vouches that `scenario` was collected exactly so. Repeated cells
+    /// across figures and sweeps then train each unique
+    /// `(member config, cell)` pair exactly once; the cache's hit/miss
+    /// counters make the claim checkable.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache holds undecodable entries for one of the keys,
+    /// a key collides ([`StoreError::DuplicateModel`]), or the checkpoint
+    /// write fails.
+    pub fn train_cached(
+        scenario: &Scenario,
+        profile: &SuiteProfile,
+        cell: &str,
+        cache: &mut ModelCache,
+    ) -> Result<Suite, StoreError> {
+        let train = &scenario.train;
+        let x = &train.x;
+        let y = &train.labels;
+        let k = train.num_classes();
+
+        let specs = member_specs(scenario, profile);
+        let mut names = Vec::with_capacity(specs.len());
+        let mut keys = Vec::with_capacity(specs.len());
+        let mut slots: Vec<Option<Box<dyn Localizer>>> = Vec::with_capacity(specs.len());
+        let mut miss_jobs: Vec<(usize, MemberTrainer<'_>)> = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let key = Suite::cache_key(&spec.key, cell);
+            let cached = cache.get_member(&key, spec.name)?;
+            if cached.is_none() {
+                miss_jobs.push((i, spec.train));
+            }
+            slots.push(cached);
+            names.push(spec.name);
+            keys.push(key);
+        }
+        let config = surrogate_config(profile);
+        let surrogate_key = Suite::cache_key(&format!("surrogate v1 config={config:?}"), cell);
+        let cached_surrogate = cache.get_surrogate(&surrogate_key)?;
+        let train_surrogate = cached_surrogate.is_none();
+
+        // Train only the misses — same flat fan-out as `train`, merged in
+        // figure order.
+        let (miss_indices, miss_trainings): (Vec<usize>, Vec<_>) = miss_jobs.into_iter().unzip();
+        let mut trainings: Vec<Box<dyn FnOnce() -> Trained + Send + '_>> = miss_trainings
+            .into_iter()
+            .map(|job: Box<dyn FnOnce() -> Box<dyn Localizer> + Send + '_>| {
+                Box::new(move || Trained::Member(job())) as Box<dyn FnOnce() -> Trained + Send + '_>
+            })
+            .collect();
+        if train_surrogate {
+            trainings.push(Box::new(move || {
+                Trained::Surrogate(DnnLocalizer::fit(x, y, k, &config).network().clone())
+            }));
+        }
+        let mut trained = par::par_run(trainings);
+
+        let surrogate = if train_surrogate {
+            let Some(Trained::Surrogate(surrogate)) = trained.pop() else {
+                unreachable!("the last job is the surrogate when it missed");
+            };
+            cache.insert_surrogate(&surrogate_key, &surrogate)?;
+            surrogate
+        } else {
+            cached_surrogate.expect("cached surrogate on a hit")
+        };
+        for (i, trained) in miss_indices.into_iter().zip(trained) {
+            let Trained::Member(model) = trained else {
+                unreachable!("member jobs yield members");
+            };
+            cache.insert_member(&keys[i], names[i], model.as_ref())?;
+            slots[i] = Some(model);
+        }
+        cache.checkpoint()?;
+
+        let members = names
+            .into_iter()
+            .zip(slots)
+            .map(|(name, model)| SuiteMember {
+                name: name.into(),
+                model: model.expect("every slot is a hit or a fresh train"),
+            })
+            .collect();
+        Ok(Suite { members, surrogate })
+    }
+
+    /// The member half of CALLOC's model-cache key under this profile —
+    /// for binaries that train CALLOC directly (Figs. 4/5, ablations)
+    /// through [`ModelCache::calloc`].
+    pub fn calloc_key(profile: &SuiteProfile) -> String {
+        format!("CALLOC v1 {}", calloc_key_fields(profile))
+    }
+
+    /// The member half of the no-curriculum ablation's model-cache key
+    /// under this profile — for Fig. 5, which trains the NC variant
+    /// directly; the same key the suite trainer uses when
+    /// [`SuiteProfile::include_nc`] is set, so the two paths share
+    /// cached models.
+    pub fn nc_key(profile: &SuiteProfile) -> String {
+        format!("NC v1 {}", calloc_key_fields(profile))
+    }
+
+    /// Composes a member key half with a scenario-cell identity into the
+    /// full model-cache key.
+    pub fn cache_key(member_key: &str, cell: &str) -> String {
+        format!("{member_key} @ {cell}")
     }
 
     /// Looks up a trained member by name.
@@ -507,6 +649,41 @@ mod tests {
             assert_eq!(eval.errors_m.len(), test.len(), "{}", member.name);
             assert!(eval.summary.mean.is_finite(), "{}", member.name);
         }
+    }
+
+    #[test]
+    fn train_cached_restores_bit_identical_models() {
+        let scenario = tiny_scenario();
+        let profile = tiny_profile();
+        let cell = "suite-test cell";
+        let mut cache = ModelCache::in_memory();
+
+        let cold = Suite::train_cached(&scenario, &profile, cell, &mut cache).expect("cold");
+        assert_eq!(cache.hits(), 0, "cold run hits nothing");
+        assert_eq!(cache.misses(), 10, "9 members + surrogate miss once");
+        assert_eq!(cache.len(), 10, "every training is recorded");
+
+        let warm = Suite::train_cached(&scenario, &profile, cell, &mut cache).expect("warm");
+        assert_eq!(cache.hits(), 10, "warm run hits everything");
+        assert_eq!(cache.misses(), 10, "warm run trains nothing new");
+
+        // The determinism contract, pinned: a cache hit is bit-identical
+        // to the cold train AND to an uncached `Suite::train`.
+        let fresh = Suite::train(&scenario, &profile);
+        for ((c, w), f) in cold.members.iter().zip(&warm.members).zip(&fresh.members) {
+            assert_eq!(c.name, w.name);
+            assert_eq!(c.name, f.name);
+            let cs = c.model.state().expect("every member encodes");
+            assert_eq!(cs, w.model.state().unwrap(), "{} warm != cold", c.name);
+            assert_eq!(cs, f.model.state().unwrap(), "{} cached != fresh", c.name);
+        }
+        let surr = |s: &Suite| {
+            let mut w = calloc_nn::state::StateWriter::new();
+            calloc_nn::state::write_sequential(&mut w, &s.surrogate);
+            w.into_bytes()
+        };
+        assert_eq!(surr(&cold), surr(&warm), "surrogate warm != cold");
+        assert_eq!(surr(&cold), surr(&fresh), "surrogate cached != fresh");
     }
 
     #[test]

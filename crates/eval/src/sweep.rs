@@ -856,7 +856,7 @@ impl<'a> StoreSink<'a> {
             return;
         }
         inner.since_checkpoint += 1;
-        if inner.cadence > 0 && inner.since_checkpoint >= inner.cadence {
+        if crate::fault::checkpoint_due(inner.cadence, inner.since_checkpoint) {
             match inner.store.checkpoint() {
                 Ok(()) => inner.since_checkpoint = 0,
                 Err(e) => inner.error = Some(e),
@@ -873,37 +873,38 @@ impl<'a> StoreSink<'a> {
     }
 }
 
-/// Minimal FNV-1a accumulator for [`SweepPlan::fingerprint`]. Every
-/// field is written length- or tag-prefixed by the caller, so distinct
-/// field sequences cannot collide by concatenation.
-struct Fnv {
+/// Minimal FNV-1a accumulator for [`SweepPlan::fingerprint`] and the
+/// model-cache keys of [`crate::cache`]. Every field is written length-
+/// or tag-prefixed by the caller, so distinct field sequences cannot
+/// collide by concatenation.
+pub(crate) struct Fnv {
     hash: u64,
 }
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv {
             hash: 0xcbf2_9ce4_8422_2325,
         }
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.hash ^= u64::from(b);
             self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
         self.bytes(s.as_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.hash
     }
 }

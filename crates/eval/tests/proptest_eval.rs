@@ -1,12 +1,19 @@
 //! Property-based tests of the evaluation harness: metric shapes and
-//! invariants of [`calloc_eval::evaluate`], and consistency of the
-//! [`calloc_eval::ResultTable`] aggregations.
+//! invariants of [`calloc_eval::evaluate`], consistency of the
+//! [`calloc_eval::ResultTable`] aggregations, and the corruption-safety
+//! and bit-exactness laws of the persistence layers
+//! ([`calloc_eval::ResultStore`], [`calloc_eval::ModelCache`]).
 
 use calloc_baselines::KnnLocalizer;
-use calloc_eval::{evaluate, ExecSpec, Localizer, ResultRow, ResultTable, SweepPlan, SweepSpec};
+use calloc_eval::{
+    evaluate, ExecSpec, Localizer, ModelCache, ResultRow, ResultStore, ResultTable, StoreError,
+    SweepPlan, SweepSpec,
+};
+use calloc_nn::{Dense, Layer, Sequential};
 use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario};
-use calloc_tensor::par;
+use calloc_tensor::{par, Matrix};
 use proptest::prelude::*;
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 fn tiny_scenario(salt: u64, seed: u64) -> Scenario {
@@ -238,5 +245,183 @@ proptest! {
                 bounds
             );
         }
+    }
+}
+
+/// A per-process, per-case temp path for the persistence proptests.
+fn tmp_file(name: &str, case: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "calloc_prop_{}_{name}_{case}.bin",
+        std::process::id()
+    ))
+}
+
+/// A synthetic finished row for the truncation law below.
+fn stored_row(plan_index: usize, salt: f64) -> ResultRow {
+    ResultRow::clean(plan_index, "CALLOC", "B1", "OP3", salt, salt * 2.0)
+}
+
+/// Awkward `f64` bit patterns every parameter round trip must preserve:
+/// negative zero, subnormals, infinities, and NaNs with payload bits.
+const TRICKY_BITS: [u64; 7] = [
+    0x8000_0000_0000_0000, // -0.0
+    0x0000_0000_0000_0001, // smallest positive subnormal
+    0x800F_FFFF_FFFF_FFFF, // negative subnormal
+    0x7FF0_0000_0000_0000, // +inf
+    0xFFF0_0000_0000_0000, // -inf
+    0x7FF8_0000_DEAD_BEEF, // quiet NaN with payload
+    0x7FF0_0000_0000_0001, // signalling NaN bit pattern
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The truncation law: **any** byte prefix of a valid store file
+    /// either fails to open as [`StoreError::Corrupt`] or opens as a
+    /// complete subset of the original rows (a prefix ending exactly on
+    /// a record boundary is a smaller valid checkpoint) — never a panic,
+    /// never a partial or altered row.
+    #[test]
+    fn any_store_prefix_is_corrupt_or_a_complete_subset(
+        n_rows in 1usize..6,
+        cut in 0.0..1.0f64,
+        case in any::<u64>(),
+    ) {
+        let path = tmp_file("store_prefix", case);
+        let _ = std::fs::remove_file(&path);
+        let mut store = ResultStore::open(&path, 16, 0xFEED).expect("fresh store");
+        for i in 0..n_rows {
+            store.insert(stored_row(i, i as f64 + 0.5)).expect("insert");
+        }
+        store.checkpoint().expect("checkpoint");
+        let bytes = std::fs::read(&path).expect("read checkpoint");
+
+        for len in [
+            (bytes.len() as f64 * cut) as usize,
+            0, 1, 7, 8, 27, 28, 29,
+            bytes.len().saturating_sub(1),
+            bytes.len(),
+        ] {
+            let len = len.min(bytes.len());
+            std::fs::write(&path, &bytes[..len]).expect("write prefix");
+            match ResultStore::open(&path, 16, 0xFEED) {
+                Ok(opened) => {
+                    prop_assert!(opened.len() <= n_rows);
+                    for row in opened.rows() {
+                        prop_assert_eq!(
+                            row,
+                            &stored_row(row.plan_index, row.plan_index as f64 + 0.5),
+                            "prefix of {len} bytes altered a row"
+                        );
+                    }
+                }
+                Err(StoreError::Corrupt { .. }) => {}
+                Err(other) => prop_assert!(
+                    false,
+                    "prefix of {} bytes: expected Ok or Corrupt, got {}",
+                    len, other
+                ),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The same truncation law for the model cache: any byte prefix of a
+    /// valid cache file opens as a complete subset of the original
+    /// entries or fails typed — never a panic, never partial bytes.
+    #[test]
+    fn any_cache_prefix_is_corrupt_or_a_complete_subset(
+        n_entries in 1usize..5,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 0.0..1.0f64,
+        case in any::<u64>(),
+    ) {
+        let path = tmp_file("cache_prefix", case);
+        let _ = std::fs::remove_file(&path);
+        let mut cache = ModelCache::open(&path).expect("fresh cache");
+        for i in 0..n_entries {
+            let mut bytes = payload.clone();
+            bytes.push(i as u8);
+            cache.insert(&format!("KNN v1 k=3 @ cell {i}"), "KNN", bytes).expect("insert");
+        }
+        cache.checkpoint().expect("checkpoint");
+        let bytes = std::fs::read(&path).expect("read checkpoint");
+
+        for len in [
+            (bytes.len() as f64 * cut) as usize,
+            0, 1, 8, 12, 19, 20, 21,
+            bytes.len().saturating_sub(1),
+            bytes.len(),
+        ] {
+            let len = len.min(bytes.len());
+            std::fs::write(&path, &bytes[..len]).expect("write prefix");
+            match ModelCache::open(&path) {
+                Ok(mut opened) => {
+                    prop_assert!(opened.len() <= n_entries);
+                    for i in 0..n_entries {
+                        let key = format!("KNN v1 k=3 @ cell {i}");
+                        if opened.contains(&key) {
+                            let mut expect = payload.clone();
+                            expect.push(i as u8);
+                            prop_assert_eq!(
+                                opened.get(&key),
+                                Some(expect.as_slice()),
+                                "prefix of {} bytes altered entry {}", len, i
+                            );
+                        }
+                    }
+                }
+                Err(StoreError::Corrupt { .. }) => {}
+                Err(other) => prop_assert!(
+                    false,
+                    "prefix of {} bytes: expected Ok or Corrupt, got {}",
+                    len, other
+                ),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Cached model parameters round trip **bit-exactly** through a
+    /// checkpoint/reopen cycle — including negative zero, subnormals,
+    /// infinities and NaN payloads, which value-level equality would
+    /// miss.
+    #[test]
+    fn cached_parameters_round_trip_bit_exactly(
+        draws in proptest::collection::vec(any::<u64>(), 1..12),
+        case in any::<u64>(),
+    ) {
+        let mut bits: Vec<u64> = draws;
+        bits.extend_from_slice(&TRICKY_BITS);
+        let cols = bits.len();
+        let w = Matrix::from_rows(&[
+            bits.iter().map(|&b| f64::from_bits(b)).collect::<Vec<f64>>()
+        ]);
+        let b = Matrix::from_rows(&[vec![f64::from_bits(TRICKY_BITS[5]); cols]]);
+        let net = Sequential::new(vec![Layer::Dense(Dense { w, b }), Layer::Relu]);
+
+        let path = tmp_file("bit_exact", case);
+        let _ = std::fs::remove_file(&path);
+        let mut cache = ModelCache::open(&path).expect("fresh cache");
+        cache.insert_surrogate("surrogate v1 @ prop cell", &net).expect("insert");
+        cache.checkpoint().expect("checkpoint");
+
+        let mut reopened = ModelCache::open(&path).expect("reopen");
+        let restored = reopened
+            .get_surrogate("surrogate v1 @ prop cell")
+            .expect("decode")
+            .expect("present");
+        let Layer::Dense(orig) = &net.layers()[0] else { unreachable!() };
+        let Layer::Dense(back) = &restored.layers()[0] else {
+            prop_assert!(false, "restored layer 0 is not Dense");
+            unreachable!()
+        };
+        for (o, r) in orig.w.as_slice().iter().zip(back.w.as_slice()) {
+            prop_assert_eq!(o.to_bits(), r.to_bits(), "weight bits diverged");
+        }
+        for (o, r) in orig.b.as_slice().iter().zip(back.b.as_slice()) {
+            prop_assert_eq!(o.to_bits(), r.to_bits(), "bias bits diverged");
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

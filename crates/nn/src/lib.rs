@@ -48,6 +48,7 @@ mod train;
 pub mod attention;
 pub mod loss;
 pub mod metrics;
+pub mod state;
 
 pub use init::{he_init, xavier_init};
 pub use layer::{Cache, Dense, Layer, LayerGrad, Mode};

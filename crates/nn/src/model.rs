@@ -154,6 +154,16 @@ pub trait Localizer: Send + Sync {
     fn as_differentiable(&self) -> Option<&dyn DifferentiableModel> {
         None
     }
+
+    /// Bit-exact encoding of this model's trained state (see
+    /// [`crate::state`]), or `None` if the model is not persistable. The
+    /// trained-model cache skips models that return `None`; models that
+    /// return `Some` must restore **bit-identically** through their
+    /// crate's `from_state` counterpart, so a cache hit is
+    /// indistinguishable from a fresh train.
+    fn state(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 impl DifferentiableModel for Sequential {

@@ -1,0 +1,522 @@
+//! Bit-exact binary encoding of trained model state.
+//!
+//! The trained-model cache (`calloc_eval::cache`) persists every suite
+//! member to disk and must restore it **bit-identically** — a cache hit
+//! has to be indistinguishable from a fresh train under the determinism
+//! contract. These helpers give each model crate a tiny, dependency-free
+//! codec with the same discipline as the result store: all `f64`
+//! parameters travel as raw IEEE-754 bits (so `-0.0`, subnormals and NaN
+//! payloads survive), all lengths are u64 on the wire and checked on
+//! decode, and any malformed input surfaces as an error string — never a
+//! panic, never a partial model.
+//!
+//! Model structs own their field layout, so each crate implements its own
+//! `state_bytes` / `from_state` pair on top of [`StateWriter`] /
+//! [`StateReader`]; this module only ships the primitives plus codecs for
+//! the types owned by `calloc_nn` itself ([`Sequential`], [`Layer`],
+//! [`Dense`], [`TrainReport`]).
+
+use calloc_tensor::Matrix;
+
+use crate::layer::{Dense, Layer};
+use crate::model::Sequential;
+use crate::train::TrainReport;
+
+/// Decode failure: a human-readable description of what was malformed.
+/// Callers wrap this in their own typed error (the cache maps it to
+/// `StoreError::Corrupt`).
+pub type StateError = String;
+
+/// Append-only encoder for model state. Scalars are little-endian;
+/// `f64` values are written as raw bits.
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a usize as a u64 (usize never exceeds u64 on supported
+    /// targets).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes an f64 as its raw bit pattern — bit-exact for every value
+    /// including `-0.0`, subnormals and NaN payloads.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a matrix as `rows, cols` then row-major raw f64 bits.
+    pub fn matrix(&mut self, m: &Matrix) {
+        self.usize(m.rows());
+        self.usize(m.cols());
+        for &v in m.as_slice() {
+            self.f64(v);
+        }
+    }
+
+    /// Writes a length-prefixed slice of raw f64 bits.
+    pub fn f64_slice(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Writes a length-prefixed slice of usizes (as u64s).
+    pub fn usize_slice(&mut self, vs: &[usize]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+}
+
+/// Bounded decoder over an encoded byte slice. Every read checks the
+/// remaining length; every length field is validated before allocation,
+/// so truncated or corrupt input yields `Err`, never a panic.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        StateReader { bytes, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed — trailing garbage is
+    /// corruption, not padding.
+    pub fn finish(self) -> Result<(), StateError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after model state",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        if self.remaining() < n {
+            return Err(format!(
+                "state truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, StateError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, StateError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a u64 and converts it to usize with an overflow check (on
+    /// 32-bit targets an oversized value errors instead of wrapping).
+    pub fn usize(&mut self) -> Result<usize, StateError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("length {v} overflows usize on this target"))
+    }
+
+    /// Reads a bool byte, rejecting values other than 0 and 1.
+    pub fn bool(&mut self) -> Result<bool, StateError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b}")),
+        }
+    }
+
+    /// Reads an f64 from its raw bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, StateError> {
+        let len = self.usize()?;
+        if len > self.remaining() {
+            return Err(format!(
+                "string length {len} exceeds {} remaining bytes",
+                self.remaining()
+            ));
+        }
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|e| format!("invalid UTF-8: {e}"))
+    }
+
+    /// Reads a matrix written by [`StateWriter::matrix`].
+    pub fn matrix(&mut self) -> Result<Matrix, StateError> {
+        let rows = self.usize()?;
+        let cols = self.usize()?;
+        let cells = rows
+            .checked_mul(cols)
+            .ok_or_else(|| format!("matrix shape {rows}x{cols} overflows"))?;
+        if cells.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(format!(
+                "matrix shape {rows}x{cols} exceeds {} remaining bytes",
+                self.remaining()
+            ));
+        }
+        let mut data = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            data.push(self.f64()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    /// Reads a length-prefixed usize vector written by
+    /// [`StateWriter::usize_slice`].
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, StateError> {
+        let len = self.usize()?;
+        if len.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(format!(
+                "usize vec length {len} exceeds {} remaining bytes",
+                self.remaining()
+            ));
+        }
+        let mut vs = Vec::with_capacity(len);
+        for _ in 0..len {
+            vs.push(self.usize()?);
+        }
+        Ok(vs)
+    }
+
+    /// Reads a length-prefixed f64 vector written by
+    /// [`StateWriter::f64_slice`].
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, StateError> {
+        let len = self.usize()?;
+        if len.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(format!(
+                "f64 vec length {len} exceeds {} remaining bytes",
+                self.remaining()
+            ));
+        }
+        let mut vs = Vec::with_capacity(len);
+        for _ in 0..len {
+            vs.push(self.f64()?);
+        }
+        Ok(vs)
+    }
+}
+
+// Layer tag bytes. The layer set is closed (enum in layer.rs); adding a
+// variant means adding a tag here and bumping the cache format version.
+const TAG_DENSE: u8 = 0;
+const TAG_RELU: u8 = 1;
+const TAG_SIGMOID: u8 = 2;
+const TAG_TANH: u8 = 3;
+const TAG_DROPOUT: u8 = 4;
+const TAG_GAUSSIAN_NOISE: u8 = 5;
+
+/// Encodes a [`Dense`] layer (weights then bias).
+pub fn write_dense(w: &mut StateWriter, d: &Dense) {
+    w.matrix(&d.w);
+    w.matrix(&d.b);
+}
+
+/// Decodes a [`Dense`] layer written by [`write_dense`].
+pub fn read_dense(r: &mut StateReader) -> Result<Dense, StateError> {
+    let w = r.matrix()?;
+    let b = r.matrix()?;
+    if b.rows() != 1 || b.cols() != w.cols() {
+        return Err(format!(
+            "dense bias shape {:?} does not match weight shape {:?}",
+            b.shape(),
+            w.shape()
+        ));
+    }
+    Ok(Dense { w, b })
+}
+
+/// Encodes one [`Layer`] as a tag byte plus its parameters.
+pub fn write_layer(w: &mut StateWriter, layer: &Layer) {
+    match layer {
+        Layer::Dense(d) => {
+            w.u8(TAG_DENSE);
+            write_dense(w, d);
+        }
+        Layer::Relu => w.u8(TAG_RELU),
+        Layer::Sigmoid => w.u8(TAG_SIGMOID),
+        Layer::Tanh => w.u8(TAG_TANH),
+        Layer::Dropout { rate } => {
+            w.u8(TAG_DROPOUT);
+            w.f64(*rate);
+        }
+        Layer::GaussianNoise { std } => {
+            w.u8(TAG_GAUSSIAN_NOISE);
+            w.f64(*std);
+        }
+    }
+}
+
+/// Decodes one [`Layer`] written by [`write_layer`].
+pub fn read_layer(r: &mut StateReader) -> Result<Layer, StateError> {
+    match r.u8()? {
+        TAG_DENSE => Ok(Layer::Dense(read_dense(r)?)),
+        TAG_RELU => Ok(Layer::Relu),
+        TAG_SIGMOID => Ok(Layer::Sigmoid),
+        TAG_TANH => Ok(Layer::Tanh),
+        TAG_DROPOUT => Ok(Layer::Dropout { rate: r.f64()? }),
+        TAG_GAUSSIAN_NOISE => Ok(Layer::GaussianNoise { std: r.f64()? }),
+        tag => Err(format!("unknown layer tag {tag}")),
+    }
+}
+
+/// Encodes a [`Sequential`] network (layer count then each layer).
+pub fn write_sequential(w: &mut StateWriter, net: &Sequential) {
+    w.usize(net.layers().len());
+    for layer in net.layers() {
+        write_layer(w, layer);
+    }
+}
+
+/// Decodes a [`Sequential`] written by [`write_sequential`].
+pub fn read_sequential(r: &mut StateReader) -> Result<Sequential, StateError> {
+    let n = r.usize()?;
+    // Each layer costs at least one tag byte, so a length beyond the
+    // remaining bytes is corrupt — checked before the allocation.
+    if n > r.remaining() {
+        return Err(format!(
+            "layer count {n} exceeds {} remaining bytes",
+            r.remaining()
+        ));
+    }
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        layers.push(read_layer(r)?);
+    }
+    Ok(Sequential::new(layers))
+}
+
+/// Encodes a [`TrainReport`] (loss history plus early-stop summary).
+pub fn write_train_report(w: &mut StateWriter, report: &TrainReport) {
+    w.f64_slice(&report.loss_history);
+    w.f64(report.best_loss);
+    w.usize(report.best_epoch);
+    w.bool(report.stopped_early);
+}
+
+/// Decodes a [`TrainReport`] written by [`write_train_report`].
+pub fn read_train_report(r: &mut StateReader) -> Result<TrainReport, StateError> {
+    Ok(TrainReport {
+        loss_history: r.f64_vec()?,
+        best_loss: r.f64()?,
+        best_epoch: r.usize()?,
+        stopped_early: r.bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_tensor::Rng;
+
+    fn tricky_values() -> Vec<f64> {
+        vec![
+            0.0,
+            -0.0,
+            1.5,
+            -3.25,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::from_bits(0x7ff8_0000_dead_beef), // NaN with payload
+        ]
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = StateWriter::new();
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.bool(true);
+        w.bool(false);
+        w.string("héllo");
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.string().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_bits_round_trip_exactly() {
+        let mut w = StateWriter::new();
+        for &v in &tricky_values() {
+            w.f64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        for &v in &tricky_values() {
+            assert_eq!(r.f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn matrix_round_trips_tricky_values() {
+        let vals = tricky_values();
+        let m = Matrix::from_fn(2, 4, |r, c| vals[r * 4 + c]);
+        let mut w = StateWriter::new();
+        w.matrix(&m);
+        let bytes = w.into_bytes();
+        let got = StateReader::new(&bytes).matrix().unwrap();
+        assert_eq!(got.shape(), (2, 4));
+        for (a, b) in got.as_slice().iter().zip(m.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sequential_round_trips() {
+        let mut rng = Rng::new(11);
+        let net = Sequential::new(vec![
+            Layer::Dense(Dense::he(5, 9, &mut rng)),
+            Layer::Relu,
+            Layer::Dropout { rate: 0.25 },
+            Layer::GaussianNoise { std: 0.1 },
+            Layer::Dense(Dense::xavier(9, 3, &mut rng)),
+            Layer::Sigmoid,
+            Layer::Tanh,
+        ]);
+        let mut w = StateWriter::new();
+        write_sequential(&mut w, &net);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let got = read_sequential(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(got, net);
+    }
+
+    #[test]
+    fn train_report_round_trips() {
+        let report = TrainReport {
+            loss_history: tricky_values(),
+            best_loss: -0.0,
+            best_epoch: 3,
+            stopped_early: true,
+        };
+        let mut w = StateWriter::new();
+        write_train_report(&mut w, &report);
+        let bytes = w.into_bytes();
+        let mut r = StateReader::new(&bytes);
+        let got = read_train_report(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(got.best_epoch, report.best_epoch);
+        assert_eq!(got.stopped_early, report.stopped_early);
+        assert_eq!(got.best_loss.to_bits(), report.best_loss.to_bits());
+        assert_eq!(got.loss_history.len(), report.loss_history.len());
+        for (a, b) in got.loss_history.iter().zip(&report.loss_history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_error_not_panic() {
+        let mut w = StateWriter::new();
+        let mut rng = Rng::new(2);
+        write_sequential(
+            &mut w,
+            &Sequential::new(vec![Layer::Dense(Dense::he(3, 4, &mut rng)), Layer::Relu]),
+        );
+        let bytes = w.into_bytes();
+        for end in 0..bytes.len() {
+            let mut r = StateReader::new(&bytes[..end]);
+            assert!(read_sequential(&mut r).is_err(), "prefix {end} decoded");
+        }
+        // Unknown layer tag.
+        let mut w = StateWriter::new();
+        w.usize(1);
+        w.u8(99);
+        let bytes = w.into_bytes();
+        assert!(read_sequential(&mut StateReader::new(&bytes)).is_err());
+        // Oversized length fields error instead of allocating or wrapping.
+        let mut w = StateWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(StateReader::new(&bytes).string().is_err());
+        assert!(StateReader::new(&bytes).f64_vec().is_err());
+        // Bad bool byte.
+        assert!(StateReader::new(&[2]).bool().is_err());
+        // Trailing garbage fails finish().
+        let r = StateReader::new(&[0]);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn dense_bias_shape_is_validated() {
+        let mut w = StateWriter::new();
+        w.matrix(&Matrix::zeros(3, 4)); // weights 3x4
+        w.matrix(&Matrix::zeros(2, 4)); // bias must be 1x4
+        let bytes = w.into_bytes();
+        assert!(read_dense(&mut StateReader::new(&bytes)).is_err());
+    }
+}

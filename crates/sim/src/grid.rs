@@ -309,6 +309,26 @@ impl ScenarioSpec {
     }
 }
 
+/// Canonical identity string of one scenario collection: the resolved
+/// `(building spec, building salt, collection config, seed)` quadruple
+/// that [`Scenario::generate`] is a pure function of. Two collections with
+/// equal identity strings produce bit-identical scenarios, so the string
+/// is a sound cache key for anything derived deterministically from the
+/// collected data (`calloc_eval::cache` keys trained models on it).
+///
+/// The encoding is the `Debug` form of each component (Rust's `{:?}`
+/// round-trips `f64` exactly, so distinct configs never collide by
+/// formatting), prefixed with a scheme version that must be bumped
+/// whenever the generation semantics change incompatibly.
+pub fn collection_identity(
+    spec: &BuildingSpec,
+    building_salt: u64,
+    config: &CollectionConfig,
+    seed: u64,
+) -> String {
+    format!("scenario v1 building={spec:?} salt={building_salt} config={config:?} seed={seed}")
+}
+
 /// One unit of generation work: collect one scenario for one point on the
 /// grid axes. All fields are indices into the axes of the owning plan's
 /// [`ScenarioSpec`].
@@ -407,6 +427,19 @@ impl ScenarioPlan {
     /// The collection seed of one cell.
     pub fn seed_for(&self, cell: &ScenarioCell) -> u64 {
         self.spec.seeds[cell.seed]
+    }
+
+    /// Canonical identity of one cell's collection (see
+    /// [`collection_identity`]): built from the **resolved** per-cell
+    /// config, so two cells of different grids that collect the same data
+    /// share one identity, and any axis that changes the data changes it.
+    pub fn cell_identity(&self, cell: &ScenarioCell) -> String {
+        collection_identity(
+            &self.spec.buildings[cell.building],
+            self.spec.building_salt,
+            &self.config_for(cell),
+            self.seed_for(cell),
+        )
     }
 
     /// Plan index of the cell at the given axis indices (the enumeration
@@ -536,6 +569,12 @@ impl ScenarioSet {
     /// The collection seed a plan index was collected from.
     pub fn seed_for(&self, index: usize) -> u64 {
         self.plan.seed_for(self.cell(index))
+    }
+
+    /// Canonical collection identity of a plan index — see
+    /// [`ScenarioPlan::cell_identity`].
+    pub fn cell_identity(&self, index: usize) -> String {
+        self.plan.cell_identity(self.cell(index))
     }
 
     /// Iterates `(cell, scenario)` pairs in plan-index order.

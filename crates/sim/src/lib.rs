@@ -63,6 +63,9 @@ mod scenario;
 pub use building::{Building, BuildingId, BuildingSpec, Material};
 pub use dataset::Dataset;
 pub use device::DeviceProfile;
-pub use grid::{EnvLevel, ScenarioCell, ScenarioPlan, ScenarioSet, ScenarioSpec, SurveyDensity};
+pub use grid::{
+    collection_identity, EnvLevel, ScenarioCell, ScenarioPlan, ScenarioSet, ScenarioSpec,
+    SurveyDensity,
+};
 pub use propagation::{normalize_rss, PropagationModel, RSS_FLOOR_DBM, RSS_MAX_DBM};
 pub use scenario::{CollectionConfig, Scenario};

@@ -15,8 +15,10 @@
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use calloc::CallocConfig;
-use calloc_eval::{Suite, SuiteProfile, SweepSpec};
-use calloc_sim::{Building, BuildingId, BuildingSpec, CollectionConfig, Scenario};
+use calloc_eval::{ModelCache, Suite, SuiteProfile, SweepSpec};
+use calloc_sim::{
+    collection_identity, Building, BuildingId, BuildingSpec, CollectionConfig, Scenario,
+};
 
 pub use calloc_tensor::par::silence_injected_panics;
 
@@ -61,12 +63,33 @@ pub fn quick_profile() -> SuiteProfile {
 }
 
 /// The pinned scenario + trained suite, built once per test binary.
+///
+/// When `CALLOC_MODEL_CACHE` names a directory, the suite trains through
+/// `<dir>/testkit_models.bin` via [`Suite::train_cached`]: the first
+/// (cold) binary trains and records every member, later (warm) binaries
+/// restore them bit-identically instead of retraining. CI's warm-cache
+/// legs run the golden tier cold then warm against one cache dir and
+/// assert the CSV bytes are identical both times — without the variable
+/// nothing changes and every binary trains from scratch.
 pub fn scenario_and_suite() -> &'static (Scenario, Suite) {
     static SUITE: OnceLock<(Scenario, Suite)> = OnceLock::new();
     SUITE.get_or_init(|| {
         let building = Building::generate(pinned_building_spec(), 5);
         let scenario = Scenario::generate(&building, &CollectionConfig::small(), 11);
-        let suite = Suite::train(&scenario, &quick_profile());
+        let suite = match std::env::var_os("CALLOC_MODEL_CACHE") {
+            Some(dir) => {
+                let path = std::path::Path::new(&dir).join("testkit_models.bin");
+                let mut cache =
+                    ModelCache::open(&path).expect("CALLOC_MODEL_CACHE names a writable directory");
+                // The exact generation recipe three lines up, restated as
+                // the scenario-cell identity the cache keys on.
+                let cell =
+                    collection_identity(&pinned_building_spec(), 5, &CollectionConfig::small(), 11);
+                Suite::train_cached(&scenario, &quick_profile(), &cell, &mut cache)
+                    .expect("cached suite training")
+            }
+            None => Suite::train(&scenario, &quick_profile()),
+        };
         (scenario, suite)
     })
 }

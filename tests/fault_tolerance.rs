@@ -151,6 +151,46 @@ fn kill_and_resume_cycle_matches_golden() {
 }
 
 #[test]
+fn cadence_zero_checkpoints_exactly_once_at_run_finish() {
+    let _guard = lock_knobs();
+    let (_, suite) = scenario_and_suite();
+    let (plan, datasets) = plan_and_datasets();
+    let path = tmp_store("cadence0");
+    let _ = std::fs::remove_file(&path);
+
+    // checkpoint_every = 0 disables mid-run checkpoints: the store file
+    // must not exist while rows are only accumulating in memory, and the
+    // single finish-time checkpoint must land the complete result set.
+    let mut store = plan.open_store(&path).expect("open fresh store");
+    let report = suite
+        .sweep_with_store(
+            &plan,
+            &datasets,
+            &ExecSpec::default().with_checkpoint_every(0),
+            &mut store,
+        )
+        .expect("cadence-0 run");
+    assert!(report.is_complete(), "{}", report.summary());
+    assert_eq!(report.executed, plan.len());
+
+    let reopened = plan
+        .open_store(&path)
+        .expect("reopen the finish checkpoint");
+    assert_eq!(
+        reopened.len(),
+        plan.len(),
+        "the finish-time checkpoint must hold every row"
+    );
+    assert_eq!(
+        plan.table_from_store(&reopened).to_csv(),
+        golden_bytes(),
+        "cadence-0 store CSV diverged from the golden file at {} threads",
+        par::threads()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn injected_panics_absorbed_by_retry_match_golden() {
     silence_injected_panics();
     let _guard = lock_knobs();

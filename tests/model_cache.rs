@@ -1,0 +1,129 @@
+//! Model-cache acceptance tier: the content-addressed trained-model
+//! cache must (a) train each unique `(member config, scenario cell)`
+//! pair **exactly once** across figure-style passes over overlapping
+//! cells — asserted through the cache's hit/miss counters — and (b) be
+//! invisible in the results: a suite restored from a warm cache sweeps
+//! to the **byte-identical** `tests/golden/quick_sweep.csv` a cache-off
+//! `Suite::train` produces, at every tested `CALLOC_THREADS`, without
+//! regenerating goldens.
+//!
+//! The pinned fixture (building, collection protocol, suite profile,
+//! sweep spec) comes from `calloc_repro::testkit`, shared with the
+//! golden and fault-tolerance tiers. The cache is exercised through its
+//! explicit API rather than `CALLOC_MODEL_CACHE` so the tests cannot
+//! leak process-global environment into sibling tests; CI's warm-cache
+//! legs cover the environment-variable path end to end.
+
+use calloc_eval::{ModelCache, Suite};
+use calloc_repro::testkit::{lock_knobs, pinned_building_spec, quick_profile, quick_sweep_spec};
+use calloc_sim::{collection_identity, Building, CollectionConfig, Scenario};
+use calloc_tensor::par;
+use std::path::PathBuf;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/quick_sweep.csv");
+
+fn golden_bytes() -> String {
+    std::fs::read_to_string(GOLDEN_PATH).expect(
+        "tests/golden/quick_sweep.csv is checked in; regenerate it with \
+         `cargo test --test golden_reports -- --ignored`",
+    )
+}
+
+/// The pinned scenario of the golden tier plus its cache-cell identity —
+/// the same (spec, salt 5, small protocol, seed 11) recipe
+/// `testkit::scenario_and_suite` trains on.
+fn pinned_cell(seed: u64) -> (Scenario, String) {
+    let building = Building::generate(pinned_building_spec(), 5);
+    let scenario = Scenario::generate(&building, &CollectionConfig::small(), seed);
+    let cell = collection_identity(&pinned_building_spec(), 5, &CollectionConfig::small(), seed);
+    (scenario, cell)
+}
+
+fn tmp_cache(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("calloc_mc_{}_{name}.bin", std::process::id()))
+}
+
+#[test]
+fn overlapping_figure_passes_train_each_member_cell_pair_exactly_once() {
+    let _guard = lock_knobs();
+    let profile = quick_profile();
+    let (scenario_a, cell_a) = pinned_cell(11);
+    let (scenario_b, cell_b) = pinned_cell(12);
+    let mut cache = ModelCache::in_memory();
+
+    // "Figure 1" covers cell A cold: every member (plus the surrogate)
+    // misses once and trains once.
+    Suite::train_cached(&scenario_a, &profile, &cell_a, &mut cache).expect("fig-1 pass");
+    let trainings = cache.misses();
+    assert!(trainings > 0, "the suite must train at least one member");
+    assert_eq!(cache.hits(), 0, "a fresh cache cannot hit");
+    assert_eq!(
+        cache.len() as u64,
+        trainings,
+        "every training must be recorded"
+    );
+
+    // "Figure 2" covers cell B (new — trains) and then cell A again
+    // (overlapping — restored, zero retraining).
+    Suite::train_cached(&scenario_b, &profile, &cell_b, &mut cache).expect("fig-2 new cell");
+    assert_eq!(cache.misses(), 2 * trainings, "cell B is a cold cell");
+    assert_eq!(cache.hits(), 0, "cell B shares no models with cell A");
+    Suite::train_cached(&scenario_a, &profile, &cell_a, &mut cache).expect("fig-2 overlap");
+    assert_eq!(
+        cache.misses(),
+        2 * trainings,
+        "the overlapping cell must not train anything"
+    );
+    assert_eq!(
+        cache.hits(),
+        trainings,
+        "the overlapping cell must restore every member from the cache"
+    );
+    assert_eq!(
+        cache.len() as u64,
+        2 * trainings,
+        "each unique (member config, cell) pair is recorded exactly once"
+    );
+}
+
+#[test]
+fn warm_cache_sweep_matches_golden_at_threads_1_and_4() {
+    let _guard = lock_knobs();
+    let profile = quick_profile();
+    let (scenario, cell) = pinned_cell(11);
+    let path = tmp_cache("warm_golden");
+    let _ = std::fs::remove_file(&path);
+    let datasets = Suite::scenario_datasets(&scenario, "B1");
+    let spec = quick_sweep_spec();
+
+    // Cold: train into a fresh disk cache (checkpointed by train_cached).
+    let mut cold_cache = ModelCache::open(&path).expect("fresh cache");
+    let cold = Suite::train_cached(&scenario, &profile, &cell, &mut cold_cache).expect("cold run");
+    assert_eq!(cold_cache.hits(), 0);
+
+    // Warm: a new "process" reopens the checkpoint and restores every
+    // model without training.
+    let mut warm_cache = ModelCache::open(&path).expect("reopen checkpoint");
+    assert_eq!(warm_cache.len(), cold_cache.len(), "checkpoint is complete");
+    let warm = Suite::train_cached(&scenario, &profile, &cell, &mut warm_cache).expect("warm run");
+    assert_eq!(warm_cache.misses(), 0, "a warm cache must not train");
+
+    // Both suites must sweep to the golden bytes — the same bytes the
+    // cache-off `Suite::train` path pins in tests/golden_reports.rs — at
+    // 1 and 4 threads. The guard restores the ambient budget on failure.
+    let _threads = par::ThreadGuard::new(1);
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        assert_eq!(
+            cold.sweep(&datasets, &spec).to_csv(),
+            golden_bytes(),
+            "cold cached sweep diverged from the golden file at {threads} threads"
+        );
+        assert_eq!(
+            warm.sweep(&datasets, &spec).to_csv(),
+            golden_bytes(),
+            "warm cached sweep diverged from the golden file at {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
