@@ -11,9 +11,10 @@
 use calloc::CallocTrainer;
 use calloc::Curriculum;
 use calloc_bench::{
-    attacks, finish_model_cache, model_cache, scenario_grid, suite_profile, Profile,
+    attacks, finish_model_cache, model_cache, run_sweep_stored, scenario_grid, suite_profile,
+    Profile,
 };
-use calloc_eval::{ascii_heatmap, run_sweep, Localizer, ResultTable, Suite};
+use calloc_eval::{ascii_heatmap, Localizer, ResultTable, Suite};
 
 fn main() {
     let profile = Profile::from_env();
@@ -48,7 +49,13 @@ fn main() {
             device_names = datasets.iter().map(|(_, d, _)| d.clone()).collect();
         }
         let members: [(&str, &dyn Localizer); 1] = [("CALLOC", &model)];
-        table.extend(run_sweep(&members, None, &datasets, &spec));
+        table.extend(run_sweep_stored(
+            &format!("fig4_{}_{name}", profile.name()),
+            &members,
+            None,
+            &datasets,
+            &spec,
+        ));
         building_names.push(name);
     }
     finish_model_cache(&cache);

@@ -9,9 +9,10 @@
 use calloc::{CallocTrainer, Curriculum};
 use calloc_baselines::{DnnConfig, DnnLocalizer};
 use calloc_bench::{
-    attacks, epsilon_grid, finish_model_cache, model_cache, scenario_grid, suite_profile, Profile,
+    attacks, epsilon_grid, finish_model_cache, model_cache, run_sweep_stored, scenario_grid,
+    suite_profile, Profile,
 };
-use calloc_eval::{run_sweep, Localizer, ResultTable, Suite};
+use calloc_eval::{Localizer, ResultTable, Suite};
 
 fn main() {
     let profile = Profile::from_env();
@@ -70,7 +71,13 @@ fn main() {
         eprintln!("trained CALLOC + NC on {}", set.building_name(index));
         let datasets = Suite::set_datasets(&set, index);
         let members: [(&str, &dyn Localizer); 2] = [("CALLOC", &with), ("NC", &without)];
-        table.extend(run_sweep(&members, Some(&surrogate), &datasets, &spec));
+        table.extend(run_sweep_stored(
+            &format!("fig5_{}_{}", profile.name(), set.building_name(index)),
+            &members,
+            Some(&surrogate),
+            &datasets,
+            &spec,
+        ));
     }
     finish_model_cache(&cache);
 

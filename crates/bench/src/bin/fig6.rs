@@ -13,7 +13,7 @@
 
 use calloc_bench::{
     epsilon_grid, finish_model_cache, model_cache, phi_grid_fig7, scenario_grid, suite_profile,
-    Profile,
+    suite_sweep_stored, Profile,
 };
 use calloc_eval::{ResultTable, Suite, SweepSpec};
 
@@ -37,7 +37,12 @@ fn main() {
             .expect("model cache");
         eprintln!("trained suite on {}", set.building_name(index));
         let datasets = Suite::set_datasets(&set, index);
-        table.extend(suite.sweep(&datasets, &spec));
+        table.extend(suite_sweep_stored(
+            &format!("fig6_{}_{}", profile.name(), set.building_name(index)),
+            &suite,
+            &datasets,
+            &spec,
+        ));
     }
     finish_model_cache(&cache);
 

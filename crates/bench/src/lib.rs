@@ -28,10 +28,13 @@
 use calloc::CallocConfig;
 
 use calloc_attack::AttackKind;
-use calloc_eval::{ModelCache, SuiteProfile, SweepSpec};
+use calloc_eval::{
+    run_sweep, DifferentiableModel, ExecSpec, Localizer, ModelCache, ResultTable, Suite,
+    SuiteProfile, SweepSpec,
+};
 use calloc_sim::{
-    normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, Scenario, ScenarioSpec,
-    RSS_FLOOR_DBM,
+    normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario,
+    ScenarioSpec, RSS_FLOOR_DBM,
 };
 use calloc_tensor::{Matrix, Rng, TensorError};
 
@@ -103,6 +106,88 @@ pub fn finish_model_cache(cache: &ModelCache) {
             .map(|p| format!(" at {}", p.display()))
             .unwrap_or_else(|| " (in-memory)".to_string()),
     );
+}
+
+/// Runs one figure sweep through the binaries' **persistent result
+/// store** when `CALLOC_RESULT_STORE` names a directory, else entirely
+/// in memory (bit-identical to plain [`run_sweep`] either way, so the
+/// figures and their goldens don't move).
+///
+/// With the store set, the sweep's plan opens (or creates)
+/// `<dir>/<label>.bin` and executes only the cells the store is
+/// missing: finished cells survive reruns and interrupted figure runs
+/// resume at the last checkpoint, the way trained models already
+/// survive through [`model_cache`]. `label` must therefore pin
+/// everything that distinguishes the sweep besides the plan fingerprint
+/// itself — the binaries use `<fig>_<profile>_<building>`.
+///
+/// # Panics
+///
+/// Panics when the store file exists but belongs to a different plan or
+/// is unreadable (the message names the file; delete it to recompute),
+/// when a store write fails, or when any cell fails permanently.
+pub fn run_sweep_stored(
+    label: &str,
+    members: &[(&str, &dyn Localizer)],
+    surrogate: Option<&dyn DifferentiableModel>,
+    datasets: &[(String, String, &Dataset)],
+    spec: &SweepSpec,
+) -> ResultTable {
+    let Some(dir) = std::env::var_os("CALLOC_RESULT_STORE") else {
+        return run_sweep(members, surrogate, datasets, spec);
+    };
+    let file: String = label
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(&dir).join(format!("{file}.bin"));
+    let names: Vec<String> = members.iter().map(|(n, _)| (*n).into()).collect();
+    let labels: Vec<(String, String)> = datasets
+        .iter()
+        .map(|(b, d, _)| (b.clone(), d.clone()))
+        .collect();
+    let models: Vec<&dyn Localizer> = members.iter().map(|(_, m)| *m).collect();
+    let data: Vec<&Dataset> = datasets.iter().map(|(_, _, d)| *d).collect();
+    let plan = spec.plan(&names, &labels);
+    let mut store = match plan.open_store(&path) {
+        Ok(store) => store,
+        Err(e) => panic!(
+            "CALLOC_RESULT_STORE: cannot use {}: {e} (delete the file to recompute the sweep)",
+            path.display()
+        ),
+    };
+    let restored = store.len();
+    let report = plan
+        .run_with_store(&models, surrogate, &data, &ExecSpec::default(), &mut store)
+        .unwrap_or_else(|e| panic!("CALLOC_RESULT_STORE: {} failed: {e}", path.display()));
+    assert!(
+        report.is_complete(),
+        "sweep {label} left cells unfinished: {}",
+        report.summary()
+    );
+    eprintln!(
+        "result store {}: {restored} cells restored, {} executed",
+        path.display(),
+        report.executed
+    );
+    report.table
+}
+
+/// [`run_sweep_stored`] over a trained suite: the member list and the
+/// transfer-attack surrogate come from the suite, exactly as
+/// `Suite::sweep` wires them.
+pub fn suite_sweep_stored(
+    label: &str,
+    suite: &Suite,
+    datasets: &[(String, String, &Dataset)],
+    spec: &SweepSpec,
+) -> ResultTable {
+    let members: Vec<(&str, &dyn Localizer)> = suite
+        .members
+        .iter()
+        .map(|m| (m.name.as_str(), m.model.as_ref()))
+        .collect();
+    run_sweep_stored(label, &members, Some(suite.surrogate()), datasets, spec)
 }
 
 /// Experiment fidelity, selected by `CALLOC_PROFILE`.

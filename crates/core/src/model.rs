@@ -463,19 +463,32 @@ impl CallocModel {
         let fwd = self.forward(x, Mode::Eval, &mut rng);
         let (_, grad_logits) = loss::cross_entropy(&fwd.logits, y);
         let grads = self.backward(&fwd, &grad_logits, None);
-        let first_dense = |grads: &[LayerGrad]| -> Matrix {
+        let first_dense = |branch: &str, grads: &[LayerGrad]| -> Matrix {
             for g in grads {
                 if let LayerGrad::Dense { w, .. } = g {
                     return w.clone();
                 }
             }
-            panic!("no dense grad");
+            // Name the branch and what the backward pass actually
+            // produced, so a quarantined-cell payload is actionable.
+            let kinds: Vec<&str> = grads
+                .iter()
+                .map(|g| match g {
+                    LayerGrad::Dense { .. } => "Dense",
+                    LayerGrad::None => "None",
+                })
+                .collect();
+            panic!(
+                "CallocModel::debug_param_grads: no dense-layer gradient in the {branch} branch \
+                 ({} layer grads: {kinds:?})",
+                grads.len()
+            );
         };
         (
             grads.fc.0.clone(),
             grads.wq.0.clone(),
-            first_dense(&grads.grads_c),
-            first_dense(&grads.grads_o),
+            first_dense("H^C embedding", &grads.grads_c),
+            first_dense("H^O embedding", &grads.grads_o),
         )
     }
 

@@ -422,6 +422,50 @@ impl Suite {
         Ok(Suite { members, surrogate })
     }
 
+    /// Names of the members `profile` trains on `scenario`, in figure
+    /// order — the valid `name` arguments of
+    /// [`train_member_cached`](Self::train_member_cached).
+    pub fn member_names(scenario: &Scenario, profile: &SuiteProfile) -> Vec<&'static str> {
+        member_specs(scenario, profile)
+            .into_iter()
+            .map(|spec| spec.name)
+            .collect()
+    }
+
+    /// Trains — or restores from `cache` — the single member `name` of
+    /// `profile`, without touching the rest of the suite. This is the
+    /// serving layer's registry hook: a server process populates its
+    /// model registry member by member through the same cache keys the
+    /// figure binaries train through, so a warm cache makes startup a
+    /// pure restore and the served model is bit-identical to the
+    /// evaluated one.
+    ///
+    /// Returns `Ok(None)` when `profile` does not train a member called
+    /// `name` (see [`member_names`](Self::member_names)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the cache holds an undecodable entry for the key, the
+    /// key collides, or the checkpoint write fails.
+    pub fn train_member_cached(
+        scenario: &Scenario,
+        profile: &SuiteProfile,
+        name: &str,
+        cell: &str,
+        cache: &mut ModelCache,
+    ) -> Result<Option<Box<dyn Localizer>>, StoreError> {
+        let Some(spec) = member_specs(scenario, profile)
+            .into_iter()
+            .find(|spec| spec.name == name)
+        else {
+            return Ok(None);
+        };
+        let key = Suite::cache_key(&spec.key, cell);
+        let model = cache.member(&key, spec.name, spec.train)?;
+        cache.checkpoint()?;
+        Ok(Some(model))
+    }
+
     /// The member half of CALLOC's model-cache key under this profile —
     /// for binaries that train CALLOC directly (Figs. 4/5, ablations)
     /// through [`ModelCache::calloc`].

@@ -1,0 +1,33 @@
+//! Standalone localization server: trains (or restores from the model
+//! cache) the demo registry and serves it over TCP until a client
+//! sends the `Drain` verb.
+//!
+//! Environment:
+//!
+//! * `CALLOC_SERVE_ADDR` — listen address (default `127.0.0.1:7411`).
+//! * `CALLOC_MODEL_CACHE` — directory for the trained-model cache; the
+//!   second start is a pure restore.
+//! * `CALLOC_THREADS` — kernel thread budget (inference batches).
+
+use calloc_serve::boot::{demo_cache, demo_registry, FALLBACK_MODEL, PRIMARY_MODEL};
+use calloc_serve::{ServeConfig, Server};
+
+fn main() {
+    let addr = std::env::var("CALLOC_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:7411".to_string());
+    let mut cache = demo_cache();
+    eprintln!("training/restoring registry ({PRIMARY_MODEL} + {FALLBACK_MODEL} fallback)…");
+    let (registry, _scenario) = demo_registry(&mut cache).expect("model cache");
+    eprintln!(
+        "registry ready ({} cache hits, {} misses)",
+        cache.hits(),
+        cache.misses()
+    );
+    let server = Server::bind(&addr, registry, ServeConfig::default()).expect("bind");
+    let bound = server.local_addr().expect("local addr");
+    println!("serving on {bound} — send the Drain verb to stop");
+    let report = server.run();
+    println!(
+        "drained: served={} shed={} quarantined={} deadline_expired={} degraded={}",
+        report.served, report.shed, report.quarantined, report.deadline_expired, report.degraded
+    );
+}

@@ -1,0 +1,170 @@
+//! Load generator for the serving layer: replays the demo
+//! `ScenarioSet`'s test fingerprints against a server at a configurable
+//! QPS over real sockets, then writes latency percentiles, throughput
+//! and shed-rate to `BENCH_serve.json` (crash-safe via `write_atomic`).
+//!
+//! By default the server is **self-hosted**: bound on an ephemeral
+//! loopback port inside this process, loaded, then drained — exactly
+//! the smoke CI runs. Point `CALLOC_SERVE_ADDR` at a running server to
+//! load that instead (it is *not* drained afterwards).
+//!
+//! Environment:
+//!
+//! * `CALLOC_SERVE_ADDR` — target server (default: self-host).
+//! * `CALLOC_SERVE_QPS` — offered load, requests/second (default 400).
+//! * `CALLOC_SERVE_REQUESTS` — total requests (default 400).
+//! * `CALLOC_SERVE_CLIENTS` — concurrent connections (default 4).
+//! * `CALLOC_SERVE_MODEL` — registry member to query (default CALLOC).
+//! * `CALLOC_MODEL_CACHE` — trained-model cache dir (self-host only).
+
+use std::time::{Duration, Instant};
+
+use calloc_serve::boot::{demo_cache, demo_registry, demo_scenarios, request_log, PRIMARY_MODEL};
+use calloc_serve::{Client, LogEntry, Response, ServeConfig, ServeError, Server};
+
+/// Reads a numeric env knob with a default.
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One client's tally: successful latencies and failure counts.
+#[derive(Default)]
+struct Tally {
+    latencies: Vec<f64>,
+    shed: u64,
+    errors: u64,
+}
+
+/// Sorted-latency percentile in milliseconds (nearest-rank on the
+/// sorted slice; empty input reports 0 so the JSON stays well-formed).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let qps = env_usize("CALLOC_SERVE_QPS", 400).max(1);
+    let total = env_usize("CALLOC_SERVE_REQUESTS", 400).max(1);
+    let clients = env_usize("CALLOC_SERVE_CLIENTS", 4).max(1);
+    let model = std::env::var("CALLOC_SERVE_MODEL").unwrap_or_else(|_| PRIMARY_MODEL.to_string());
+
+    // The request log: every per-device test fingerprint of the demo
+    // scenario set, cycled until `total` entries.
+    let set = demo_scenarios();
+    let points = request_log(set.scenario(0), &model, 0);
+    assert!(!points.is_empty(), "demo scenario has test points");
+    let log: Vec<LogEntry> = (0..total)
+        .map(|i| points[i % points.len()].clone())
+        .collect();
+
+    // Self-host unless an external target is named.
+    let external = std::env::var("CALLOC_SERVE_ADDR").ok();
+    let (addr, server_thread) = match &external {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let mut cache = demo_cache();
+            eprintln!("self-hosting: training/restoring registry…");
+            let (registry, _) = demo_registry(&mut cache).expect("model cache");
+            let server =
+                Server::bind("127.0.0.1:0", registry, ServeConfig::default()).expect("bind");
+            let addr = server.local_addr().expect("local addr").to_string();
+            eprintln!("self-hosted server on {addr}");
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    // Fan the log out round-robin over the client connections; each
+    // client paces its own share so the aggregate offered load is
+    // `qps`.
+    let interval = Duration::from_secs_f64(clients as f64 / qps as f64);
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let share: Vec<&LogEntry> = log.iter().skip(c).step_by(clients).collect();
+            let addr = addr.clone();
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut tally = Tally::default();
+                let mut next = Instant::now();
+                for (model, fingerprint) in share.iter().map(|e| (&e.0, &e.1)) {
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep(next - now);
+                    }
+                    next += interval;
+                    let sent = Instant::now();
+                    match client.locate(model, fingerprint.clone(), 0) {
+                        Ok(Response::Located(_)) => {
+                            tally.latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok(Response::Error(ServeError::Overloaded { .. })) => tally.shed += 1,
+                        Ok(_) => tally.errors += 1,
+                        Err(e) => {
+                            eprintln!("client {c}: {e}");
+                            tally.errors += 1;
+                        }
+                    }
+                }
+                tally
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let (mut shed, mut errors) = (0u64, 0u64);
+    for tally in tallies {
+        latencies.extend(tally.latencies);
+        shed += tally.shed;
+        errors += tally.errors;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let served = latencies.len();
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    let throughput = served as f64 / wall_s.max(1e-9);
+    let shed_rate = shed as f64 / total as f64;
+
+    // Drain the self-hosted server so its stats make it into the log.
+    if let Some(handle) = server_thread {
+        let mut client = Client::connect(&addr).expect("connect for drain");
+        let drained = client.drain().expect("drain");
+        let report = handle.join().expect("server thread");
+        eprintln!(
+            "server drained: served={drained} shed={} quarantined={} degraded={}",
+            report.shed, report.quarantined, report.degraded
+        );
+    }
+
+    let threads = calloc_tensor::par::threads();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"model\": \"{model}\",\n  \"threads\": {threads},\n  \
+         \"qps_target\": {qps},\n  \"clients\": {clients},\n  \"requests\": {total},\n  \
+         \"served\": {served},\n  \"shed\": {shed},\n  \"errors\": {errors},\n  \
+         \"shed_rate\": {shed_rate:.6},\n  \"throughput_rps\": {throughput:.3},\n  \
+         \"latency_ms\": {{\"p50\": {p50:.4}, \"p95\": {p95:.4}, \"p99\": {p99:.4}}},\n  \
+         \"wall_s\": {wall_s:.3}\n}}\n"
+    );
+    // Crash-safe, typed-error write: a killed run can't leave a
+    // truncated snapshot that looks like results.
+    calloc_eval::write_atomic(std::path::Path::new("BENCH_serve.json"), json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!(
+        "wrote BENCH_serve.json: served={served}/{total} shed={shed} \
+         p50={p50:.2}ms p95={p95:.2}ms p99={p99:.2}ms throughput={throughput:.0} rps"
+    );
+}

@@ -1,0 +1,131 @@
+//! Registry bootstrap shared by the `serve` and `serve_load` binaries:
+//! one pinned demo building, a quick training profile, and a
+//! cache-backed registry (CALLOC primary with a KNN degradation
+//! fallback, plus KNN standalone).
+//!
+//! The binaries honor `CALLOC_MODEL_CACHE=<dir>`: the first run trains
+//! and records the members in `<dir>/serve_models.bin`, later runs
+//! restore them bit-identically — the same discipline as the figure
+//! binaries.
+
+use calloc_eval::{ModelCache, StoreError, Suite, SuiteProfile};
+use calloc_sim::{BuildingId, BuildingSpec, CollectionConfig, Scenario, ScenarioSet, ScenarioSpec};
+
+use crate::engine::LogEntry;
+use crate::registry::{Registry, ServeMember};
+
+/// Registry name of the primary (full-quality) member.
+pub const PRIMARY_MODEL: &str = "CALLOC";
+
+/// Registry name of the cheap member (also CALLOC's degradation
+/// fallback).
+pub const FALLBACK_MODEL: &str = "KNN";
+
+/// Building salt pinning the demo realization.
+const DEMO_SALT: u64 = 7;
+
+/// Collection seed pinning the demo scenario.
+const DEMO_SEED: u64 = 21;
+
+/// The pinned demo building: Building 1 shrunk to a 12 m path and 16
+/// APs, so the binaries start in seconds.
+pub fn demo_building_spec() -> BuildingSpec {
+    BuildingSpec {
+        path_length_m: 12,
+        num_aps: 16,
+        ..BuildingId::B1.spec()
+    }
+}
+
+/// The demo training profile: quick CALLOC (3 lessons) plus the
+/// classical members, so the registry has a cheap fallback.
+pub fn demo_profile() -> SuiteProfile {
+    SuiteProfile {
+        lessons: 3,
+        include_sota: false,
+        include_classical: true,
+        baseline_epochs: 10,
+        ..SuiteProfile::quick()
+    }
+}
+
+/// Opens the binaries' model cache: `<dir>/serve_models.bin` when
+/// `CALLOC_MODEL_CACHE` names a directory, otherwise in-memory.
+///
+/// # Panics
+///
+/// Panics when the cache file exists but cannot be read — the message
+/// names the file so the fix (delete it) is obvious.
+pub fn demo_cache() -> ModelCache {
+    match std::env::var_os("CALLOC_MODEL_CACHE") {
+        Some(dir) => {
+            let path = std::path::Path::new(&dir).join("serve_models.bin");
+            match ModelCache::open(&path) {
+                Ok(cache) => cache,
+                Err(e) => panic!(
+                    "CALLOC_MODEL_CACHE: cannot use {}: {e} (delete the file to rebuild it)",
+                    path.display()
+                ),
+            }
+        }
+        None => ModelCache::in_memory(),
+    }
+}
+
+/// The demo scenario grid: a one-cell [`ScenarioSet`] whose single
+/// scenario is bit-identical to generating the pinned building
+/// directly — the test points the load generator replays.
+pub fn demo_scenarios() -> ScenarioSet {
+    ScenarioSpec::single(
+        demo_building_spec(),
+        DEMO_SALT,
+        CollectionConfig::small(),
+        DEMO_SEED,
+    )
+    .generate()
+}
+
+/// Trains (or restores through `cache`) the demo registry and returns
+/// it with the scenario set it was trained on.
+pub fn demo_registry(cache: &mut ModelCache) -> Result<(Registry, ScenarioSet), StoreError> {
+    let set = demo_scenarios();
+    let scenario = set.scenario(0);
+    let cell = set.cell_identity(0);
+    let profile = demo_profile();
+    let calloc = Suite::train_member_cached(scenario, &profile, PRIMARY_MODEL, &cell, cache)?
+        .expect("every profile trains CALLOC");
+    let knn_fallback =
+        Suite::train_member_cached(scenario, &profile, FALLBACK_MODEL, &cell, cache)?
+            .expect("the demo profile includes the classical members");
+    let knn = Suite::train_member_cached(scenario, &profile, FALLBACK_MODEL, &cell, cache)?
+        .expect("the demo profile includes the classical members");
+
+    let positions = scenario.train.rp_positions.clone();
+    let num_aps = scenario.train.num_aps();
+    let mut registry = Registry::new();
+    registry.insert(
+        PRIMARY_MODEL,
+        ServeMember::new(calloc, Some(knn_fallback), positions.clone(), num_aps),
+    );
+    registry.insert(
+        FALLBACK_MODEL,
+        ServeMember::new(knn, None, positions, num_aps),
+    );
+    Ok((registry, set))
+}
+
+/// Flattens the scenario's per-device test fingerprints into a request
+/// log targeting `model`, at most `limit` entries (0 = no limit) — the
+/// load the generator replays over the wire.
+pub fn request_log(scenario: &Scenario, model: &str, limit: usize) -> Vec<LogEntry> {
+    let mut log = Vec::new();
+    for (_, dataset) in &scenario.test_per_device {
+        for r in 0..dataset.x.rows() {
+            if limit > 0 && log.len() >= limit {
+                return log;
+            }
+            log.push((model.to_string(), dataset.x.row(r).to_vec()));
+        }
+    }
+    log
+}

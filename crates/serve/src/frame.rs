@@ -1,0 +1,700 @@
+//! The serving protocol's length-prefixed, checksum-guarded frame codec.
+//!
+//! Every message travels inside one **frame**, mirroring the persistence
+//! discipline of `calloc_eval::store`: magic bytes, a format version, an
+//! explicit payload length, and an FNV-1a checksum over the payload. The
+//! decoding law is the store truncation law transplanted to the wire:
+//! **any** truncated, corrupt, oversized or bit-flipped frame decodes as
+//! a typed [`ServeError`] — never a panic, never a hang, never silently
+//! wrong bytes. Floating-point fingerprint values are carried as raw
+//! IEEE-754 bits, so `-0.0`, subnormals and NaN payloads round-trip
+//! bit-exactly and replayed logs can be compared byte-for-byte.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! magic    8 bytes   b"CALLOCSF"
+//! version  u32       protocol version (1)
+//! length   u32       payload length in bytes (<= MAX_PAYLOAD)
+//! checksum u64       FNV-1a over the payload bytes
+//! payload  length bytes
+//! ```
+//!
+//! Payload grammar (tag byte first; `str` = u32 length + UTF-8 bytes):
+//!
+//! ```text
+//! request  = locate | health | drain
+//! locate   = 0x01 model:str deadline_ms:u32 n:u32 n*f64bits:u64
+//! health   = 0x02
+//! drain    = 0x03
+//! response = located | error | healthrep | drained
+//! located  = 0x10 rp_class:u64 x:u64 y:u64 degraded:u8
+//! error    = 0x11 code:u8 fields...          (see ServeError::code)
+//! healthrep= 0x12 admitted served shed quarantined expired degraded
+//!                 queue_depth:u64*7 draining:u8
+//! drained  = 0x13 served:u64
+//! ```
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Magic bytes opening every frame.
+pub const MAGIC: &[u8; 8] = b"CALLOCSF";
+
+/// Protocol version carried in every frame header.
+pub const VERSION: u32 = 1;
+
+/// Hard cap on a frame payload, enforced **before** any allocation so a
+/// corrupt or hostile length field cannot balloon server memory.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Frame header size in bytes: magic + version + length + checksum.
+pub const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+/// FNV-1a over `bytes` — the same checksum family the persistence
+/// layers guard their records with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Every way the service refuses or fails a request, as carried on the
+/// wire inside an error response. The variants are the protocol's whole
+/// failure vocabulary: decode trouble, admission control, deadlines,
+/// drain, and quarantined panics all reply with one of these instead of
+/// closing the connection or killing the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The byte stream is not a valid frame: bad magic, unknown version,
+    /// oversized or mismatched length, checksum failure, or truncation
+    /// (including a frame that stalls mid-way past the session's read
+    /// timeout — slow-loris protection).
+    BadFrame {
+        /// What exactly was wrong with the frame.
+        detail: String,
+    },
+    /// The frame was intact but its payload is not a valid protocol
+    /// message (unknown tag, truncated fields, trailing bytes, bad
+    /// UTF-8).
+    BadMessage {
+        /// What exactly was wrong with the payload.
+        detail: String,
+    },
+    /// The request named a model the registry does not hold.
+    UnknownModel {
+        /// The model name as requested.
+        model: String,
+    },
+    /// The fingerprint arity does not match the model's AP count.
+    BadArity {
+        /// The model the request addressed.
+        model: String,
+        /// The AP count the model expects.
+        expected: u32,
+        /// The fingerprint length the request carried.
+        got: u32,
+    },
+    /// The request's deadline elapsed before its micro-batch was
+    /// dispatched; the query was dropped without running inference.
+    DeadlineExceeded {
+        /// The deadline the request asked for, in milliseconds.
+        deadline_ms: u32,
+    },
+    /// The bounded admission queue was full; the query was shed at the
+    /// door instead of growing memory without bound.
+    Overloaded {
+        /// Hint: retry after this many milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The server is draining and admits no new queries.
+    Draining,
+    /// Inference panicked; the query was quarantined (the panic was
+    /// caught at the request boundary) and the server keeps serving.
+    Internal {
+        /// The quarantined panic's payload.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Stable wire code of the variant (1–8).
+    pub fn code(&self) -> u8 {
+        match self {
+            ServeError::BadFrame { .. } => 1,
+            ServeError::BadMessage { .. } => 2,
+            ServeError::UnknownModel { .. } => 3,
+            ServeError::BadArity { .. } => 4,
+            ServeError::DeadlineExceeded { .. } => 5,
+            ServeError::Overloaded { .. } => 6,
+            ServeError::Draining => 7,
+            ServeError::Internal { .. } => 8,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadFrame { detail } => write!(f, "bad frame: {detail}"),
+            ServeError::BadMessage { detail } => write!(f, "bad message: {detail}"),
+            ServeError::UnknownModel { model } => write!(f, "unknown model {model:?}"),
+            ServeError::BadArity {
+                model,
+                expected,
+                got,
+            } => write!(
+                f,
+                "bad arity for {model:?}: expected {expected} APs, got {got}"
+            ),
+            ServeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline of {deadline_ms} ms exceeded before dispatch")
+            }
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "overloaded: retry after {retry_after_ms} ms")
+            }
+            ServeError::Draining => write!(f, "server is draining"),
+            ServeError::Internal { detail } => write!(f, "internal: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Shorthand for a [`ServeError::BadFrame`].
+fn bad_frame(detail: impl Into<String>) -> ServeError {
+    ServeError::BadFrame {
+        detail: detail.into(),
+    }
+}
+
+/// Shorthand for a [`ServeError::BadMessage`].
+fn bad_message(detail: impl Into<String>) -> ServeError {
+    ServeError::BadMessage {
+        detail: detail.into(),
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Locate one fingerprint with the named model. `deadline_ms == 0`
+    /// means no deadline.
+    Locate {
+        /// Registry name of the model to query.
+        model: String,
+        /// Per-request deadline in milliseconds (0 = none): if the
+        /// query is still queued when the deadline elapses, it is
+        /// answered with [`ServeError::DeadlineExceeded`] instead of
+        /// running late inference nobody is waiting for.
+        deadline_ms: u32,
+        /// The RSS fingerprint, one value per AP.
+        fingerprint: Vec<f64>,
+    },
+    /// Ask for a server statistics snapshot.
+    Health,
+    /// Stop intake, finish all in-flight work, then shut the server
+    /// down; acknowledged with [`Response::Drained`].
+    Drain,
+}
+
+/// The final position answer for one fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Location {
+    /// Predicted reference-point class.
+    pub rp_class: u64,
+    /// Predicted x coordinate in meters.
+    pub x: f64,
+    /// Predicted y coordinate in meters.
+    pub y: f64,
+    /// True when the query was answered by the cheaper fallback member
+    /// because the server was degrading under sustained load.
+    pub degraded: bool,
+}
+
+/// A server statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Queries accepted into the admission queue.
+    pub admitted: u64,
+    /// Queries answered with a location.
+    pub served: u64,
+    /// Queries shed with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Queries whose inference panicked and was quarantined.
+    pub quarantined: u64,
+    /// Queries dropped because their deadline expired in the queue.
+    pub deadline_expired: u64,
+    /// Queries answered by the degraded (fallback) member.
+    pub degraded: u64,
+    /// Admission-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// True once a drain has begun.
+    pub draining: bool,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The located position.
+    Located(Location),
+    /// A typed refusal or failure.
+    Error(ServeError),
+    /// A statistics snapshot.
+    Health(HealthReport),
+    /// Drain acknowledged; `served` is the lifetime served count at
+    /// drain completion.
+    Drained {
+        /// Lifetime served count when the drain finished.
+        served: u64,
+    },
+}
+
+// --- byte-level helpers ----------------------------------------------------
+
+/// Bounds-checked little-endian reader over a payload slice. Every
+/// failure is a `String` detail that callers wrap into a typed error;
+/// nothing here panics on any input.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let remaining = self.bytes.len() - self.pos;
+        if n > remaining {
+            return Err(format!("needed {n} bytes, {remaining} left"));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_string())
+    }
+
+    /// Asserts the payload is fully consumed — trailing bytes mean the
+    /// message is malformed, not ignorable.
+    fn done(&self) -> Result<(), String> {
+        let left = self.bytes.len() - self.pos;
+        if left != 0 {
+            return Err(format!("{left} trailing bytes after message"));
+        }
+        Ok(())
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// --- frame layer -----------------------------------------------------------
+
+/// Encodes `payload` into one complete frame (header + payload).
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — encoders build payloads
+/// from bounded messages, so an oversized payload is a programming
+/// error, not an input condition.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "frame payload exceeds MAX_PAYLOAD"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    push_u32(&mut out, VERSION);
+    push_u32(&mut out, payload.len() as u32);
+    push_u64(&mut out, fnv1a(payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes exactly one frame from `bytes` and returns its payload.
+///
+/// This is the codec law's entry point: `bytes` must be the frame and
+/// nothing but the frame. Any prefix, extension, or bit flip of a valid
+/// frame returns a typed [`ServeError::BadFrame`]; no input panics.
+pub fn decode_frame(bytes: &[u8]) -> Result<Vec<u8>, ServeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(bad_frame(format!(
+            "truncated header: {} of {HEADER_LEN} bytes",
+            bytes.len()
+        )));
+    }
+    let (header, body) = bytes.split_at(HEADER_LEN);
+    let mut cursor = Cursor::new(header);
+    let magic = cursor.take(8).expect("header length checked");
+    if magic != MAGIC {
+        return Err(bad_frame("bad magic"));
+    }
+    let version = cursor.u32().expect("header length checked");
+    if version != VERSION {
+        return Err(bad_frame(format!("unsupported version {version}")));
+    }
+    let length = cursor.u32().expect("header length checked");
+    if length > MAX_PAYLOAD {
+        return Err(bad_frame(format!(
+            "payload length {length} exceeds cap {MAX_PAYLOAD}"
+        )));
+    }
+    let checksum = cursor.u64().expect("header length checked");
+    if body.len() != length as usize {
+        return Err(bad_frame(format!(
+            "payload length mismatch: header says {length}, got {}",
+            body.len()
+        )));
+    }
+    if fnv1a(body) != checksum {
+        return Err(bad_frame("payload checksum mismatch"));
+    }
+    Ok(body.to_vec())
+}
+
+/// Outcome of one blocking [`read_frame`] attempt.
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete, checksum-verified payload.
+    Payload(Vec<u8>),
+    /// The peer closed the connection cleanly at a frame boundary.
+    Eof,
+    /// The read timed out at a frame boundary with no bytes consumed —
+    /// the session loop uses this to poll the drain flag.
+    Idle,
+    /// The stream carried a corrupt, truncated or stalled frame; reply
+    /// with the error and close (the stream may be desynchronized).
+    Corrupt(ServeError),
+}
+
+/// How far a [`fill`] call got.
+enum Fill {
+    /// The buffer was filled completely.
+    Full,
+    /// EOF before the first byte.
+    EofAtStart,
+    /// Read timeout before the first byte.
+    IdleAtStart,
+    /// EOF or timeout after at least one byte — a torn read.
+    Short,
+}
+
+/// Reads until `buf` is full, distinguishing a clean boundary (no bytes
+/// yet) from a torn mid-object read. A read timeout after the first
+/// byte is deliberately *torn*, not retried: a frame must arrive within
+/// the session's read timeout once started, so a slow-loris peer cannot
+/// pin a session thread.
+fn fill(reader: &mut impl Read, buf: &mut [u8]) -> io::Result<Fill> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Fill::EofAtStart
+                } else {
+                    Fill::Short
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Ok(if filled == 0 {
+                    Fill::IdleAtStart
+                } else {
+                    Fill::Short
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Reads one frame from a blocking stream (typically with a read
+/// timeout set, so the session loop can poll for drain).
+///
+/// Hard transport errors (connection reset, …) surface as `Err`; every
+/// *content* problem — truncation, corruption, a frame stalling past
+/// the read timeout — is `Ok(FrameRead::Corrupt(..))` so the caller can
+/// send the typed reply before closing.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<FrameRead> {
+    let mut header = [0u8; HEADER_LEN];
+    match fill(reader, &mut header)? {
+        Fill::EofAtStart => return Ok(FrameRead::Eof),
+        Fill::IdleAtStart => return Ok(FrameRead::Idle),
+        Fill::Short => {
+            return Ok(FrameRead::Corrupt(bad_frame(
+                "truncated or stalled frame header",
+            )))
+        }
+        Fill::Full => {}
+    }
+    let mut cursor = Cursor::new(&header);
+    let magic = cursor.take(8).expect("header buffer is HEADER_LEN");
+    if magic != MAGIC {
+        return Ok(FrameRead::Corrupt(bad_frame("bad magic")));
+    }
+    let version = cursor.u32().expect("header buffer is HEADER_LEN");
+    if version != VERSION {
+        return Ok(FrameRead::Corrupt(bad_frame(format!(
+            "unsupported version {version}"
+        ))));
+    }
+    let length = cursor.u32().expect("header buffer is HEADER_LEN");
+    if length > MAX_PAYLOAD {
+        return Ok(FrameRead::Corrupt(bad_frame(format!(
+            "payload length {length} exceeds cap {MAX_PAYLOAD}"
+        ))));
+    }
+    let checksum = cursor.u64().expect("header buffer is HEADER_LEN");
+    let mut payload = vec![0u8; length as usize];
+    match fill(reader, &mut payload)? {
+        Fill::Full => {}
+        _ => {
+            return Ok(FrameRead::Corrupt(bad_frame(
+                "truncated or stalled frame payload",
+            )))
+        }
+    }
+    if fnv1a(&payload) != checksum {
+        return Ok(FrameRead::Corrupt(bad_frame("payload checksum mismatch")));
+    }
+    Ok(FrameRead::Payload(payload))
+}
+
+/// Writes one framed payload to the stream.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&encode_frame(payload))
+}
+
+// --- message layer ---------------------------------------------------------
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Locate {
+                model,
+                deadline_ms,
+                fingerprint,
+            } => {
+                out.push(0x01);
+                push_str(&mut out, model);
+                push_u32(&mut out, *deadline_ms);
+                push_u32(&mut out, fingerprint.len() as u32);
+                for &v in fingerprint {
+                    push_u64(&mut out, v.to_bits());
+                }
+            }
+            Request::Health => out.push(0x02),
+            Request::Drain => out.push(0x03),
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a request; any structural problem is
+    /// a [`ServeError::BadMessage`].
+    pub fn decode(payload: &[u8]) -> Result<Request, ServeError> {
+        let mut cursor = Cursor::new(payload);
+        let request = match cursor.u8().map_err(bad_message)? {
+            0x01 => {
+                let model = cursor.string().map_err(bad_message)?;
+                let deadline_ms = cursor.u32().map_err(bad_message)?;
+                let n = cursor.u32().map_err(bad_message)? as usize;
+                // Bound the allocation by the bytes actually present.
+                let remaining = payload.len() - cursor.pos;
+                if n.checked_mul(8).is_none_or(|bytes| bytes > remaining) {
+                    return Err(bad_message(format!(
+                        "fingerprint count {n} exceeds payload"
+                    )));
+                }
+                let mut fingerprint = Vec::with_capacity(n);
+                for _ in 0..n {
+                    fingerprint.push(cursor.f64().map_err(bad_message)?);
+                }
+                Request::Locate {
+                    model,
+                    deadline_ms,
+                    fingerprint,
+                }
+            }
+            0x02 => Request::Health,
+            0x03 => Request::Drain,
+            tag => return Err(bad_message(format!("unknown request tag {tag:#04x}"))),
+        };
+        cursor.done().map_err(bad_message)?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Located(location) => {
+                out.push(0x10);
+                push_u64(&mut out, location.rp_class);
+                push_u64(&mut out, location.x.to_bits());
+                push_u64(&mut out, location.y.to_bits());
+                out.push(u8::from(location.degraded));
+            }
+            Response::Error(error) => {
+                out.push(0x11);
+                out.push(error.code());
+                match error {
+                    ServeError::BadFrame { detail }
+                    | ServeError::BadMessage { detail }
+                    | ServeError::Internal { detail } => push_str(&mut out, detail),
+                    ServeError::UnknownModel { model } => push_str(&mut out, model),
+                    ServeError::BadArity {
+                        model,
+                        expected,
+                        got,
+                    } => {
+                        push_str(&mut out, model);
+                        push_u32(&mut out, *expected);
+                        push_u32(&mut out, *got);
+                    }
+                    ServeError::DeadlineExceeded { deadline_ms } => {
+                        push_u32(&mut out, *deadline_ms)
+                    }
+                    ServeError::Overloaded { retry_after_ms } => {
+                        push_u32(&mut out, *retry_after_ms)
+                    }
+                    ServeError::Draining => {}
+                }
+            }
+            Response::Health(report) => {
+                out.push(0x12);
+                push_u64(&mut out, report.admitted);
+                push_u64(&mut out, report.served);
+                push_u64(&mut out, report.shed);
+                push_u64(&mut out, report.quarantined);
+                push_u64(&mut out, report.deadline_expired);
+                push_u64(&mut out, report.degraded);
+                push_u64(&mut out, report.queue_depth);
+                out.push(u8::from(report.draining));
+            }
+            Response::Drained { served } => {
+                out.push(0x13);
+                push_u64(&mut out, *served);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload into a response; any structural problem
+    /// is a [`ServeError::BadMessage`].
+    pub fn decode(payload: &[u8]) -> Result<Response, ServeError> {
+        let mut cursor = Cursor::new(payload);
+        let response = match cursor.u8().map_err(bad_message)? {
+            0x10 => {
+                let rp_class = cursor.u64().map_err(bad_message)?;
+                let x = cursor.f64().map_err(bad_message)?;
+                let y = cursor.f64().map_err(bad_message)?;
+                let degraded = match cursor.u8().map_err(bad_message)? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(bad_message(format!("bad degraded flag {other}"))),
+                };
+                Response::Located(Location {
+                    rp_class,
+                    x,
+                    y,
+                    degraded,
+                })
+            }
+            0x11 => {
+                let error = match cursor.u8().map_err(bad_message)? {
+                    1 => ServeError::BadFrame {
+                        detail: cursor.string().map_err(bad_message)?,
+                    },
+                    2 => ServeError::BadMessage {
+                        detail: cursor.string().map_err(bad_message)?,
+                    },
+                    3 => ServeError::UnknownModel {
+                        model: cursor.string().map_err(bad_message)?,
+                    },
+                    4 => ServeError::BadArity {
+                        model: cursor.string().map_err(bad_message)?,
+                        expected: cursor.u32().map_err(bad_message)?,
+                        got: cursor.u32().map_err(bad_message)?,
+                    },
+                    5 => ServeError::DeadlineExceeded {
+                        deadline_ms: cursor.u32().map_err(bad_message)?,
+                    },
+                    6 => ServeError::Overloaded {
+                        retry_after_ms: cursor.u32().map_err(bad_message)?,
+                    },
+                    7 => ServeError::Draining,
+                    8 => ServeError::Internal {
+                        detail: cursor.string().map_err(bad_message)?,
+                    },
+                    code => return Err(bad_message(format!("unknown error code {code}"))),
+                };
+                Response::Error(error)
+            }
+            0x12 => {
+                let report = HealthReport {
+                    admitted: cursor.u64().map_err(bad_message)?,
+                    served: cursor.u64().map_err(bad_message)?,
+                    shed: cursor.u64().map_err(bad_message)?,
+                    quarantined: cursor.u64().map_err(bad_message)?,
+                    deadline_expired: cursor.u64().map_err(bad_message)?,
+                    degraded: cursor.u64().map_err(bad_message)?,
+                    queue_depth: cursor.u64().map_err(bad_message)?,
+                    draining: match cursor.u8().map_err(bad_message)? {
+                        0 => false,
+                        1 => true,
+                        other => return Err(bad_message(format!("bad draining flag {other}"))),
+                    },
+                };
+                Response::Health(report)
+            }
+            0x13 => Response::Drained {
+                served: cursor.u64().map_err(bad_message)?,
+            },
+            tag => return Err(bad_message(format!("unknown response tag {tag:#04x}"))),
+        };
+        cursor.done().map_err(bad_message)?;
+        Ok(response)
+    }
+}

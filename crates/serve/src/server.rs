@@ -1,0 +1,278 @@
+//! The TCP front end: a long-lived listener, one session thread per
+//! connection, and the small blocking [`Client`] used by the load
+//! generator and the robustness tests.
+//!
+//! Session discipline: frames are read with a short socket timeout so
+//! every session polls the drain flag between frames; a frame that
+//! *starts* but stalls past the timeout is a torn frame (slow-loris
+//! protection) and answers `BadFrame` before the session closes. Frame
+//! corruption replies the typed error and closes (the stream may be
+//! desynchronized); message-level trouble replies and keeps the session
+//! — framing is still synchronized. A `Drain` request stops the accept
+//! loop and intake, lets the engine finish every admitted query, then
+//! acknowledges with `Drained` and [`Server::run`] returns.
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::{Engine, ServeConfig};
+use crate::frame::{
+    read_frame, write_frame, FrameRead, HealthReport, Request, Response, ServeError,
+};
+use crate::registry::Registry;
+
+/// Socket read timeout: the cadence at which idle sessions poll the
+/// drain flag, and the budget a started frame has to finish arriving.
+const SESSION_POLL: Duration = Duration::from_millis(50);
+
+/// The accept loop's poll cadence for the drain flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A bound, not-yet-running localization server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` and starts the serving engine over `registry`
+    /// (queries dispatch as soon as [`Server::run`] is called).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(Engine::start(registry, config)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends `Drain`, then finishes all admitted
+    /// work, joins every session, and returns the final statistics.
+    pub fn run(self) -> HealthReport {
+        self.listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let mut sessions = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    sessions.push(std::thread::spawn(move || session(stream, &engine, &stop)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                // Transient accept errors (peer reset mid-handshake, …)
+                // must not kill the server.
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        // Intake is closed; let the engine finish everything admitted,
+        // then collect the sessions (they observe the stop flag on
+        // their next poll tick).
+        self.engine.begin_drain();
+        self.engine.await_drained();
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        self.engine.health()
+    }
+}
+
+/// One connection's request/response loop.
+fn session(stream: TcpStream, engine: &Engine, stop: &AtomicBool) {
+    let _ = stream.set_read_timeout(Some(SESSION_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(frame) => frame,
+            Err(_) => return, // hard transport error
+        };
+        let payload = match frame {
+            FrameRead::Payload(payload) => payload,
+            FrameRead::Eof => return,
+            FrameRead::Idle => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            FrameRead::Corrupt(error) => {
+                // The stream may be desynchronized: reply, then close.
+                let _ = reply(&mut stream, &Response::Error(error));
+                return;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(error) => {
+                // Framing is still synchronized; the session survives.
+                if reply(&mut stream, &Response::Error(error)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Locate {
+                model,
+                deadline_ms,
+                fingerprint,
+            } => match engine.submit(&model, fingerprint, deadline_ms) {
+                // The batcher sends exactly one response per admitted
+                // query, so this recv only fails if the engine died —
+                // answer Internal rather than hanging the client.
+                Ok(receiver) => receiver
+                    .recv()
+                    .unwrap_or(Response::Error(ServeError::Internal {
+                        detail: "engine stopped before answering".to_string(),
+                    })),
+                Err(error) => Response::Error(error),
+            },
+            Request::Health => Response::Health(engine.health()),
+            Request::Drain => {
+                stop.store(true, Ordering::SeqCst);
+                engine.begin_drain();
+                engine.await_drained();
+                let served = engine.health().served;
+                let _ = reply(&mut stream, &Response::Drained { served });
+                return;
+            }
+        };
+        if reply(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Writes one response frame.
+fn reply(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    write_frame(stream, &response.encode())?;
+    stream.flush()
+}
+
+/// Client-side failure: transport trouble or an unparseable reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's reply was not a valid frame/message, or the
+    /// connection closed before one arrived.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(detail) => write!(f, "protocol: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A minimal blocking protocol client (one request in flight at a
+/// time), used by the load generator and the robustness tests.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous bound so a wedged server fails a test instead of
+        // hanging it; the protocol never legitimately takes this long.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.send_raw(&crate::frame::encode_frame(&request.encode()))?;
+        self.read_response()
+    }
+
+    /// Locates one fingerprint (`deadline_ms == 0` = no deadline).
+    pub fn locate(
+        &mut self,
+        model: &str,
+        fingerprint: Vec<f64>,
+        deadline_ms: u32,
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::Locate {
+            model: model.to_string(),
+            deadline_ms,
+            fingerprint,
+        })
+    }
+
+    /// Asks for a statistics snapshot.
+    pub fn health(&mut self) -> Result<HealthReport, ClientError> {
+        match self.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!(
+                "expected Health reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a drain and waits for the acknowledgement.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        match self.call(&Request::Drain)? {
+            Response::Drained { served } => Ok(served),
+            other => Err(ClientError::Protocol(format!(
+                "expected Drained reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Writes raw bytes to the server — the fuzz tests use this to send
+    /// deliberately broken frames.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one response frame (after [`Client::send_raw`]).
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream)? {
+            FrameRead::Payload(payload) => {
+                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            FrameRead::Eof => Err(ClientError::Protocol(
+                "connection closed before a response".to_string(),
+            )),
+            // The client's read timeout is a liveness bound: a server
+            // silent for that long is treated as wedged so a test
+            // fails instead of hanging.
+            FrameRead::Idle => Err(ClientError::Protocol(
+                "timed out waiting for a response".to_string(),
+            )),
+            FrameRead::Corrupt(error) => Err(ClientError::Protocol(error.to_string())),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based laws of the serving frame codec, mirroring the store
+//! truncation law in `calloc_eval`'s proptest tier: no input bytes —
+//! truncated, extended, bit-flipped, or pure noise — may ever panic the
+//! decoder or slip through undetected, and fingerprint payloads round
+//! trip **bit-exactly** through the wire, including the awkward f64
+//! encodings value-level equality would miss.
+
+use calloc_serve::{decode_frame, encode_frame, Location, Request, Response, ServeError};
+use proptest::prelude::*;
+
+/// Awkward `f64` bit patterns the wire must preserve: negative zero,
+/// subnormals, infinities, and NaNs with payload bits.
+const TRICKY_BITS: [u64; 7] = [
+    0x8000_0000_0000_0000, // -0.0
+    0x0000_0000_0000_0001, // smallest positive subnormal
+    0x800F_FFFF_FFFF_FFFF, // negative subnormal
+    0x7FF0_0000_0000_0000, // +inf
+    0xFFF0_0000_0000_0000, // -inf
+    0x7FF8_0000_DEAD_BEEF, // quiet NaN with payload
+    0x7FF0_0000_0000_0001, // signalling NaN bit pattern
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// **Any** strict byte prefix of a valid frame decodes as a typed
+    /// [`ServeError::BadFrame`] — never a panic, never an accidental
+    /// success — and the full frame decodes back to its payload.
+    #[test]
+    fn any_frame_prefix_is_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut in 0.0..1.0f64,
+    ) {
+        let frame = encode_frame(&payload);
+        prop_assert_eq!(decode_frame(&frame).expect("full frame decodes"), payload);
+        for len in [
+            (frame.len() as f64 * cut) as usize,
+            0, 1, 7, 8, 11, 12, 15, 16, 23,
+            frame.len().saturating_sub(1),
+        ] {
+            let len = len.min(frame.len().saturating_sub(1));
+            match decode_frame(&frame[..len]) {
+                Err(ServeError::BadFrame { .. }) => {}
+                other => prop_assert!(
+                    false,
+                    "prefix of {} bytes: expected BadFrame, got {:?}",
+                    len, other
+                ),
+            }
+        }
+    }
+
+    /// Flipping **any single bit** of a valid frame is detected as a
+    /// typed [`ServeError::BadFrame`]: header flips trip the magic /
+    /// version / length checks, payload flips trip the FNV-1a checksum
+    /// (multiplication by an odd prime is invertible, so one changed
+    /// byte always changes the hash).
+    #[test]
+    fn single_bit_corruption_is_a_typed_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..96),
+        flip in any::<u64>(),
+    ) {
+        let mut frame = encode_frame(&payload);
+        let bit = (flip % (frame.len() as u64 * 8)) as usize;
+        frame[bit / 8] ^= 1 << (bit % 8);
+        match decode_frame(&frame) {
+            Err(ServeError::BadFrame { .. }) => {}
+            other => prop_assert!(
+                false,
+                "bit {} flipped: expected BadFrame, got {:?}",
+                bit, other
+            ),
+        }
+    }
+
+    /// Pure byte noise never panics any decoder layer; it either
+    /// decodes (vacuously possible for the message layer) or fails
+    /// typed.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        bytes in proptest::collection::vec(any::<u8>(), 0..160),
+    ) {
+        let _ = decode_frame(&bytes);
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// A locate request round trips through frame + message encode /
+    /// decode **bit-exactly**, including -0.0, subnormal and
+    /// NaN-payload fingerprints.
+    #[test]
+    fn locate_round_trips_bit_exactly(
+        model_salt in 0u64..100_000,
+        deadline_ms in any::<u32>(),
+        draws in proptest::collection::vec(any::<u64>(), 0..24),
+    ) {
+        let model = format!("member_{model_salt}");
+        let mut bits = draws;
+        bits.extend_from_slice(&TRICKY_BITS);
+        let fingerprint: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let request = Request::Locate {
+            model: model.clone(),
+            deadline_ms,
+            fingerprint,
+        };
+        let payload = decode_frame(&encode_frame(&request.encode())).expect("frame round trip");
+        let Request::Locate {
+            model: model2,
+            deadline_ms: deadline2,
+            fingerprint: fingerprint2,
+        } = Request::decode(&payload).expect("message round trip")
+        else {
+            return Err(TestCaseError::fail("decoded to a different verb"));
+        };
+        prop_assert_eq!(model2, model);
+        prop_assert_eq!(deadline2, deadline_ms);
+        let bits2: Vec<u64> = fingerprint2.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(bits2, bits, "fingerprint bits altered in transit");
+    }
+
+    /// A located response round trips bit-exactly too — the replay
+    /// determinism law compares these very bytes.
+    #[test]
+    fn located_round_trips_bit_exactly(
+        rp_class in any::<u64>(),
+        x_bits in any::<u64>(),
+        y_pick in 0usize..7,
+        degraded in any::<bool>(),
+    ) {
+        let y_bits = TRICKY_BITS[y_pick];
+        let response = Response::Located(Location {
+            rp_class,
+            x: f64::from_bits(x_bits),
+            y: f64::from_bits(y_bits),
+            degraded,
+        });
+        let payload = decode_frame(&encode_frame(&response.encode())).expect("frame round trip");
+        let Response::Located(location) = Response::decode(&payload).expect("message round trip")
+        else {
+            return Err(TestCaseError::fail("decoded to a different response"));
+        };
+        prop_assert_eq!(location.rp_class, rp_class);
+        prop_assert_eq!(location.x.to_bits(), x_bits);
+        prop_assert_eq!(location.y.to_bits(), y_bits);
+        prop_assert_eq!(location.degraded, degraded);
+    }
+}

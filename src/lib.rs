@@ -14,6 +14,8 @@
 //! * [`calloc_baselines`] — KNN, NB, GPC, DNN, AdvLoc, SANGRIA, ANVIL,
 //!   WiDeep.
 //! * [`calloc_eval`] — metrics, suite trainer, reporting.
+//! * [`calloc_serve`] — the online localization service (framed TCP
+//!   protocol, micro-batching, deadlines, load shedding).
 //! * [`calloc_nn`] / [`calloc_tensor`] — the ML and numeric substrates.
 
 pub mod testkit;
@@ -23,5 +25,6 @@ pub use calloc_attack;
 pub use calloc_baselines;
 pub use calloc_eval;
 pub use calloc_nn;
+pub use calloc_serve;
 pub use calloc_sim;
 pub use calloc_tensor;
