@@ -1,0 +1,116 @@
+//! Property tests of online GPC recalibration: `GpcLocalizer::absorb`
+//! must stay within its pinned tolerance of a full refit across random
+//! problem sizes — the tolerance-tier contract of the streaming
+//! recalibration path (batch fitting and inference stay bit-pinned and
+//! are covered by `perf_baseline` and the golden tier).
+
+use calloc_baselines::{GpcConfig, GpcLocalizer};
+use calloc_nn::Localizer;
+use calloc_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+/// Pinned absorb-vs-refit tolerance on raw GP scores (documented on
+/// [`GpcLocalizer::absorb`] and in the README's trajectory section).
+const ABSORB_TOLERANCE: f64 = 1e-6;
+
+/// A random normalized fingerprint bank with `classes` labels.
+fn random_bank(n: usize, dim: usize, classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = Rng::new(seed);
+    let x = Matrix::from_fn(n, dim, |_, _| rng.uniform(0.0, 1.0));
+    let y = (0..n).map(|i| i % classes).collect();
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `absorb`-then-predict stays within the pinned tolerance of a full
+    /// refit on the concatenated bank, for arbitrary bank sizes, widths,
+    /// class counts and absorb batch sizes — and the absorbed factor
+    /// still reconstructs the grown kernel matrix.
+    #[test]
+    fn absorb_then_predict_matches_full_refit(
+        n in 4usize..32,
+        dim in 2usize..10,
+        classes in 2usize..5,
+        extra in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let (x, y) = random_bank(n + extra, dim, classes, seed);
+        let head = Matrix::from_fn(n, dim, |r, c| x.get(r, c));
+        let tail = Matrix::from_fn(extra, dim, |r, c| x.get(n + r, c));
+        let config = GpcConfig::default();
+
+        let mut absorbed = GpcLocalizer::fit(head, y[..n].to_vec(), classes, config)
+            .expect("random banks with default noise are SPD");
+        absorbed.absorb(&tail, &y[n..]).expect("absorb");
+        let refit = GpcLocalizer::fit(x, y, classes, config).expect("refit");
+
+        let mut rng = Rng::new(seed ^ 0x0BAD_CAFE);
+        let queries = Matrix::from_fn(6, dim, |_, _| rng.uniform(0.0, 1.0));
+        let (sa, sr) = (absorbed.scores(&queries), refit.scores(&queries));
+        for (i, (a, b)) in sa.as_slice().iter().zip(sr.as_slice()).enumerate() {
+            prop_assert!(
+                (a - b).abs() < ABSORB_TOLERANCE,
+                "score {}: absorbed {} vs refit {} (diff {:e})", i, a, b, (a - b).abs()
+            );
+        }
+        prop_assert_eq!(
+            absorbed.predict_classes(&queries),
+            refit.predict_classes(&queries),
+            "predictions must agree within the tolerance regime"
+        );
+
+        // The incrementally grown factor is still a valid factorization
+        // of the grown kernel (L·Lᵀ = K + σ²I).
+        let l = absorbed.factor().expect("absorb retains the factor");
+        let kernel = calloc_tensor::linalg::add_diagonal(
+            &calloc_tensor::kernel::rbf_gram(absorbed.x_train(), config.length_scale),
+            config.noise,
+        );
+        prop_assert!(
+            l.matmul(&l.transpose()).approx_eq(&kernel, 1e-7),
+            "grown factor no longer factors the grown kernel"
+        );
+    }
+
+    /// Absorbing in one batch equals absorbing point by point: the
+    /// incremental path is associative over its inputs.
+    #[test]
+    fn batched_and_sequential_absorb_agree(
+        n in 4usize..24,
+        dim in 2usize..8,
+        extra in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let classes = 3;
+        let (x, y) = random_bank(n + extra, dim, classes, seed);
+        let head = Matrix::from_fn(n, dim, |r, c| x.get(r, c));
+        let tail = Matrix::from_fn(extra, dim, |r, c| x.get(n + r, c));
+        let config = GpcConfig::default();
+
+        let mut batched = GpcLocalizer::fit(head.clone(), y[..n].to_vec(), classes, config)
+            .expect("fit");
+        batched.absorb(&tail, &y[n..]).expect("absorb");
+
+        let mut sequential = GpcLocalizer::fit(head, y[..n].to_vec(), classes, config)
+            .expect("fit");
+        for i in 0..extra {
+            let point = Matrix::from_fn(1, dim, |_, c| tail.get(i, c));
+            sequential.absorb(&point, &y[n + i..n + i + 1]).expect("absorb");
+        }
+
+        for (i, (a, b)) in batched
+            .alpha()
+            .as_slice()
+            .iter()
+            .zip(sequential.alpha().as_slice())
+            .enumerate()
+        {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "alpha {}: batch absorb must equal point-by-point absorb exactly", i
+            );
+        }
+    }
+}

@@ -18,6 +18,14 @@
 //! generation (the session-parallel `Scenario::generate` and the
 //! `ScenarioSpec` grid engine against the seed's serial collector,
 //! preserved verbatim as `calloc_bench::seed_scenario_generate_reference`).
+//! The `trajectory_generation` section runs the same comparison for the
+//! trajectory grid (`TrajectoryPlan::generate` against the serial cell
+//! loop `calloc_bench::seed_trajectory_set_reference`), and the
+//! `recalibration` section prices online GPC recalibration: the rank-1
+//! `absorb` path against a full refit on a growing fingerprint bank,
+//! with the absorb-vs-refit divergence asserted inside the documented
+//! 1e-6 tolerance tier — and every *batch* kernel still asserted
+//! bit-identical to its seed reference — before anything is timed.
 //! The `pool` section profiles the worker pool itself: the budget nested
 //! fan-outs actually observe (asserted > 1 — the pre-pool runtime
 //! collapsed them to serial), a sweep-shaped mixed-cost work list whose
@@ -44,13 +52,13 @@ use calloc_baselines::{GpcConfig, GpcLocalizer, KnnLocalizer};
 use calloc_bench::{
     assert_bits_eq, seed_cholesky_reference, seed_gpc_loss_and_input_grad_reference,
     seed_gpc_scores_reference, seed_matmul_reference, seed_scenario_generate_reference,
-    seed_sq_dists_reference,
+    seed_sq_dists_reference, seed_trajectory_set_reference,
 };
 use calloc_eval::{ExecSpec, Localizer, ModelCache, StoreError, Suite, SuiteProfile, SweepSpec};
 use calloc_nn::DifferentiableModel;
 use calloc_sim::{
     collection_identity, Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario,
-    ScenarioSpec,
+    ScenarioSpec, TrajectorySpec,
 };
 use calloc_tensor::{kernel, linalg, par, Matrix, Rng};
 use std::fmt::Write as _;
@@ -401,6 +409,112 @@ fn main() {
         grid_serial_ms / grid_parallel_ms,
     );
 
+    // --- Trajectory generation: the grid fan-out vs the seed serial
+    //     cell loop (preserved verbatim in calloc-bench) ---
+    let traj_spec = TrajectorySpec::quick().with_seeds(vec![1, 2]);
+    let traj_plan = traj_spec.plan();
+    let traj_cells = traj_plan.len();
+    let traj_reference = seed_trajectory_set_reference(&traj_plan);
+    for thread_setting in [1usize, 0] {
+        par::set_threads(thread_setting);
+        let generated = traj_plan.shard(0..traj_cells).generate();
+        for (i, (a, b)) in traj_reference
+            .iter()
+            .zip(generated.trajectories())
+            .enumerate()
+        {
+            assert_eq!(
+                a.rp_labels, b.rp_labels,
+                "trajectory walk {i} diverges from seed (threads {thread_setting})"
+            );
+            assert_bits_eq(
+                &a.observations,
+                &b.observations,
+                &format!(
+                    "trajectory observations {i} diverge from seed (threads {thread_setting})"
+                ),
+            );
+        }
+    }
+    par::set_threads(0);
+
+    let traj_seed_ms = best_ms(reps, || seed_trajectory_set_reference(&traj_plan));
+    par::set_threads(1);
+    let traj_serial_ms = best_ms(reps, || traj_plan.shard(0..traj_cells).generate());
+    par::set_threads(0);
+    let traj_parallel_ms = best_ms(reps, || traj_plan.shard(0..traj_cells).generate());
+
+    println!(
+        "trajectory_generation {traj_cells} cells: seed {traj_seed_ms:.3} ms | serial \
+         {traj_serial_ms:.3} ms ({:.2}x) | parallel({threads}t) {traj_parallel_ms:.3} ms ({:.2}x)",
+        traj_seed_ms / traj_serial_ms,
+        traj_seed_ms / traj_parallel_ms,
+    );
+
+    // --- Online recalibration: rank-1 absorb vs full refit on a growing
+    //     fingerprint bank ---
+    // The untouched batch kernels stay bit-pinned (asserted above and in
+    // the cholesky/gpc sections); absorb itself lives in the documented
+    // 1e-6 tolerance tier, asserted here before anything is timed.
+    let mut recal_rows = Vec::new();
+    for &(bank, added) in &[(128usize, 8usize), (256, 8)] {
+        let (dim, classes) = (24usize, 12usize);
+        let mut rng = Rng::new(0xABBA ^ bank as u64);
+        let x = Matrix::from_fn(bank + added, dim, |_, _| rng.uniform(0.0, 1.0));
+        let y: Vec<usize> = (0..bank + added).map(|i| i % classes).collect();
+        let head = Matrix::from_fn(bank, dim, |r, c| x.get(r, c));
+        let tail = Matrix::from_fn(added, dim, |r, c| x.get(bank + r, c));
+        let config = GpcConfig::default();
+        let base = GpcLocalizer::fit(head, y[..bank].to_vec(), classes, config).expect("fit");
+
+        let mut absorbed = base.clone();
+        absorbed.absorb(&tail, &y[bank..]).expect("absorb");
+        let refit = GpcLocalizer::fit(x.clone(), y.clone(), classes, config).expect("refit");
+        let queries = Matrix::from_fn(32, dim, |_, _| rng.uniform(0.0, 1.0));
+        let (sa, sr) = (absorbed.scores(&queries), refit.scores(&queries));
+        let max_div = sa
+            .as_slice()
+            .iter()
+            .zip(sr.as_slice())
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_div < 1e-6,
+            "absorb diverges from refit beyond the tolerance tier at {bank}: {max_div:e}"
+        );
+        assert_eq!(
+            absorbed.predict_classes(&queries),
+            refit.predict_classes(&queries),
+            "absorb flips predictions at {bank}"
+        );
+
+        let refit_ms = best_ms(reps, || {
+            GpcLocalizer::fit(x.clone(), y.clone(), classes, config).expect("refit")
+        });
+        let absorb_ms = best_ms(reps, || {
+            let mut g = base.clone();
+            g.absorb(&tail, &y[bank..]).expect("absorb");
+            g
+        });
+
+        println!(
+            "recalibration bank {bank}+{added}: refit {refit_ms:.3} ms | absorb \
+             {absorb_ms:.3} ms ({:.2}x) | max divergence {max_div:.3e}",
+            refit_ms / absorb_ms,
+        );
+
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"bank\": {bank}, \"added\": {added}, \"dim\": {dim}, \
+             \"classes\": {classes}, \"refit_ms\": {refit_ms:.4}, \"absorb_ms\": {absorb_ms:.4}, \
+             \"absorb_speedup\": {:.3}, \"max_divergence\": {max_div:.3e}}}",
+            refit_ms / absorb_ms,
+        )
+        .expect("write to string");
+        recal_rows.push(row);
+    }
+
     // --- The worker pool itself: nested fan-out budget and the
     //     work-reclaiming straggler profile ---
     // A job running inside a fan-out must see the full configured budget
@@ -679,6 +793,10 @@ fn main() {
          \"gpc_inference\": [\n{}\n  ],\n  \"scenario_generation\": [\n{}\n  ],\n  \
          \"scenario_grid\": {{\"cells\": {grid_cells}, \"serial_ms\": {grid_serial_ms:.4}, \
          \"parallel_ms\": {grid_parallel_ms:.4}, \"speedup\": {:.3}}},\n  \
+         \"trajectory_generation\": {{\"cells\": {traj_cells}, \"seed_ms\": {traj_seed_ms:.4}, \
+         \"serial_ms\": {traj_serial_ms:.4}, \"parallel_ms\": {traj_parallel_ms:.4}, \
+         \"serial_speedup\": {:.3}, \"parallel_speedup\": {:.3}}},\n  \
+         \"recalibration\": [\n{}\n  ],\n  \
          \"pool\": {{\"nested_budget\": {nested_budget}, \
          \"straggler_serial_ms\": {straggler_serial_ms:.4}, \
          \"straggler_parallel_ms\": {straggler_parallel_ms:.4}, \
@@ -698,6 +816,9 @@ fn main() {
         gpc_rows.join(",\n"),
         scen_rows.join(",\n"),
         grid_serial_ms / grid_parallel_ms,
+        traj_seed_ms / traj_serial_ms,
+        traj_seed_ms / traj_parallel_ms,
+        recal_rows.join(",\n"),
         straggler_serial_ms / straggler_parallel_ms,
         nested_serial_ms / nested_parallel_ms,
         quarantined_ms / plain_ms,

@@ -28,15 +28,17 @@
 use calloc::CallocConfig;
 
 use calloc_attack::AttackKind;
+use calloc_baselines::{GpcConfig, GpcLocalizer, KnnLocalizer};
 use calloc_eval::{
     run_sweep, DifferentiableModel, ExecSpec, Localizer, ModelCache, ResultTable, Suite,
     SuiteProfile, SweepSpec,
 };
 use calloc_sim::{
-    normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, Scenario,
-    ScenarioSpec, RSS_FLOOR_DBM,
+    normalize_rss, Building, BuildingId, BuildingSpec, CollectionConfig, Dataset, EnvLevel,
+    Scenario, ScenarioSpec, Trajectory, TrajectoryPlan, TrajectorySpec, RSS_FLOOR_DBM,
 };
 use calloc_tensor::{Matrix, Rng, TensorError};
+use calloc_track::{run_trajectory_sweep, TrackConfig, TrajectoryTable};
 
 /// Calibration of the paper's ε to our normalized RSS units.
 ///
@@ -318,6 +320,92 @@ pub fn sweep_spec(profile: Profile) -> SweepSpec {
         SweepSpec::grid(epsilon_grid(profile), phi_grid(profile)).with_epsilon_unit(EPSILON_UNIT);
     spec.include_clean = false;
     spec
+}
+
+/// Training seed of the trajectory-sweep members: one fixed fingerprint
+/// survey per building, shared by `fig_traj`, the golden tier and
+/// `perf_baseline`.
+pub const TRAJECTORY_TRAIN_SEED: u64 = 9;
+
+/// The trajectory grid of this profile: the same buildings as
+/// [`buildings`] walked under the paper motion prior, with a two-level
+/// environment axis (baseline and 2× drift) so the error-vs-path-length
+/// trend composes with [`EnvLevel`] drift severity.
+pub fn trajectory_grid(profile: Profile) -> TrajectorySpec {
+    let spec = match profile {
+        Profile::Full => TrajectorySpec::paper(),
+        Profile::Quick => TrajectorySpec::quick(),
+    };
+    spec.with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)])
+}
+
+/// Trains the trajectory-sweep member pair for one building realization:
+/// KNN (hard one-hot emissions) and GPC (soft probabilistic emissions),
+/// both fit on the building's fixed fingerprint survey under `config`.
+pub fn trajectory_members(
+    building: &Building,
+    config: &CollectionConfig,
+    seed: u64,
+) -> (KnnLocalizer, GpcLocalizer) {
+    let scenario = Scenario::generate(building, config, seed);
+    let train = &scenario.train;
+    let knn = KnnLocalizer::fit(train.x.clone(), train.labels.clone(), building.num_rps(), 3);
+    let gpc = GpcLocalizer::fit(
+        train.x.clone(),
+        train.labels.clone(),
+        building.num_rps(),
+        GpcConfig::default(),
+    )
+    .expect("survey gram matrices are SPD under the default noise");
+    (knn, gpc)
+}
+
+/// The full trajectory sweep of this profile: error vs path length ×
+/// environment level × member (KNN and GPC), sequentially decoded by
+/// raw / forward-filtered / smoothed estimators. Deterministic for a
+/// fixed profile — `tests/golden/trajectory_sweep.csv` pins the quick
+/// rendering byte for byte.
+pub fn trajectory_sweep_table(profile: Profile) -> TrajectoryTable {
+    let set = trajectory_grid(profile).generate();
+    let base = set.plan().spec().base.clone();
+    let trained: Vec<(KnnLocalizer, GpcLocalizer)> = set
+        .plan()
+        .buildings()
+        .iter()
+        .map(|b| trajectory_members(b, &base, TRAJECTORY_TRAIN_SEED))
+        .collect();
+    let members: Vec<Vec<(&str, &dyn Localizer)>> = trained
+        .iter()
+        .map(|(knn, gpc)| {
+            vec![
+                ("KNN", knn as &dyn Localizer),
+                ("GPC", gpc as &dyn Localizer),
+            ]
+        })
+        .collect();
+    run_trajectory_sweep(&set, &members, &TrackConfig::paper())
+}
+
+/// The seed repository's serial trajectory-set generation — a plain
+/// cell-order loop over direct [`Trajectory::generate`] calls — preserved
+/// as the baseline for the `trajectory_generation` section of the
+/// `perf_baseline` JSON snapshot. The parallel
+/// `TrajectoryPlan::generate` fan-out must stay **bit-identical** to it
+/// for every plan, which is also what keeps
+/// `tests/golden/trajectory_sweep.csv` byte-stable across thread counts.
+pub fn seed_trajectory_set_reference(plan: &TrajectoryPlan) -> Vec<Trajectory> {
+    plan.cells()
+        .iter()
+        .map(|cell| {
+            Trajectory::generate(
+                &plan.buildings()[cell.building],
+                &plan.spec().motion,
+                &plan.config_for(cell),
+                plan.steps_for(cell),
+                plan.seed_for(cell),
+            )
+        })
+        .collect()
 }
 
 /// The seed repository's unblocked Cholesky kernel, preserved verbatim as
@@ -632,6 +720,69 @@ mod tests {
         let b = buildings(Profile::Quick);
         assert_eq!(b.len(), 2);
         assert!(b.iter().all(|b| b.num_rps() <= 24 && b.num_aps() <= 40));
+    }
+
+    #[test]
+    fn trajectory_grid_generation_is_bit_identical_to_seed_reference() {
+        let spec = TrajectorySpec::from_base(
+            vec![
+                BuildingSpec {
+                    path_length_m: 9,
+                    num_aps: 7,
+                    ..BuildingId::B1.spec()
+                },
+                BuildingSpec {
+                    path_length_m: 10,
+                    num_aps: 6,
+                    ..BuildingId::B2.spec()
+                },
+            ],
+            4,
+            calloc_sim::MotionConfig::paper(),
+            CollectionConfig::small(),
+            vec![5, 8],
+            vec![2, 7],
+        )
+        .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)]);
+        let plan = spec.plan();
+        let reference = seed_trajectory_set_reference(&plan);
+        let set = plan.generate();
+        assert_eq!(reference.len(), set.len());
+        for (i, (a, b)) in reference.iter().zip(set.trajectories()).enumerate() {
+            assert_eq!(a.rp_labels, b.rp_labels, "cell {i} labels");
+            for (j, (x, y)) in a
+                .observations
+                .as_slice()
+                .iter()
+                .zip(b.observations.as_slice())
+                .enumerate()
+            {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "cell {i} observation {j} diverges from the serial reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quick_trajectory_sweep_covers_the_whole_grid() {
+        let table = trajectory_sweep_table(Profile::Quick);
+        let grid = trajectory_grid(Profile::Quick);
+        let cells = grid.buildings.len()
+            * grid.path_lengths.len()
+            * grid.environments.len()
+            * grid.seeds.len();
+        // Two members (KNN, GPC) × three estimators per cell.
+        assert_eq!(table.len(), cells * 2 * 3);
+        assert!(table
+            .rows()
+            .iter()
+            .all(|r| r.mean_error_m.is_finite() && r.final_error_m.is_finite()));
+        let envs: std::collections::BTreeSet<&str> =
+            table.rows().iter().map(|r| r.env.as_str()).collect();
+        assert_eq!(envs.len(), 2, "both environment levels present: {envs:?}");
     }
 
     #[test]

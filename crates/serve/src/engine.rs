@@ -138,6 +138,11 @@ struct Stats {
     quarantined: AtomicU64,
     deadline_expired: AtomicU64,
     degraded: AtomicU64,
+    /// Admission-queue high-water mark; updated under the queue lock in
+    /// [`Engine::submit`] so it is exact, not racy.
+    queue_peak: AtomicU64,
+    /// Micro-batches dispatched by the batcher thread.
+    batches: AtomicU64,
 }
 
 /// State shared between session threads and the batcher.
@@ -238,6 +243,12 @@ impl Engine {
                 deadline_ms,
                 reply: tx,
             });
+            let depth = queue.len() as u64;
+            // Exact (not a CAS loop): the queue lock is held, so no
+            // other admission can interleave a competing peak.
+            if depth > self.shared.stats.queue_peak.load(Ordering::Relaxed) {
+                self.shared.stats.queue_peak.store(depth, Ordering::Relaxed);
+            }
         }
         self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
         self.shared.wake.notify_all();
@@ -289,6 +300,8 @@ impl Engine {
             deadline_expired: stats.deadline_expired.load(Ordering::Relaxed),
             degraded: stats.degraded.load(Ordering::Relaxed),
             queue_depth,
+            queue_peak: stats.queue_peak.load(Ordering::Relaxed),
+            batches: stats.batches.load(Ordering::Relaxed),
             draining: self.is_draining(),
         }
     }
@@ -336,6 +349,7 @@ fn run_batcher(shared: &Shared, registry: &Registry) {
             (batch, queue.len())
         };
         let degraded = depth_after >= shared.config.degrade_watermark;
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         dispatch(shared, registry, batch, degraded);
     }
 }

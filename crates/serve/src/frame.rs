@@ -14,7 +14,7 @@
 //!
 //! ```text
 //! magic    8 bytes   b"CALLOCSF"
-//! version  u32       protocol version (1)
+//! version  u32       protocol version (2)
 //! length   u32       payload length in bytes (<= MAX_PAYLOAD)
 //! checksum u64       FNV-1a over the payload bytes
 //! payload  length bytes
@@ -31,7 +31,7 @@
 //! located  = 0x10 rp_class:u64 x:u64 y:u64 degraded:u8
 //! error    = 0x11 code:u8 fields...          (see ServeError::code)
 //! healthrep= 0x12 admitted served shed quarantined expired degraded
-//!                 queue_depth:u64*7 draining:u8
+//!                 queue_depth queue_peak batches:u64*9 draining:u8
 //! drained  = 0x13 served:u64
 //! ```
 
@@ -41,8 +41,11 @@ use std::io::{self, ErrorKind, Read, Write};
 /// Magic bytes opening every frame.
 pub const MAGIC: &[u8; 8] = b"CALLOCSF";
 
-/// Protocol version carried in every frame header.
-pub const VERSION: u32 = 1;
+/// Protocol version carried in every frame header. Version 2 widened
+/// the health report with the admission-queue high-water mark and the
+/// cumulative dispatched-batch count; a version-1 peer's frames are
+/// refused with a typed [`ServeError::BadFrame`] rather than misread.
+pub const VERSION: u32 = 2;
 
 /// Hard cap on a frame payload, enforced **before** any allocation so a
 /// corrupt or hostile length field cannot balloon server memory.
@@ -232,6 +235,13 @@ pub struct HealthReport {
     pub degraded: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: u64,
+    /// Highest admission-queue depth ever observed (high-water mark),
+    /// recorded at admission time so capacity tuning can see how close
+    /// the queue came to shedding even between snapshots.
+    pub queue_peak: u64,
+    /// Micro-batches dispatched so far; `served / batches` is the
+    /// realized batching factor the engine's latency window bought.
+    pub batches: u64,
     /// True once a drain has begun.
     pub draining: bool,
 }
@@ -611,6 +621,8 @@ impl Response {
                 push_u64(&mut out, report.deadline_expired);
                 push_u64(&mut out, report.degraded);
                 push_u64(&mut out, report.queue_depth);
+                push_u64(&mut out, report.queue_peak);
+                push_u64(&mut out, report.batches);
                 out.push(u8::from(report.draining));
             }
             Response::Drained { served } => {
@@ -681,6 +693,8 @@ impl Response {
                     deadline_expired: cursor.u64().map_err(bad_message)?,
                     degraded: cursor.u64().map_err(bad_message)?,
                     queue_depth: cursor.u64().map_err(bad_message)?,
+                    queue_peak: cursor.u64().map_err(bad_message)?,
+                    batches: cursor.u64().map_err(bad_message)?,
                     draining: match cursor.u8().map_err(bad_message)? {
                         0 => false,
                         1 => true,

@@ -5,7 +5,9 @@
 //! trip **bit-exactly** through the wire, including the awkward f64
 //! encodings value-level equality would miss.
 
-use calloc_serve::{decode_frame, encode_frame, Location, Request, Response, ServeError};
+use calloc_serve::{
+    decode_frame, encode_frame, HealthReport, Location, Request, Response, ServeError,
+};
 use proptest::prelude::*;
 
 /// Awkward `f64` bit patterns the wire must preserve: negative zero,
@@ -143,5 +145,46 @@ proptest! {
         prop_assert_eq!(location.x.to_bits(), x_bits);
         prop_assert_eq!(location.y.to_bits(), y_bits);
         prop_assert_eq!(location.degraded, degraded);
+    }
+
+    /// A health report — all nine u64 counters plus the draining flag —
+    /// round trips exactly, and truncating the encoded payload anywhere
+    /// fails typed rather than decoding a report with silently zeroed
+    /// tail fields.
+    #[test]
+    fn health_report_round_trips_exactly(
+        counters in proptest::collection::vec(any::<u64>(), 9..10),
+        draining in any::<bool>(),
+        cut in 0.0..1.0f64,
+    ) {
+        let report = HealthReport {
+            admitted: counters[0],
+            served: counters[1],
+            shed: counters[2],
+            quarantined: counters[3],
+            deadline_expired: counters[4],
+            degraded: counters[5],
+            queue_depth: counters[6],
+            queue_peak: counters[7],
+            batches: counters[8],
+            draining,
+        };
+        let response = Response::Health(report);
+        let encoded = response.encode();
+        let payload = decode_frame(&encode_frame(&encoded)).expect("frame round trip");
+        let Response::Health(report2) = Response::decode(&payload).expect("message round trip")
+        else {
+            return Err(TestCaseError::fail("decoded to a different response"));
+        };
+        prop_assert_eq!(report2, report);
+        let len = ((encoded.len() as f64 * cut) as usize).min(encoded.len() - 1);
+        match Response::decode(&encoded[..len]) {
+            Err(ServeError::BadMessage { .. }) => {}
+            other => prop_assert!(
+                false,
+                "truncated health report ({} of {} bytes): expected BadMessage, got {:?}",
+                len, encoded.len(), other
+            ),
+        }
     }
 }

@@ -22,7 +22,14 @@
 //!   environment levels × seeds, generated in parallel and merged in
 //!   plan-index order, so a grid is bit-identical at every
 //!   `CALLOC_THREADS` (see the [`ScenarioSpec`] docs for the grammar and
-//!   the plan-index merge contract).
+//!   the plan-index merge contract);
+//! * **trajectory workloads** ([`MotionConfig`] / [`MotionModel`] /
+//!   [`Trajectory`] and the mirrored [`TrajectorySpec`] →
+//!   [`TrajectoryPlan`] → [`TrajectorySet`] grid): waypoint walks along
+//!   the RP path with RSSI sampled through the same propagation +
+//!   temporal-drift machinery — moving users instead of i.i.d. test
+//!   points (see the [`motion`](crate::Trajectory) docs for the motion
+//!   grammar).
 //!
 //! # Example
 //!
@@ -57,6 +64,7 @@ mod building;
 mod dataset;
 mod device;
 mod grid;
+mod motion;
 mod propagation;
 mod scenario;
 
@@ -66,6 +74,10 @@ pub use device::DeviceProfile;
 pub use grid::{
     collection_identity, EnvLevel, ScenarioCell, ScenarioPlan, ScenarioSet, ScenarioSpec,
     SurveyDensity,
+};
+pub use motion::{
+    trajectory_identity, MotionConfig, MotionModel, Trajectory, TrajectoryCell, TrajectoryPlan,
+    TrajectorySet, TrajectorySpec,
 };
 pub use propagation::{normalize_rss, PropagationModel, RSS_FLOOR_DBM, RSS_MAX_DBM};
 pub use scenario::{CollectionConfig, Scenario};

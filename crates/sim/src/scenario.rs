@@ -196,20 +196,30 @@ impl Scenario {
 
 /// Between-phase environment change for one online session: per-AP power
 /// drift plus per-link re-shadowing (both in dB).
-struct PhaseDrift {
-    ap_drift_db: Vec<f64>,
-    reshadow_db: Matrix,
+///
+/// Shared crate-internally with [`crate::motion`]: a trajectory is one
+/// online session walked through the building, so it samples its drift
+/// realization with exactly this machinery.
+pub(crate) struct PhaseDrift {
+    pub(crate) ap_drift_db: Vec<f64>,
+    pub(crate) reshadow_db: Matrix,
 }
 
 impl PhaseDrift {
-    fn none(n_rp: usize, n_ap: usize) -> Self {
+    pub(crate) fn none(n_rp: usize, n_ap: usize) -> Self {
         PhaseDrift {
             ap_drift_db: vec![0.0; n_ap],
             reshadow_db: Matrix::zeros(n_rp, n_ap),
         }
     }
 
-    fn sample(n_rp: usize, n_ap: usize, drift_std: f64, reshadow_std: f64, rng: &mut Rng) -> Self {
+    pub(crate) fn sample(
+        n_rp: usize,
+        n_ap: usize,
+        drift_std: f64,
+        reshadow_std: f64,
+        rng: &mut Rng,
+    ) -> Self {
         PhaseDrift {
             ap_drift_db: (0..n_ap).map(|_| rng.normal(0.0, drift_std)).collect(),
             reshadow_db: Matrix::from_fn(n_rp, n_ap, |_, _| rng.normal(0.0, reshadow_std)),

@@ -71,6 +71,46 @@ proptest! {
         prop_assert!(a.matmul(&x).approx_eq(&b, 1e-7));
     }
 
+    /// Rank-1 recalibration laws: `cholesky_update` reconstructs
+    /// `A + v·vᵀ`, a `downdate` of the same vector round-trips back to the
+    /// original factor within tolerance, and the rotated factor agrees
+    /// with a fresh factorization of the perturbed matrix — the
+    /// tolerance-tier contract of the online-recalibration path.
+    #[test]
+    fn rank_one_update_then_downdate_round_trips(
+        n in 1usize..40, seed in any::<u64>()
+    ) {
+        let a = random_spd(n, seed);
+        let l = linalg::cholesky(&a).expect("SPD by construction");
+        let mut rng = Rng::new(seed ^ 0x5A5A_0F0F);
+        let v = Matrix::from_fn(n, 1, |_, _| rng.normal(0.0, 1.0));
+
+        let updated = linalg::cholesky_update(&l, &v).expect("update");
+        // The rotated factor equals a fresh factorization of A + v·vᵀ
+        // (both are lower triangular with positive diagonal, so the
+        // factor is unique) within floating-point tolerance.
+        let perturbed = {
+            let mut m = a.clone();
+            for i in 0..n {
+                for j in 0..n {
+                    m.set(i, j, m.get(i, j) + v.get(i, 0) * v.get(j, 0));
+                }
+            }
+            m
+        };
+        let refactored = linalg::cholesky(&perturbed).expect("still spd");
+        prop_assert!(
+            updated.approx_eq(&refactored, 1e-6),
+            "updated factor diverges from refactoring"
+        );
+
+        let round_trip = linalg::cholesky_downdate(&updated, &v).expect("downdate");
+        prop_assert!(
+            round_trip.approx_eq(&l, 1e-6),
+            "update-then-downdate must round-trip"
+        );
+    }
+
     /// Blocked-vs-serial bit identity: every block size must reproduce the
     /// single-panel (unblocked) kernel exactly, at several thread counts,
     /// with the fan-out work floor dropped so the parallel trailing update

@@ -1,0 +1,254 @@
+//! HMM forward filtering and sliding-window smoothing over localizer
+//! outputs.
+//!
+//! The filter contract: given per-sample emission probabilities (one row
+//! per trajectory tick, one column per RP) and a row-stochastic
+//! [`TransitionModel`], the forward filter maintains a belief over RPs —
+//! predict through the transition, multiply by the emission row,
+//! renormalize. The smoother then averages filtered posteriors over a
+//! centered window. Both are pure `f64` loops: bit-identical outputs for
+//! equal inputs at any thread count.
+
+use crate::transition::TransitionModel;
+use calloc_nn::Localizer;
+use calloc_tensor::Matrix;
+
+/// Knobs of the sequential-inference stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackConfig {
+    /// Half-width of the centered smoothing window: posterior rows
+    /// `t - w ..= t + w` (clamped to the trajectory) are averaged.
+    /// `0` makes smoothing the identity.
+    pub smoothing_half_window: usize,
+    /// Probability floor mixed into every emission row so a confidently
+    /// wrong localizer can never zero out the true state.
+    pub emission_floor: f64,
+}
+
+impl TrackConfig {
+    /// The configuration used by the figures: a five-tick centered
+    /// window and a 1e-3 emission floor.
+    pub fn paper() -> Self {
+        TrackConfig {
+            smoothing_half_window: 2,
+            emission_floor: 1e-3,
+        }
+    }
+}
+
+impl Default for TrackConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Per-sample emission probabilities for a localizer over a batch of
+/// observations; shape `ticks x num_classes`, rows sum to 1.
+///
+/// Differentiable localizers whose head matches `num_classes` emit their
+/// softmaxed logits; everything else (e.g. KNN) emits a floored one-hot
+/// of its hard prediction. Both paths mix in `floor` mass per class and
+/// renormalize, so every row is strictly positive.
+pub fn emission_probs(
+    model: &dyn Localizer,
+    observations: &Matrix,
+    num_classes: usize,
+    floor: f64,
+) -> Matrix {
+    let ticks = observations.rows();
+    let soft = model
+        .as_differentiable()
+        .filter(|d| d.num_classes() == num_classes)
+        .map(|d| d.logits(observations).softmax_rows());
+    let raw = match soft {
+        Some(p) => p,
+        None => {
+            let classes = model.predict_classes(observations);
+            Matrix::from_fn(
+                ticks,
+                num_classes,
+                |t, c| {
+                    if classes[t] == c {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            )
+        }
+    };
+    let norm = 1.0 + num_classes as f64 * floor;
+    Matrix::from_fn(ticks, num_classes, |t, c| (raw.get(t, c) + floor) / norm)
+}
+
+/// The HMM-style forward filter: maintains a belief over RPs as each
+/// trajectory tick's emission row arrives.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwardFilter<'a> {
+    transition: &'a TransitionModel,
+}
+
+impl<'a> ForwardFilter<'a> {
+    /// A filter over the given transition model.
+    pub fn new(transition: &'a TransitionModel) -> Self {
+        ForwardFilter { transition }
+    }
+
+    /// Runs the filter over `emissions` (one row per tick, one column
+    /// per RP) and returns the filtered posterior per tick, same shape.
+    ///
+    /// The belief starts uniform, is pushed through the transition
+    /// before each tick, multiplied by the tick's emission row, and
+    /// renormalized. Emission rows must be strictly positive (as
+    /// [`emission_probs`] guarantees), which keeps every normalizer
+    /// positive.
+    pub fn posteriors(&self, emissions: &Matrix) -> Matrix {
+        let n = self.transition.num_states();
+        assert_eq!(
+            emissions.cols(),
+            n,
+            "emission columns must match transition states"
+        );
+        let ticks = emissions.rows();
+        let mut out = Matrix::zeros(ticks, n);
+        let mut belief = vec![1.0 / n as f64; n];
+        let mut predicted = vec![0.0; n];
+        for t in 0..ticks {
+            for item in predicted.iter_mut() {
+                *item = 0.0;
+            }
+            for (i, &b) in belief.iter().enumerate() {
+                for (j, item) in predicted.iter_mut().enumerate() {
+                    *item += b * self.transition.prob(i, j);
+                }
+            }
+            let mut sum = 0.0;
+            for (j, item) in predicted.iter_mut().enumerate() {
+                *item *= emissions.get(t, j);
+                sum += *item;
+            }
+            for (j, item) in predicted.iter_mut().enumerate() {
+                let p = *item / sum;
+                out.set(t, j, p);
+                belief[j] = p;
+            }
+        }
+        out
+    }
+}
+
+/// Centered sliding-window smoother over filtered posteriors: row `t` of
+/// the result is the mean of rows `t - w ..= t + w` (clamped to the
+/// matrix), renormalized. `half_window == 0` returns the input
+/// unchanged.
+pub fn smooth(posteriors: &Matrix, half_window: usize) -> Matrix {
+    if half_window == 0 {
+        return posteriors.clone();
+    }
+    let (ticks, n) = posteriors.shape();
+    Matrix::from_fn(ticks, n, |t, j| {
+        let lo = t.saturating_sub(half_window);
+        let hi = (t + half_window).min(ticks.saturating_sub(1));
+        let mut sum = 0.0;
+        for row in lo..=hi {
+            sum += posteriors.get(row, j);
+        }
+        sum / (hi - lo + 1) as f64
+    })
+}
+
+/// Maximum-a-posteriori RP per tick: the argmax of each posterior row.
+pub fn map_estimates(posteriors: &Matrix) -> Vec<usize> {
+    posteriors.argmax_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_sim::MotionConfig;
+
+    /// A test localizer that always predicts a fixed sequence of labels.
+    struct Scripted(Vec<usize>);
+
+    impl Localizer for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+
+        fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+            (0..x.rows()).map(|t| self.0[t % self.0.len()]).collect()
+        }
+    }
+
+    fn slow_motion() -> MotionConfig {
+        MotionConfig {
+            speed_mps: 0.8,
+            ..MotionConfig::paper()
+        }
+    }
+
+    #[test]
+    fn emission_rows_are_strictly_positive_and_normalized() {
+        let model = Scripted(vec![0, 2, 1]);
+        let x = Matrix::zeros(3, 4);
+        let e = emission_probs(&model, &x, 3, 1e-3);
+        assert_eq!(e.shape(), (3, 3));
+        for t in 0..3 {
+            let sum: f64 = (0..3).map(|c| e.get(t, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            for c in 0..3 {
+                assert!(e.get(t, c) > 0.0);
+            }
+        }
+        // The hard prediction keeps almost all of the mass.
+        assert!(e.get(0, 0) > 0.9);
+        assert!(e.get(1, 2) > 0.9);
+    }
+
+    #[test]
+    fn filter_posteriors_are_distributions() {
+        let transition = TransitionModel::from_motion(5, &slow_motion());
+        let model = Scripted(vec![0, 1, 2, 3, 4, 4, 3]);
+        let x = Matrix::zeros(7, 2);
+        let e = emission_probs(&model, &x, 5, 1e-3);
+        let post = ForwardFilter::new(&transition).posteriors(&e);
+        assert_eq!(post.shape(), (7, 5));
+        for t in 0..7 {
+            let sum: f64 = (0..5).map(|c| post.get(t, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "tick {t} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn filter_suppresses_physically_impossible_jumps() {
+        // A walker cannot teleport from RP 0 to RP 9 in one tick; the
+        // filter should override the single outlier prediction.
+        let transition = TransitionModel::from_motion(10, &slow_motion());
+        let model = Scripted(vec![0, 0, 9, 1, 1, 2]);
+        let x = Matrix::zeros(6, 2);
+        let e = emission_probs(&model, &x, 10, 1e-3);
+        let post = ForwardFilter::new(&transition).posteriors(&e);
+        let map = map_estimates(&post);
+        assert_ne!(map[2], 9, "filter accepted a teleport");
+        assert!(map[2] <= 2, "filter should stay near the walk: {map:?}");
+    }
+
+    #[test]
+    fn smoothing_with_zero_window_is_the_identity() {
+        let m = Matrix::from_fn(4, 3, |t, c| ((t + 1) * (c + 2)) as f64 / 20.0);
+        let s = smooth(&m, 0);
+        assert_eq!(
+            m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            s.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn smoothing_averages_neighboring_rows() {
+        let m = Matrix::from_fn(3, 1, |t, _| t as f64);
+        let s = smooth(&m, 1);
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((s.get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((s.get(2, 0) - 1.5).abs() < 1e-12);
+    }
+}

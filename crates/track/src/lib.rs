@@ -1,0 +1,29 @@
+//! Sequential inference over trajectories for the CALLOC reproduction.
+//!
+//! The batch evaluation harness scores localizers one fingerprint at a
+//! time; this crate adds the *temporal* layer on top: a walking user
+//! produces a [`calloc_sim::Trajectory`] of correlated fingerprints, and
+//! sequential inference exploits that correlation to beat per-sample
+//! prediction. Three estimators are compared:
+//!
+//! * **raw** — the localizer's per-sample `predict_classes`, no temporal
+//!   model (the batch baseline);
+//! * **filtered** — an HMM-style forward filter ([`ForwardFilter`])
+//!   whose transition model ([`TransitionModel`]) is derived from the
+//!   motion prior and the serpentine RP-grid adjacency;
+//! * **smoothed** — a centered sliding-window average of the filtered
+//!   posteriors ([`smooth`]), trading a little latency for accuracy.
+//!
+//! Everything here is pure `f64` arithmetic over deterministic inputs:
+//! the sweep runner fans out over `calloc_tensor::par` in contiguous
+//! index chunks merged in index order, so every table is bit-identical
+//! at every `CALLOC_THREADS` setting — the same contract the scenario
+//! and trajectory grids obey.
+
+mod filter;
+mod sweep;
+mod transition;
+
+pub use filter::{emission_probs, map_estimates, smooth, ForwardFilter, TrackConfig};
+pub use sweep::{run_trajectory_sweep, track_errors_m, TrajectoryRecord, TrajectoryTable};
+pub use transition::TransitionModel;

@@ -1,0 +1,318 @@
+//! Trajectory sweep runner: error vs path length × environment level ×
+//! member, over a [`TrajectorySet`].
+//!
+//! For every `(cell, member)` pair the runner scores three estimators —
+//! the localizer's raw per-sample predictions, the forward-filtered MAP
+//! path, and the sliding-window-smoothed MAP path — in metres against
+//! the walker's true positions. Jobs fan out over `calloc_tensor::par`
+//! in a fixed cell-major order and are merged by index, so the table
+//! (and its CSV rendering) is bit-identical at every `CALLOC_THREADS`.
+
+use crate::filter::{emission_probs, map_estimates, smooth, ForwardFilter, TrackConfig};
+use crate::transition::TransitionModel;
+use calloc_nn::Localizer;
+use calloc_sim::{Building, Trajectory, TrajectorySet};
+use calloc_tensor::par;
+
+/// One row of the trajectory sweep: a single estimator's error on a
+/// single `(cell, member)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRecord {
+    /// Plan index of the trajectory cell this row was scored on.
+    pub plan_index: usize,
+    /// Human-readable building name.
+    pub building: String,
+    /// Member (localizer) name.
+    pub member: String,
+    /// Environment-level label (`"baseline"`, `"env x2"`, …).
+    pub env: String,
+    /// Number of sample ticks in the trajectory.
+    pub path_steps: usize,
+    /// Trajectory seed.
+    pub seed: u64,
+    /// Estimator: `"raw"`, `"filtered"` or `"smoothed"`.
+    pub mode: &'static str,
+    /// Mean localization error over the trajectory, in metres.
+    pub mean_error_m: f64,
+    /// Error at the final tick, in metres.
+    pub final_error_m: f64,
+}
+
+/// The full trajectory sweep result, in deterministic cell-major order
+/// (cell, then member, then raw/filtered/smoothed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryTable {
+    rows: Vec<TrajectoryRecord>,
+}
+
+impl TrajectoryTable {
+    /// All rows, in deterministic order.
+    pub fn rows(&self) -> &[TrajectoryRecord] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Deterministic CSV rendering: fixed header, one row per record,
+    /// errors formatted to four decimal places (the golden-tier format —
+    /// byte-identical for bit-identical tables).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "plan_index,building,member,env,path_steps,seed,mode,mean_error_m,final_error_m\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{:.4},{:.4}\n",
+                r.plan_index,
+                r.building,
+                r.member,
+                r.env,
+                r.path_steps,
+                r.seed,
+                r.mode,
+                r.mean_error_m,
+                r.final_error_m,
+            ));
+        }
+        out
+    }
+}
+
+/// Per-tick localization error in metres: the Euclidean distance between
+/// the predicted RP's surveyed position and the walker's true position.
+pub fn track_errors_m(
+    predicted: &[usize],
+    trajectory: &Trajectory,
+    building: &Building,
+) -> Vec<f64> {
+    assert_eq!(
+        predicted.len(),
+        trajectory.len(),
+        "one prediction per trajectory tick"
+    );
+    let rps = building.rp_positions();
+    predicted
+        .iter()
+        .zip(&trajectory.positions_m)
+        .map(|(&rp, &(x, y))| {
+            let (px, py) = rps[rp];
+            ((px - x).powi(2) + (py - y).powi(2)).sqrt()
+        })
+        .collect()
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Runs the trajectory sweep: every cell of `set` scored by every member
+/// trained for that cell's building.
+///
+/// `members` is indexed by the plan's building axis — `members[b]` holds
+/// the `(name, localizer)` pairs for `set.plan().buildings()[b]`, each
+/// trained on fingerprints from that building realization. Rows come
+/// back cell-major (plan order), then member order, then the fixed
+/// raw/filtered/smoothed estimator order; the fan-out over
+/// `(cell, member)` jobs is chunked contiguously and merged by index, so
+/// the result is bit-identical at every thread count.
+pub fn run_trajectory_sweep(
+    set: &TrajectorySet,
+    members: &[Vec<(&str, &dyn Localizer)>],
+    config: &TrackConfig,
+) -> TrajectoryTable {
+    assert_eq!(
+        members.len(),
+        set.plan().buildings().len(),
+        "one member list per building axis entry"
+    );
+    let jobs: Vec<(usize, usize)> = (0..set.len())
+        .flat_map(|cell| {
+            let building = set.cell(cell).building;
+            (0..members[building].len()).map(move |m| (cell, m))
+        })
+        .collect();
+
+    let rows: Vec<TrajectoryRecord> = par::par_chunks(jobs.len(), 1, |range| {
+        range
+            .flat_map(|job| {
+                let (cell_index, member_index) = jobs[job];
+                score_cell_member(set, members, config, cell_index, member_index)
+            })
+            .collect::<Vec<TrajectoryRecord>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    TrajectoryTable { rows }
+}
+
+/// Scores one `(cell, member)` pair: three rows, one per estimator.
+fn score_cell_member(
+    set: &TrajectorySet,
+    members: &[Vec<(&str, &dyn Localizer)>],
+    config: &TrackConfig,
+    cell_index: usize,
+    member_index: usize,
+) -> Vec<TrajectoryRecord> {
+    let cell = set.cell(cell_index);
+    let building = set.building_for(cell_index);
+    let trajectory = set.trajectory(cell_index);
+    let (name, localizer) = members[cell.building][member_index];
+    let num_rps = building.num_rps();
+
+    let raw = localizer.predict_classes(&trajectory.observations);
+    let emissions = emission_probs(
+        localizer,
+        &trajectory.observations,
+        num_rps,
+        config.emission_floor,
+    );
+    let transition = TransitionModel::from_building(building, &set.plan().spec().motion);
+    let posteriors = ForwardFilter::new(&transition).posteriors(&emissions);
+    let filtered = map_estimates(&posteriors);
+    let smoothed = map_estimates(&smooth(&posteriors, config.smoothing_half_window));
+
+    [("raw", raw), ("filtered", filtered), ("smoothed", smoothed)]
+        .into_iter()
+        .map(|(mode, predicted)| {
+            let errors = track_errors_m(&predicted, trajectory, building);
+            TrajectoryRecord {
+                plan_index: cell.plan_index,
+                building: set.building_name(cell_index).to_string(),
+                member: name.to_string(),
+                env: set.env_for(cell_index).label(),
+                path_steps: trajectory.len(),
+                seed: set.seed_for(cell_index),
+                mode,
+                mean_error_m: mean(&errors),
+                final_error_m: errors.last().copied().unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use calloc_sim::{BuildingId, BuildingSpec, CollectionConfig, MotionConfig, TrajectorySpec};
+    use calloc_tensor::Matrix;
+
+    /// A localizer that always predicts RP 0 — enough structure to pin
+    /// table shape, ordering and CSV format without training anything.
+    struct Origin;
+
+    impl Localizer for Origin {
+        fn name(&self) -> &str {
+            "origin"
+        }
+
+        fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+            vec![0; x.rows()]
+        }
+    }
+
+    /// A localizer that predicts the tick index modulo the class count —
+    /// distinct from [`Origin`] so member ordering is observable.
+    struct TickMod(usize);
+
+    impl Localizer for TickMod {
+        fn name(&self) -> &str {
+            "tickmod"
+        }
+
+        fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+            (0..x.rows()).map(|t| t % self.0).collect()
+        }
+    }
+
+    fn tiny_set() -> TrajectorySet {
+        let spec = TrajectorySpec::from_base(
+            vec![BuildingSpec {
+                path_length_m: 9,
+                num_aps: 6,
+                ..BuildingId::B1.spec()
+            }],
+            3,
+            MotionConfig::paper(),
+            CollectionConfig::small(),
+            vec![5, 8],
+            vec![11],
+        );
+        spec.generate()
+    }
+
+    #[test]
+    fn sweep_emits_three_modes_per_cell_and_member_in_plan_order() {
+        let set = tiny_set();
+        let origin = Origin;
+        let num_rps = set.plan().buildings()[0].num_rps();
+        let tickmod = TickMod(num_rps);
+        let members: Vec<Vec<(&str, &dyn Localizer)>> =
+            vec![vec![("Origin", &origin), ("TickMod", &tickmod)]];
+        let table = run_trajectory_sweep(&set, &members, &TrackConfig::paper());
+
+        assert_eq!(table.len(), set.len() * 2 * 3);
+        let rows = table.rows();
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.plan_index, i / 6, "cell-major order");
+            let member = if (i / 3) % 2 == 0 {
+                "Origin"
+            } else {
+                "TickMod"
+            };
+            assert_eq!(row.member, member, "member order at row {i}");
+            let mode = ["raw", "filtered", "smoothed"][i % 3];
+            assert_eq!(row.mode, mode, "estimator order at row {i}");
+            assert!(row.mean_error_m >= 0.0 && row.final_error_m >= 0.0);
+        }
+        assert_eq!(rows[0].path_steps, 5);
+        assert_eq!(rows[6].path_steps, 8);
+    }
+
+    #[test]
+    fn csv_rendering_is_well_formed() {
+        let set = tiny_set();
+        let origin = Origin;
+        let members: Vec<Vec<(&str, &dyn Localizer)>> = vec![vec![("Origin", &origin)]];
+        let table = run_trajectory_sweep(&set, &members, &TrackConfig::paper());
+        let csv = table.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "plan_index,building,member,env,path_steps,seed,mode,mean_error_m,final_error_m"
+        );
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(body.len(), table.len());
+        for line in body {
+            assert_eq!(line.split(',').count(), 9, "bad row: {line}");
+        }
+    }
+
+    #[test]
+    fn errors_are_euclidean_distances_to_the_predicted_rp() {
+        let set = tiny_set();
+        let building = set.building_for(0);
+        let trajectory = set.trajectory(0);
+        let predicted = vec![0; trajectory.len()];
+        let errors = track_errors_m(&predicted, trajectory, building);
+        let (px, py) = building.rp_positions()[0];
+        for (t, err) in errors.iter().enumerate() {
+            let (x, y) = trajectory.positions_m[t];
+            let expected = ((px - x).powi(2) + (py - y).powi(2)).sqrt();
+            assert_eq!(err.to_bits(), expected.to_bits(), "tick {t}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Motion-prior transition model over the RP grid.
+//!
+//! Reference points are laid out along a serpentine survey path
+//! (`calloc_sim::Building` numbers them by arc length), so physical
+//! adjacency is index adjacency: a walker at RP `i` can only reach RPs
+//! within `speed × sample_period` metres of grid arc length in one tick.
+//! The transition matrix encodes exactly the same motion grammar the
+//! simulator walks — dwell mass on the diagonal, the remaining mass
+//! split uniformly over the reachable offsets in both directions,
+//! reflecting off the ends of the path like the walk itself does.
+
+use calloc_sim::{Building, MotionConfig};
+use calloc_tensor::Matrix;
+
+/// Probability floor mixed into every transition so that no state is ever
+/// unreachable; keeps the forward filter well-posed when the localizer
+/// briefly disagrees with the motion model.
+const TRANSITION_FLOOR: f64 = 1e-6;
+
+/// A row-stochastic RP-to-RP transition matrix derived from a
+/// [`MotionConfig`] motion prior.
+///
+/// Row `i` is the distribution over the walker's next RP given it is at
+/// RP `i` now. Rows sum to exactly the post-normalization value of 1
+/// (up to floating point), every entry is strictly positive, and the
+/// construction is pure arithmetic over the config — bit-identical for
+/// equal inputs regardless of thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionModel {
+    probs: Matrix,
+}
+
+impl TransitionModel {
+    /// Builds the transition model for `building`'s RP grid under the
+    /// given motion prior.
+    pub fn from_building(building: &Building, motion: &MotionConfig) -> Self {
+        Self::from_motion(building.num_rps(), motion)
+    }
+
+    /// Builds the transition model for a serpentine path of `num_states`
+    /// RPs. `num_states` must be at least 1.
+    pub fn from_motion(num_states: usize, motion: &MotionConfig) -> Self {
+        assert!(num_states > 0, "transition model needs at least one RP");
+        let n = num_states;
+        // Maximum arc-length step (in RP indices) the walker can take in
+        // one sample period; moving walkers always reach at least the
+        // neighboring RP.
+        let max_step = (motion.speed_mps * motion.sample_period_s).ceil().max(1.0) as usize;
+        let stay = motion.dwell_prob.clamp(0.0, 1.0);
+        let move_mass = (1.0 - stay) / (2 * max_step) as f64;
+
+        let mut probs = Matrix::zeros(n, n);
+        for i in 0..n {
+            probs.set(i, i, probs.get(i, i) + stay);
+            for step in 1..=max_step {
+                for dir in [-1i64, 1] {
+                    let j = reflect(i as i64 + dir * step as i64, n);
+                    probs.set(i, j, probs.get(i, j) + move_mass);
+                }
+            }
+            // Floor + renormalize the row so every state stays reachable.
+            let mut sum = 0.0;
+            for j in 0..n {
+                let p = probs.get(i, j) + TRANSITION_FLOOR;
+                probs.set(i, j, p);
+                sum += p;
+            }
+            for j in 0..n {
+                probs.set(i, j, probs.get(i, j) / sum);
+            }
+        }
+        TransitionModel { probs }
+    }
+
+    /// Number of RP states.
+    pub fn num_states(&self) -> usize {
+        self.probs.rows()
+    }
+
+    /// The full row-stochastic matrix.
+    pub fn probs(&self) -> &Matrix {
+        &self.probs
+    }
+
+    /// Transition probability from RP `from` to RP `to`.
+    pub fn prob(&self, from: usize, to: usize) -> f64 {
+        self.probs.get(from, to)
+    }
+}
+
+/// Reflects an index off the closed interval `[0, n - 1]`, mirroring the
+/// boundary handling of `MotionModel::walk`.
+fn reflect(index: i64, n: usize) -> usize {
+    let max = n as i64 - 1;
+    if max == 0 {
+        return 0;
+    }
+    let period = 2 * max;
+    let mut k = index.rem_euclid(period);
+    if k > max {
+        k = period - k;
+    }
+    k as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_stochastic_and_strictly_positive() {
+        let motion = MotionConfig::paper();
+        for n in [1usize, 2, 5, 24] {
+            let model = TransitionModel::from_motion(n, &motion);
+            assert_eq!(model.num_states(), n);
+            for i in 0..n {
+                let sum: f64 = (0..n).map(|j| model.prob(i, j)).sum();
+                assert!((sum - 1.0).abs() < 1e-12, "row {i} sums to {sum}");
+                for j in 0..n {
+                    assert!(model.prob(i, j) > 0.0, "zero mass at ({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dwell_mass_dominates_the_diagonal() {
+        let motion = MotionConfig {
+            dwell_prob: 0.6,
+            ..MotionConfig::paper()
+        };
+        let model = TransitionModel::from_motion(12, &motion);
+        for i in 0..12 {
+            let diag = model.prob(i, i);
+            assert!(diag > 0.5, "diagonal {i} lost its dwell mass: {diag}");
+        }
+    }
+
+    #[test]
+    fn faster_walkers_reach_further() {
+        let slow = TransitionModel::from_motion(
+            20,
+            &MotionConfig {
+                speed_mps: 0.5,
+                ..MotionConfig::paper()
+            },
+        );
+        let fast = TransitionModel::from_motion(
+            20,
+            &MotionConfig {
+                speed_mps: 3.0,
+                ..MotionConfig::paper()
+            },
+        );
+        // A 3 m/s walker spreads mass over offsets a 0.5 m/s walker only
+        // sees through the smoothing floor.
+        assert!(fast.prob(10, 13) > 100.0 * slow.prob(10, 13));
+    }
+
+    #[test]
+    fn boundaries_reflect_like_the_walk() {
+        let motion = MotionConfig::paper();
+        let model = TransitionModel::from_motion(6, &motion);
+        // At RP 0 both directions land on RP 1 (reflection), so the edge
+        // neighbor holds roughly double the interior one-sided mass (up
+        // to the smoothing floor's renormalization).
+        let edge = model.prob(0, 1);
+        let interior = model.prob(3, 4);
+        assert!(
+            (edge - 2.0 * interior).abs() < 1e-4,
+            "edge {edge} vs interior {interior}"
+        );
+    }
+
+    #[test]
+    fn reflect_maps_out_of_range_indices_into_bounds() {
+        assert_eq!(reflect(-1, 5), 1);
+        assert_eq!(reflect(-2, 5), 2);
+        assert_eq!(reflect(4, 5), 4);
+        assert_eq!(reflect(5, 5), 3);
+        assert_eq!(reflect(8, 5), 0);
+        assert_eq!(reflect(3, 1), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests of the sequential-inference stack: the trajectory
+//! sweep is bit-identical at every thread count, forward-filter
+//! posteriors are distributions for arbitrary positive emissions, and a
+//! zero smoothing window makes the smoothed estimator coincide with the
+//! filtered one.
+
+use calloc_nn::Localizer;
+use calloc_sim::{
+    BuildingId, BuildingSpec, CollectionConfig, EnvLevel, MotionConfig, TrajectorySet,
+    TrajectorySpec,
+};
+use calloc_tensor::{par, Matrix, Rng};
+use calloc_track::{
+    map_estimates, run_trajectory_sweep, smooth, ForwardFilter, TrackConfig, TrajectoryTable,
+    TransitionModel,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tests that flip the process-global `par` knobs.
+static KNOB_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_knobs() -> std::sync::MutexGuard<'static, ()> {
+    KNOB_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A deterministic observation-dependent localizer: predicts the RP
+/// whose index matches the strongest-AP column, folded into range. Pure
+/// arithmetic over the observation bits, so sweep determinism tests
+/// exercise a data-dependent path without training a model.
+struct StrongestAp {
+    num_rps: usize,
+}
+
+impl Localizer for StrongestAp {
+    fn name(&self) -> &str {
+        "strongest-ap"
+    }
+
+    fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        x.argmax_rows()
+            .into_iter()
+            .map(|ap| ap % self.num_rps)
+            .collect()
+    }
+}
+
+/// A localizer that always predicts RP 0.
+struct Origin;
+
+impl Localizer for Origin {
+    fn name(&self) -> &str {
+        "origin"
+    }
+
+    fn predict_classes(&self, x: &Matrix) -> Vec<usize> {
+        vec![0; x.rows()]
+    }
+}
+
+fn tiny_set() -> TrajectorySet {
+    TrajectorySpec::from_base(
+        vec![
+            BuildingSpec {
+                path_length_m: 9,
+                num_aps: 7,
+                ..BuildingId::B1.spec()
+            },
+            BuildingSpec {
+                path_length_m: 11,
+                num_aps: 6,
+                ..BuildingId::B4.spec()
+            },
+        ],
+        5,
+        MotionConfig::paper(),
+        CollectionConfig::small(),
+        vec![5, 9],
+        vec![3],
+    )
+    .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)])
+    .generate()
+}
+
+fn sweep_tiny(set: &TrajectorySet) -> TrajectoryTable {
+    let strongest: Vec<StrongestAp> = set
+        .plan()
+        .buildings()
+        .iter()
+        .map(|b| StrongestAp {
+            num_rps: b.num_rps(),
+        })
+        .collect();
+    let origin = Origin;
+    let members: Vec<Vec<(&str, &dyn Localizer)>> = strongest
+        .iter()
+        .map(|s| {
+            vec![
+                ("StrongestAp", s as &dyn Localizer),
+                ("Origin", &origin as &dyn Localizer),
+            ]
+        })
+        .collect();
+    run_trajectory_sweep(set, &members, &TrackConfig::paper())
+}
+
+/// The sweep's fan-out contract end to end: the same trajectory table at
+/// 1, 2, 3 and 8 worker threads is identical down to the error bits and
+/// the rendered CSV bytes, with the work floor dropped so every fan-out
+/// engages at test sizes.
+#[test]
+fn trajectory_sweep_is_bit_identical_across_thread_counts() {
+    let _guard = lock_knobs();
+    let set = tiny_set();
+    let _floor = par::MinWorkGuard::new(1);
+    let serial = {
+        let _threads = par::ThreadGuard::new(1);
+        sweep_tiny(&set)
+    };
+    assert_eq!(serial.len(), set.len() * 2 * 3);
+
+    let _threads = par::ThreadGuard::new(1);
+    for threads in [2usize, 3, 8] {
+        par::set_threads(threads);
+        let parallel = sweep_tiny(&set);
+        assert_eq!(serial.len(), parallel.len(), "{threads} threads");
+        for (i, (a, b)) in serial.rows().iter().zip(parallel.rows()).enumerate() {
+            assert_eq!(
+                a.mean_error_m.to_bits(),
+                b.mean_error_m.to_bits(),
+                "row {i} mean error at {threads} threads"
+            );
+            assert_eq!(
+                a.final_error_m.to_bits(),
+                b.final_error_m.to_bits(),
+                "row {i} final error at {threads} threads"
+            );
+            assert_eq!(a, b, "row {i} at {threads} threads");
+        }
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "{threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Forward-filter posteriors are proper distributions for arbitrary
+    /// strictly positive emission matrices.
+    #[test]
+    fn filter_posteriors_are_distributions(
+        states in 1usize..12,
+        ticks in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let emissions = Matrix::from_fn(ticks, states, |_, _| rng.uniform(1e-4, 1.0));
+        let transition = TransitionModel::from_motion(states, &MotionConfig::paper());
+        let post = ForwardFilter::new(&transition).posteriors(&emissions);
+        prop_assert_eq!(post.shape(), (ticks, states));
+        for t in 0..ticks {
+            let sum: f64 = (0..states).map(|j| post.get(t, j)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "tick {} sums to {}", t, sum);
+            for j in 0..states {
+                prop_assert!(post.get(t, j) >= 0.0);
+            }
+        }
+    }
+
+    /// A zero-width smoothing window leaves the posteriors untouched, so
+    /// smoothed and filtered MAP paths coincide exactly.
+    #[test]
+    fn zero_window_smoothing_matches_filtering(
+        states in 2usize..10,
+        ticks in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let emissions = Matrix::from_fn(ticks, states, |_, _| rng.uniform(1e-4, 1.0));
+        let transition = TransitionModel::from_motion(states, &MotionConfig::paper());
+        let post = ForwardFilter::new(&transition).posteriors(&emissions);
+        let smoothed = smooth(&post, 0);
+        prop_assert_eq!(map_estimates(&post), map_estimates(&smoothed));
+        for (a, b) in post.as_slice().iter().zip(smoothed.as_slice()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Transition rows stay stochastic for arbitrary motion configs.
+    #[test]
+    fn transition_rows_are_stochastic_for_arbitrary_motion(
+        states in 1usize..16,
+        speed in 0.1f64..4.0,
+        dwell in 0.0f64..0.9,
+        period in 0.25f64..3.0,
+    ) {
+        let motion = MotionConfig {
+            speed_mps: speed,
+            dwell_prob: dwell,
+            turn_prob: 0.05,
+            sample_period_s: period,
+        };
+        let model = TransitionModel::from_motion(states, &motion);
+        for i in 0..states {
+            let sum: f64 = (0..states).map(|j| model.prob(i, j)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {} sums to {}", i, sum);
+            for j in 0..states {
+                prop_assert!(model.prob(i, j) > 0.0, "zero mass at ({}, {})", i, j);
+            }
+        }
+    }
+}

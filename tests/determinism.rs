@@ -463,6 +463,98 @@ fn resume_after_injected_fault_is_thread_count_invariant() {
     }
 }
 
+/// The trajectory pipeline's merge contract: grid generation (motion
+/// walks + per-tick sessions) and the sequential-inference sweep (raw /
+/// filtered / smoothed rows per member) produce an **equal
+/// `TrajectoryTable`** — same rows, same order, same CSV bytes — at
+/// `CALLOC_THREADS` 1, 2, 4 and 8, and the generated trajectories
+/// themselves are bit-identical across thread counts.
+#[test]
+fn trajectory_sweep_is_thread_count_invariant() {
+    use calloc_baselines::KnnLocalizer;
+    use calloc_sim::{EnvLevel, MotionConfig, TrajectorySpec};
+    use calloc_track::{run_trajectory_sweep, TrackConfig};
+
+    let _guard = lock_knobs();
+    let spec = TrajectorySpec::from_base(
+        vec![
+            small_spec(),
+            BuildingSpec {
+                path_length_m: 11,
+                num_aps: 13,
+                ..BuildingId::B5.spec()
+            },
+        ],
+        9,
+        MotionConfig::paper(),
+        CollectionConfig::small(),
+        vec![5, 8],
+        vec![3],
+    )
+    .with_environments(vec![EnvLevel::BASELINE, EnvLevel::uniform(2.0)]);
+
+    let _floor = par::MinWorkGuard::new(1);
+    let _threads = par::ThreadGuard::new(1);
+    let run = || {
+        let set = spec.plan().generate();
+        let members: Vec<KnnLocalizer> = set
+            .plan()
+            .buildings()
+            .iter()
+            .map(|building| {
+                let scenario = Scenario::generate(building, &CollectionConfig::small(), 17);
+                KnnLocalizer::fit(
+                    scenario.train.x.clone(),
+                    scenario.train.labels.clone(),
+                    building.num_rps(),
+                    3,
+                )
+            })
+            .collect();
+        let member_refs: Vec<Vec<(&str, &dyn Localizer)>> = members
+            .iter()
+            .map(|knn| vec![("KNN", knn as &dyn Localizer)])
+            .collect();
+        let table = run_trajectory_sweep(&set, &member_refs, &TrackConfig::paper());
+        let observation_bits: Vec<Vec<u64>> = set
+            .trajectories()
+            .iter()
+            .map(|t| {
+                t.observations
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect();
+        (table, observation_bits)
+    };
+
+    let (serial_table, serial_bits) = run();
+    assert_eq!(
+        serial_table.len(),
+        2 * 2 * 2 * 3,
+        "one raw/filtered/smoothed row triple per grid cell"
+    );
+    for threads in [2usize, 4, 8] {
+        par::set_threads(threads);
+        let (table, bits) = run();
+        assert_eq!(
+            serial_bits, bits,
+            "generated trajectories diverge between 1 and {threads} threads"
+        );
+        assert_eq!(
+            serial_table, table,
+            "TrajectoryTable diverges between 1 and {threads} threads"
+        );
+        assert_eq!(
+            serial_table.to_csv(),
+            table.to_csv(),
+            "trajectory CSV bytes diverge between 1 and {threads} threads"
+        );
+    }
+}
+
 /// Different seeds must actually change the realization — guards against a
 /// determinism test passing because the seed is ignored entirely.
 #[test]

@@ -1,8 +1,11 @@
 //! Golden-report regression tier: the exact CSV bytes of a quick-profile
-//! attack sweep are pinned in `tests/golden/quick_sweep.csv`, and of a
+//! attack sweep are pinned in `tests/golden/quick_sweep.csv`, of a
 //! quick-profile environment-axis sweep (drift multipliers 1 and 2,
 //! datasets re-collected through the scenario-grid engine) in
-//! `tests/golden/env_sweep.csv`.
+//! `tests/golden/env_sweep.csv`, and of the quick-profile trajectory
+//! sweep (motion simulation + sequential inference over the
+//! buildings × path-lengths × environments grid) in
+//! `tests/golden/trajectory_sweep.csv`.
 //!
 //! The sweep engine's contract is that a `ResultTable` is bit-identical
 //! for every `CALLOC_THREADS`; this suite locks the *whole* pipeline
@@ -27,6 +30,10 @@ use calloc_tensor::par;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/quick_sweep.csv");
 const ENV_GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/env_sweep.csv");
+const TRAJ_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/trajectory_sweep.csv"
+);
 
 fn golden_bytes() -> String {
     std::fs::read_to_string(GOLDEN_PATH).expect(
@@ -40,6 +47,22 @@ fn env_golden_bytes() -> String {
         "tests/golden/env_sweep.csv is checked in; regenerate it with \
          `cargo test --test golden_reports -- --ignored`",
     )
+}
+
+fn traj_golden_bytes() -> String {
+    std::fs::read_to_string(TRAJ_GOLDEN_PATH).expect(
+        "tests/golden/trajectory_sweep.csv is checked in; regenerate it with \
+         `cargo test --test golden_reports -- --ignored`",
+    )
+}
+
+/// The pinned trajectory sweep: the bench crate's quick-profile grid
+/// (two shrunken buildings × two path lengths × baseline-and-drift
+/// environments × one seed), walked, observed, and decoded by the raw /
+/// forward-filtered / smoothed estimators of a KNN and a GPC member per
+/// building.
+fn trajectory_sweep_csv() -> String {
+    calloc_bench::trajectory_sweep_table(calloc_bench::Profile::Quick).to_csv()
 }
 
 /// The pinned quick-profile sweep: the full threat-model cross-product
@@ -178,6 +201,63 @@ fn env_golden_file_is_well_formed() {
 }
 
 #[test]
+fn trajectory_sweep_csv_matches_golden_at_ambient_threads() {
+    // No knob override: under CI this leg runs at CALLOC_THREADS ∈
+    // {1, 2, 4}, comparing the same golden bytes across processes.
+    let _guard = lock_knobs();
+    let csv = trajectory_sweep_csv();
+    assert_eq!(
+        csv,
+        traj_golden_bytes(),
+        "trajectory sweep CSV diverged from tests/golden/trajectory_sweep.csv \
+         at the ambient thread count ({} workers)",
+        par::threads()
+    );
+}
+
+#[test]
+fn trajectory_sweep_csv_matches_golden_at_threads_1_and_4() {
+    let _guard = lock_knobs();
+    let _threads = par::ThreadGuard::new(1);
+    for threads in [1usize, 4] {
+        par::set_threads(threads);
+        let csv = trajectory_sweep_csv();
+        assert_eq!(
+            csv,
+            traj_golden_bytes(),
+            "trajectory sweep CSV diverged from the golden file at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn trajectory_golden_file_is_well_formed() {
+    let golden = traj_golden_bytes();
+    let mut lines = golden.lines();
+    let header = lines.next().expect("non-empty golden file");
+    assert_eq!(
+        header,
+        "plan_index,building,member,env,path_steps,seed,mode,mean_error_m,final_error_m"
+    );
+    let mut rows = 0usize;
+    for (i, line) in lines.enumerate() {
+        // Rows come in member × (raw, filtered, smoothed) runs of six
+        // per grid cell, cell-major, so the plan index advances every
+        // sixth row.
+        assert!(
+            line.starts_with(&format!("{},", i / 6)),
+            "row {i} does not carry plan index {}: {line}",
+            i / 6
+        );
+        assert_eq!(line.split(',').count(), 9, "row {i} column count");
+        rows += 1;
+    }
+    // 2 buildings × 2 path lengths × 2 environments × 1 seed cells,
+    // each scored by 2 members in 3 decoding modes.
+    assert_eq!(rows, 2 * 2 * 2 * 2 * 3);
+}
+
+#[test]
 fn env_grid_baseline_cell_matches_pinned_scenario() {
     // The environment grid's baseline cell must reproduce the pinned
     // scenario bit for bit — the grid engine adds axes, not randomness.
@@ -217,4 +297,8 @@ fn regenerate_golden_reports() {
         .write_csv(std::path::Path::new(ENV_GOLDEN_PATH))
         .expect("write env golden CSV");
     println!("wrote {ENV_GOLDEN_PATH} ({} bytes)", env_csv.to_csv().len());
+    let traj_csv = trajectory_sweep_csv();
+    calloc_eval::write_atomic(std::path::Path::new(TRAJ_GOLDEN_PATH), traj_csv.as_bytes())
+        .expect("write trajectory golden CSV");
+    println!("wrote {TRAJ_GOLDEN_PATH} ({} bytes)", traj_csv.len());
 }
